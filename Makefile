@@ -1,0 +1,29 @@
+# Convenience targets for the boosting reproduction.
+
+GO ?= go
+
+.PHONY: all test test-short bench experiments fuzz vet clean
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+experiments:
+	$(GO) run ./cmd/experiments -all
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=60s ./internal/prog/
+	$(GO) test -fuzz=FuzzFormatRoundTrip -fuzztime=30s ./internal/prog/
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,319 @@
+// Package boosting is a complete reproduction of Smith, Horowitz and Lam,
+// "Efficient Superscalar Performance Through Boosting" (ASPLOS V, 1992):
+// a trace-based global instruction scheduler with boosting — architectural
+// support for general speculative execution in statically-scheduled
+// superscalar processors — together with the machine models, simulators,
+// benchmark workloads and experiment harness needed to regenerate every
+// table and figure of the paper's evaluation.
+//
+// This package is the high-level facade. The full machinery lives in the
+// internal packages:
+//
+//	internal/isa        MIPS-R2000-like instruction set with boost labels
+//	internal/prog       program IR: basic blocks, CFG, builder, verifier
+//	internal/dataflow   dominators, liveness, loops/regions, equivalence
+//	internal/profile    branch profiling and static prediction
+//	internal/ddg        trace data-dependence graphs
+//	internal/regalloc   round-robin register allocation (+ spilling)
+//	internal/core       the boosting trace scheduler (the contribution)
+//	internal/machine    processor models and machine schedules
+//	internal/sim        reference interpreter + boosting hardware simulator
+//	internal/dynsched   dynamically-scheduled (Tomasulo/ROB/BTB) baseline
+//	internal/workloads  the seven benchmark kernels
+//	internal/hwcost     shadow register file hardware cost model
+//	internal/experiments tables/figures harness
+//
+// # Quick start
+//
+//	cfg := boosting.Models().MinBoost3
+//	res, err := boosting.CompileAndRun(boosting.WorkloadGrep, cfg, boosting.Options{})
+//	// res.Cycles, res.Speedup (vs scalar R2000), res.Out ...
+package boosting
+
+import (
+	"fmt"
+	"strings"
+
+	"boosting/internal/core"
+	"boosting/internal/dynsched"
+	"boosting/internal/machine"
+	"boosting/internal/profile"
+	"boosting/internal/prog"
+	"boosting/internal/regalloc"
+	"boosting/internal/sim"
+	"boosting/internal/workloads"
+)
+
+// Workload names accepted by CompileAndRun and Workloads().
+const (
+	WorkloadAWK      = "awk"
+	WorkloadCompress = "compress"
+	WorkloadEqntott  = "eqntott"
+	WorkloadEspresso = "espresso"
+	WorkloadGrep     = "grep"
+	WorkloadNroff    = "nroff"
+	WorkloadXLisp    = "xlisp"
+)
+
+// Workloads returns the names of the benchmark set in the paper's order.
+func Workloads() []string {
+	var out []string
+	for _, w := range workloads.All() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// ModelSet bundles the processor configurations of the paper.
+type ModelSet struct {
+	Scalar    *machine.Model // single-issue MIPS R2000 baseline
+	NoBoost   *machine.Model // 2-issue superscalar, no speculation hardware
+	Squashing *machine.Model // squashing pipeline only (Option 3)
+	Boost1    *machine.Model // one shadow register file + store buffer
+	MinBoost3 *machine.Model // single shadow file, 3 levels, no store buffer
+	Boost7    *machine.Model // full shadow structures, 7 levels
+}
+
+// Models returns fresh instances of every evaluated machine model.
+func Models() ModelSet {
+	return ModelSet{
+		Scalar:    machine.Scalar(),
+		NoBoost:   machine.NoBoost(),
+		Squashing: machine.Squashing(),
+		Boost1:    machine.Boost1(),
+		MinBoost3: machine.MinBoost3(),
+		Boost7:    machine.Boost7(),
+	}
+}
+
+// Options controls the compilation pipeline.
+type Options struct {
+	// LocalOnly restricts scheduling to basic blocks (no global motion).
+	LocalOnly bool
+	// InfiniteRegisters skips register allocation and schedules the
+	// virtual-register program directly (the paper's upper bars).
+	InfiniteRegisters bool
+	// DisableEquivalence and NoDisambiguation are scheduler ablations.
+	DisableEquivalence bool
+	NoDisambiguation   bool
+}
+
+// Result reports a compiled-and-simulated run.
+type Result struct {
+	// Cycles is the machine cycles consumed on the test input.
+	Cycles int64
+	// ScalarCycles is the R2000 baseline on the same input.
+	ScalarCycles int64
+	// Speedup is ScalarCycles/Cycles.
+	Speedup float64
+	// Insts counts useful instructions issued (including squashed
+	// speculative work).
+	Insts int64
+	// BoostedExec and Squashed count speculative activity.
+	BoostedExec int64
+	Squashed    int64
+	// PredictionAccuracy is the static predictor's accuracy on this run.
+	PredictionAccuracy float64
+	// ObjectGrowth is scheduled size (with recovery code) over original.
+	ObjectGrowth float64
+	// Out is the program's observable output (verified against the
+	// reference interpreter before this Result is returned).
+	Out []uint32
+}
+
+// CompileAndRun builds the named workload, profiles it on its training
+// input, register-allocates (unless InfiniteRegisters), schedules it for
+// the model, simulates the test input, verifies the run against the
+// reference interpreter, and reports cycle counts and speedup over the
+// scalar R2000 baseline.
+func CompileAndRun(workload string, model *machine.Model, opts Options) (*Result, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+
+	test, err := preparePair(w, !opts.InfiniteRegisters)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := sim.Run(w.BuildTest(), sim.RefConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("boosting: reference run: %w", err)
+	}
+	acc, err := profile.Accuracy(test)
+	if err != nil {
+		return nil, err
+	}
+
+	sp, err := core.Schedule(test, model, core.Options{
+		LocalOnly:          opts.LocalOnly,
+		DisableEquivalence: opts.DisableEquivalence,
+		NoDisambiguation:   opts.NoDisambiguation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Exec(sp, sim.ExecConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if err := compareOut(ref.Out, res.Out); err != nil {
+		return nil, fmt.Errorf("boosting: %s on %s: %w", workload, model, err)
+	}
+
+	scalar, err := scalarBaseline(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Cycles:             res.Cycles,
+		ScalarCycles:       scalar,
+		Speedup:            float64(scalar) / float64(res.Cycles),
+		Insts:              res.Insts,
+		BoostedExec:        res.BoostedExec,
+		Squashed:           res.Squashed,
+		PredictionAccuracy: acc,
+		ObjectGrowth:       sp.ObjectGrowth(),
+		Out:                res.Out,
+	}, nil
+}
+
+// DynamicResult reports a run on the dynamically-scheduled machine.
+type DynamicResult struct {
+	Cycles       int64
+	ScalarCycles int64
+	Speedup      float64
+	Mispredicts  int64
+	Out          []uint32
+}
+
+// RunDynamic simulates the workload on the paper's dynamically-scheduled
+// superscalar (30 reservation stations, 16-entry reorder buffer, 2048×4
+// BTB), with or without register renaming.
+func RunDynamic(workload string, renaming bool) (*DynamicResult, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	test, err := preparePair(w, true)
+	if err != nil {
+		return nil, err
+	}
+	cfg := dynsched.Default()
+	cfg.Renaming = renaming
+	res, err := dynsched.Simulate(test, cfg)
+	if err != nil {
+		return nil, err
+	}
+	scalar, err := scalarBaseline(w)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicResult{
+		Cycles:       res.Cycles,
+		ScalarCycles: scalar,
+		Speedup:      float64(scalar) / float64(res.Cycles),
+		Mispredicts:  res.Mispredicts,
+		Out:          res.Out,
+	}, nil
+}
+
+// preparePair builds the test program with predictions transferred from a
+// training-input profile, optionally register-allocated first.
+func preparePair(w *workloads.Workload, alloc bool) (*prog.Program, error) {
+	train := w.BuildTrain()
+	test := w.BuildTest()
+	if alloc {
+		if _, err := regalloc.Allocate(train); err != nil {
+			return nil, err
+		}
+		if _, err := regalloc.Allocate(test); err != nil {
+			return nil, err
+		}
+	}
+	if err := profile.Annotate(train); err != nil {
+		return nil, err
+	}
+	if err := profile.Transfer(train, test); err != nil {
+		return nil, err
+	}
+	return test, nil
+}
+
+// scalarBaseline compiles and measures the R2000 baseline.
+func scalarBaseline(w *workloads.Workload) (int64, error) {
+	test, err := preparePair(w, true)
+	if err != nil {
+		return 0, err
+	}
+	sp, err := core.Schedule(test, machine.Scalar(), core.Options{LocalOnly: true})
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Exec(sp, sim.ExecConfig{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+func compareOut(want, got []uint32) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("output length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// ModelByName resolves a machine-model name as used by the CLI tools:
+// "R2000"/"scalar", "NoBoost"/"base", "Squashing"/"squash", "Boost1",
+// "MinBoost3", "Boost7" (case-insensitive).
+func ModelByName(name string) (*machine.Model, error) {
+	ms := Models()
+	switch strings.ToLower(name) {
+	case "r2000", "scalar":
+		return ms.Scalar, nil
+	case "noboost", "base":
+		return ms.NoBoost, nil
+	case "squashing", "squash":
+		return ms.Squashing, nil
+	case "boost1":
+		return ms.Boost1, nil
+	case "minboost3":
+		return ms.MinBoost3, nil
+	case "boost7":
+		return ms.Boost7, nil
+	}
+	return nil, fmt.Errorf("boosting: unknown model %q (want R2000, NoBoost, Squashing, Boost1, MinBoost3 or Boost7)", name)
+}
+
+// ScheduleListing compiles the workload for the model and returns the
+// formatted machine schedule (cycles × issue slots, boosting labels,
+// recovery sites) for inspection.
+func ScheduleListing(workload string, model *machine.Model, opts Options) (string, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return "", err
+	}
+	test, err := preparePair(w, !opts.InfiniteRegisters)
+	if err != nil {
+		return "", err
+	}
+	sp, err := core.Schedule(test, model, core.Options{
+		LocalOnly:          opts.LocalOnly,
+		DisableEquivalence: opts.DisableEquivalence,
+		NoDisambiguation:   opts.NoDisambiguation,
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, name := range test.Order {
+		sb.WriteString(sp.Procs[name].Format())
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,112 @@
+// Command boostcc is the compiler driver: it builds a workload (or parses
+// an assembly file), profiles it, register-allocates, schedules it for a
+// machine model, and prints the resulting machine schedule with boosting
+// labels, compensation blocks and recovery-code sites.
+//
+// Usage:
+//
+//	boostcc -workload grep -model MinBoost3
+//	boostcc -workload xlisp -model Boost7 -src      # also print the IR
+//	boostcc -asm prog.s -model Boost1               # compile an .s file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"boosting"
+	"boosting/internal/core"
+	"boosting/internal/profile"
+	"boosting/internal/prog"
+	"boosting/internal/regalloc"
+	"boosting/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload name: "+strings.Join(boosting.Workloads(), ", "))
+	asmFile := flag.String("asm", "", "assembly file to compile instead of a workload")
+	model := flag.String("model", "MinBoost3", "machine model")
+	src := flag.Bool("src", false, "also print the program IR before scheduling")
+	local := flag.Bool("local", false, "basic-block scheduling only")
+	inf := flag.Bool("inf", false, "infinite register model (skip register allocation)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "boostcc:", err)
+		os.Exit(1)
+	}
+
+	m, err := boosting.ModelByName(*model)
+	if err != nil {
+		fail(err)
+	}
+
+	var pr *prog.Program
+	switch {
+	case *asmFile != "":
+		text, err := os.ReadFile(*asmFile)
+		if err != nil {
+			fail(err)
+		}
+		pr, err = prog.Parse(string(text))
+		if err != nil {
+			fail(err)
+		}
+		if !*inf {
+			if _, err := regalloc.Allocate(pr); err != nil {
+				fail(err)
+			}
+		}
+		if err := profile.Annotate(pr); err != nil {
+			fail(err)
+		}
+	case *workload != "":
+		w, err := workloads.ByName(*workload)
+		if err != nil {
+			fail(err)
+		}
+		train := w.BuildTrain()
+		pr = w.BuildTest()
+		if !*inf {
+			if _, err := regalloc.Allocate(train); err != nil {
+				fail(err)
+			}
+			if _, err := regalloc.Allocate(pr); err != nil {
+				fail(err)
+			}
+		}
+		if err := profile.Annotate(train); err != nil {
+			fail(err)
+		}
+		if err := profile.Transfer(train, pr); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("pass -workload or -asm"))
+	}
+
+	if *src {
+		fmt.Println("== program IR ==")
+		fmt.Println(prog.FormatProgram(pr))
+	}
+
+	sp, err := core.Schedule(pr, m, core.Options{LocalOnly: *local})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("== schedule for %s (object growth %.2fx) ==\n", m, sp.ObjectGrowth())
+	for _, name := range pr.Order {
+		fmt.Print(sp.Procs[name].Format())
+	}
+	for _, name := range pr.Order {
+		p := sp.Procs[name]
+		for id, rec := range p.Recovery {
+			fmt.Printf(".recovery for branch %d in %s:\n", id, name)
+			for i := range rec {
+				fmt.Printf("\t%s\n", rec[i].String())
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command experiments regenerates the paper's evaluation: Table 1,
+// Figure 8, Table 2, Figure 9, and the prose claims on exception-handling
+// cost and shadow register file hardware cost.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -table2 -fig9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"boosting/internal/experiments"
+	"boosting/internal/hwcost"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	t1 := flag.Bool("table1", false, "Table 1: benchmark simulation information")
+	f8 := flag.Bool("fig8", false, "Figure 8: speedups without speculation hardware")
+	t2 := flag.Bool("table2", false, "Table 2: improvements from boosting configurations")
+	f9 := flag.Bool("fig9", false, "Figure 9: MinBoost3 vs the dynamic scheduler")
+	costs := flag.Bool("costs", false, "exception-handling costs (§2.3)")
+	hw := flag.Bool("hw", false, "shadow register file hardware costs (§4.3.2)")
+	csvPath := flag.String("csv", "", "also write all results as tidy CSV to this file")
+	flag.Parse()
+
+	if !(*all || *t1 || *f8 || *t2 || *f9 || *costs || *hw) {
+		*all = true
+	}
+	s := experiments.NewSuite()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *all || *t1 {
+		rows, err := s.Table1()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("== Table 1: Benchmark programs and their simulation information ==")
+		fmt.Println(experiments.FormatTable1(rows))
+	}
+	if *all || *f8 {
+		rows, gmBB, gmGl, err := s.Figure8()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("== Figure 8: Performance achievable without speculative execution hardware ==")
+		fmt.Println(experiments.FormatFigure8(rows, gmBB, gmGl))
+		fmt.Println(experiments.Figure8Chart(rows))
+	}
+	if *all || *t2 {
+		rows, geo, err := s.Table2()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("== Table 2: Performance improvements over global scheduling ==")
+		fmt.Println(experiments.FormatTable2(rows, geo))
+	}
+	if *all || *f9 {
+		rows, gmMB3, gmDyn, err := s.Figure9()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("== Figure 9: Performance comparison with a dynamic scheduler ==")
+		fmt.Println(experiments.FormatFigure9(rows, gmMB3, gmDyn))
+		fmt.Println(experiments.Figure9Chart(rows))
+	}
+	if *all || *costs {
+		ec, err := s.ExceptionCostsReport()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("== Boosted exception handling costs (paper §2.3) ==")
+		fmt.Printf("handler entry overhead: %d cycles\n", ec.HandlerOverhead)
+		fmt.Println("object growth under MinBoost3 (scheduled+recovery / original):")
+		for _, w := range s.Workloads {
+			fmt.Printf("  %-10s %.2fx\n", w.Name, ec.Growth[w.Name])
+		}
+		fmt.Println()
+	}
+	if *all || *hw {
+		fmt.Println("== Shadow register file hardware costs (paper §4.3.2) ==")
+		fmt.Print(hwcost.NewReport().String())
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := s.WriteCSV(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+}

@@ -1,0 +1,71 @@
+package boosting_test
+
+import (
+	"fmt"
+
+	"boosting"
+)
+
+// Compile one of the benchmark workloads for the paper's minimal boosting
+// machine and inspect the outcome. Every run is verified against a
+// reference interpreter before results are returned.
+func ExampleCompileAndRun() {
+	res, err := boosting.CompileAndRun(boosting.WorkloadGrep,
+		boosting.Models().MinBoost3, boosting.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("speedup over R2000 >= 1.2:", res.Speedup >= 1.2)
+	fmt.Println("boosted instructions executed:", res.BoostedExec > 0)
+	fmt.Println("object growth below the paper's 2x bound:", res.ObjectGrowth < 2)
+	// Output:
+	// speedup over R2000 >= 1.2: true
+	// boosted instructions executed: true
+	// object growth below the paper's 2x bound: true
+}
+
+// Compare a statically-scheduled boosting machine against the paper's
+// dynamically-scheduled machine on the same workload.
+func ExampleRunDynamic() {
+	static, err := boosting.CompileAndRun(boosting.WorkloadXLisp,
+		boosting.Models().MinBoost3, boosting.Options{})
+	if err != nil {
+		panic(err)
+	}
+	dynamic, err := boosting.RunDynamic(boosting.WorkloadXLisp, false)
+	if err != nil {
+		panic(err)
+	}
+	// The paper's headline: minimal boosting hardware keeps up with a far
+	// more complex out-of-order machine.
+	fmt.Println("both beat the scalar machine:",
+		static.Speedup > 1 && dynamic.Speedup > 1)
+	// Output:
+	// both beat the scalar machine: true
+}
+
+// Resolve machine models by name, as the CLI tools do.
+func ExampleModelByName() {
+	m, err := boosting.ModelByName("minboost3")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Name, "issue width:", m.IssueWidth, "max boost level:", m.Boost.MaxLevel)
+	// Output:
+	// MinBoost3 issue width: 2 max boost level: 3
+}
+
+// The benchmark set follows the paper's Table 1 order.
+func ExampleWorkloads() {
+	for _, w := range boosting.Workloads() {
+		fmt.Println(w)
+	}
+	// Output:
+	// awk
+	// compress
+	// eqntott
+	// espresso
+	// grep
+	// nroff
+	// xlisp
+}

@@ -1,0 +1,51 @@
+// Dynvstatic reproduces the paper's headline comparison (Figure 9): the
+// minimal statically-scheduled boosting machine (MinBoost3) against a
+// much more complex dynamically-scheduled superscalar with reservation
+// stations, a reorder buffer and a branch target buffer — across the full
+// benchmark set.
+//
+//	go run ./examples/dynvstatic
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"boosting"
+)
+
+func main() {
+	fmt.Println("Speedup over the scalar R2000 (higher is better):")
+	fmt.Printf("%-10s %12s %12s %14s\n", "workload", "MinBoost3", "dynamic", "dynamic+rename")
+
+	prodMB3, prodDyn := 1.0, 1.0
+	n := 0
+	for _, w := range boosting.Workloads() {
+		static, err := boosting.CompileAndRun(w, boosting.Models().MinBoost3, boosting.Options{})
+		die(err)
+		dyn, err := boosting.RunDynamic(w, false)
+		die(err)
+		ren, err := boosting.RunDynamic(w, true)
+		die(err)
+		fmt.Printf("%-10s %11.2fx %11.2fx %13.2fx\n", w, static.Speedup, dyn.Speedup, ren.Speedup)
+		prodMB3 *= static.Speedup
+		prodDyn *= dyn.Speedup
+		n++
+	}
+	gm := func(p float64) float64 { return math.Pow(p, 1.0/float64(n)) }
+	fmt.Printf("%-10s %11.2fx %11.2fx\n", "G.M.", gm(prodMB3), gm(prodDyn))
+	fmt.Println("\nThe paper's conclusion: \"a statically-scheduled superscalar processor")
+	fmt.Println("using a minimal implementation of boosting can easily reach the")
+	fmt.Println("performance of a much more complex dynamically-scheduled superscalar")
+	fmt.Println("processor\" — the hardware cost difference is a second register file")
+	fmt.Println("versus 30 reservation stations, a 16-entry reorder buffer and a")
+	fmt.Println("2048-entry BTB.")
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynvstatic:", err)
+		os.Exit(1)
+	}
+}

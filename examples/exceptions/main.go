@@ -1,0 +1,109 @@
+// Exceptions: demonstrates the paper's §2.3 boosted-exception machinery on
+// a custom program built with the library's IR builder.
+//
+// The program dereferences a pointer behind a null guard. The scheduler
+// boosts the (unsafe) load above the guard. The demo then runs three
+// scenarios:
+//
+//  1. healthy pointer — the boosted load commits normally;
+//
+//  2. null pointer — the guard mispredicts and the speculative fault is
+//     squashed with the shadow state (no exception is ever signalled);
+//
+//  3. wild pointer to an unmapped page — the prediction holds, the
+//     postponed fault surfaces at the commit, the compiler's recovery code
+//     re-executes the load sequentially, and the handler sees one precise
+//     fault, maps the page and resumes.
+//
+//     go run ./examples/exceptions
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"boosting/internal/core"
+	"boosting/internal/isa"
+	"boosting/internal/machine"
+	"boosting/internal/profile"
+	"boosting/internal/prog"
+	"boosting/internal/sim"
+)
+
+// build constructs: p = mem[slot]; if p == 0 goto skip; out *p; skip: out 7
+func build(ptr uint32) *prog.Program {
+	pr := prog.New()
+	pr.Word(1234) // the value cell at DataBase
+	pr.Word(int32(ptr))
+
+	f := prog.NewBuilder(pr, "main")
+	deref := f.Block("deref")
+	skip := f.Block("skip")
+	base, p, v, c := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	f.La(base, prog.DataBase+4)
+	f.Load(isa.LW, p, base, 0)
+	f.Branch(isa.BEQ, p, isa.R0, skip, deref)
+	f.Enter(deref)
+	f.Load(isa.LW, v, p, 0)
+	f.Out(v)
+	f.Goto(skip)
+	f.Enter(skip)
+	f.Li(c, 7)
+	f.Out(c)
+	f.Halt()
+	f.Finish()
+	return pr
+}
+
+func compile(ptr uint32) *machine.SchedProgram {
+	// Train on a healthy pointer so the guard predicts "non-null".
+	train := build(prog.DataBase)
+	must(profile.Annotate(train))
+	test := build(ptr)
+	must(profile.Transfer(train, test))
+	sp, err := core.Schedule(test, machine.MinBoost3(), core.Options{})
+	must(err)
+	return sp
+}
+
+func main() {
+	const wild = 0x0030_0000 // non-null but unmapped
+
+	fmt.Println("== compiled schedule (note the boosted load lw ... .B1) ==")
+	sp := compile(prog.DataBase)
+	fmt.Println(sp.Procs["main"].Format())
+
+	fmt.Println("== scenario 1: healthy pointer ==")
+	res, err := sim.Exec(sp, sim.ExecConfig{})
+	must(err)
+	fmt.Printf("out=%v  recoveries=%d  squashed=%d\n\n", res.Out, res.Recoveries, res.Squashed)
+
+	fmt.Println("== scenario 2: null pointer (mispredict squashes the speculative fault) ==")
+	res, err = sim.Exec(compile(0), sim.ExecConfig{})
+	must(err)
+	fmt.Printf("out=%v  recoveries=%d  squashed=%d  — no exception signalled\n\n",
+		res.Out, res.Recoveries, res.Squashed)
+
+	fmt.Println("== scenario 3: wild pointer (postponed fault, precise recovery) ==")
+	faults := 0
+	res, err = sim.Exec(compile(wild), sim.ExecConfig{
+		OnFault: func(m *sim.Memory, f *sim.Fault) bool {
+			faults++
+			fmt.Printf("precise fault: %s at %#x (boosted=%v) — mapping page and resuming\n",
+				f.Kind, f.Addr, f.Boosted)
+			m.Map(f.Addr, 4)
+			return true
+		},
+	})
+	must(err)
+	fmt.Printf("out=%v  recoveries=%d  handler invocations=%d\n", res.Out, res.Recoveries, faults)
+	fmt.Println("\nThe recovery path re-raised exactly one sequential (precise) fault,")
+	fmt.Println("charged the ~10-cycle boosted-exception-handler overhead, and resumed.")
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exceptions:", err)
+		os.Exit(1)
+	}
+}

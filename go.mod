@@ -1,0 +1,3 @@
+module boosting
+
+go 1.22

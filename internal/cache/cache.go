@@ -1,0 +1,99 @@
+// Package cache models instruction and data caches, an extension beyond
+// the paper's evaluation. The paper assumes a perfect memory system and
+// notes (§4.3): "The true speedup of our superscalar processor over a
+// scalar processor is dependent upon the effectiveness of the memory
+// system. The more effective the memory system, the closer these CPU
+// speedups represent the speedups of the entire system." This package
+// quantifies that caveat: plugging a finite data cache into the timing
+// models shows how much of the boosting gain survives realistic memory.
+//
+// The model is a set-associative, write-through/no-allocate... rather:
+// write-back is irrelevant for timing here — only hit/miss cycles matter,
+// so the model tracks tags with LRU replacement and charges a fixed miss
+// penalty per miss. Boosted (speculative) accesses touch the cache like
+// real accesses, as the paper's hardware would.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	// Sets and Ways give the organization; LineBytes the block size.
+	Sets, Ways, LineBytes int
+	// MissPenalty is the added cycles per miss.
+	MissPenalty int64
+}
+
+// DefaultData returns a cache typical of the paper's era (R2000-class
+// systems): 8 KiB direct-mapped with 16-byte lines and a ~12-cycle miss.
+func DefaultData() Config {
+	return Config{Sets: 512, Ways: 1, LineBytes: 16, MissPenalty: 12}
+}
+
+// Cache is a set-associative tag store with LRU replacement.
+type Cache struct {
+	cfg  Config
+	tags [][]uint32
+	lru  [][]int64
+	tick int64
+
+	hits, misses int64
+}
+
+// New builds a cache; it validates the configuration.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		return nil, fmt.Errorf("cache: bad config %+v", cfg)
+	}
+	if cfg.Sets&(cfg.Sets-1) != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: sets and line size must be powers of two")
+	}
+	c := &Cache{cfg: cfg}
+	c.tags = make([][]uint32, cfg.Sets)
+	c.lru = make([][]int64, cfg.Sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint32, cfg.Ways)
+		c.lru[i] = make([]int64, cfg.Ways)
+		for w := range c.tags[i] {
+			c.tags[i][w] = ^uint32(0) // invalid
+		}
+	}
+	return c, nil
+}
+
+// Access touches addr and returns the added penalty cycles (0 on hit).
+func (c *Cache) Access(addr uint32) int64 {
+	line := addr / uint32(c.cfg.LineBytes)
+	set := int(line) & (c.cfg.Sets - 1)
+	tag := line / uint32(c.cfg.Sets)
+	c.tick++
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[set][w] == tag {
+			c.lru[set][w] = c.tick
+			c.hits++
+			return 0
+		}
+	}
+	// Miss: fill the LRU way.
+	victim := 0
+	for w := 1; w < c.cfg.Ways; w++ {
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	c.tags[set][victim] = tag
+	c.lru[set][victim] = c.tick
+	c.misses++
+	return c.cfg.MissPenalty
+}
+
+// Stats returns hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// HitRate returns hits/(hits+misses), or 1 with no accesses.
+func (c *Cache) HitRate() float64 {
+	if c.hits+c.misses == 0 {
+		return 1
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}

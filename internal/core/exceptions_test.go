@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"boosting/internal/isa"
+	"boosting/internal/machine"
+	"boosting/internal/profile"
+	"boosting/internal/prog"
+	"boosting/internal/sim"
+)
+
+// buildGuardedDeref builds:
+//
+//	p = mem[slot]; if p == 0 goto skip; v = *p; out v; skip: out 42; halt
+//
+// with the pointer slot initialized to ptr. The training run (via
+// profile.Annotate) establishes the prediction; the test run may use a
+// different pointer value, exercising squash and recovery paths.
+func buildGuardedDeref(ptr uint32) *prog.Program {
+	pr := prog.New()
+	val := pr.Word(1234)
+	slot := pr.Word(int32(ptr))
+	_ = val
+
+	f := prog.NewBuilder(pr, "main")
+	deref := f.Block("deref")
+	skip := f.Block("skip")
+
+	base, p := f.Reg(), f.Reg()
+	f.La(base, slot)
+	f.Load(isa.LW, p, base, 0)
+	f.Branch(isa.BEQ, p, isa.R0, skip, deref)
+
+	f.Enter(deref)
+	v := f.Reg()
+	f.Load(isa.LW, v, p, 0)
+	f.Out(v)
+	f.Goto(skip)
+
+	f.Enter(skip)
+	c := f.Reg()
+	f.Li(c, 42)
+	f.Out(c)
+	f.Halt()
+	f.Finish()
+	return pr
+}
+
+// valAddr returns the address of the first data word (the value cell).
+const valAddr = prog.DataBase
+
+// compileGuarded trains on a healthy pointer, then retargets the test
+// program's pointer slot to testPtr before scheduling, so prediction says
+// "pointer non-null" while the dynamic data may disagree.
+func compileGuarded(t *testing.T, model *machine.Model, testPtr uint32) *machine.SchedProgram {
+	t.Helper()
+	train := buildGuardedDeref(valAddr)
+	if err := profile.Annotate(train); err != nil {
+		t.Fatal(err)
+	}
+	test := buildGuardedDeref(testPtr)
+	if err := profile.Transfer(train, test); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Schedule(test, model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestBoostedFaultSquashedOnMisprediction: a null pointer takes the branch
+// the other way; the boosted load's fault must vanish with the squash.
+func TestBoostedFaultSquashedOnMisprediction(t *testing.T) {
+	sp := compileGuarded(t, machine.MinBoost3(), 0)
+	if countBoosted(sp) == 0 {
+		t.Fatal("test premise: the guarded load must be boosted")
+	}
+	res, err := sim.Exec(sp, sim.ExecConfig{})
+	if err != nil {
+		t.Fatalf("squashed boosted fault leaked: %v", err)
+	}
+	if res.Recoveries != 0 {
+		t.Errorf("recoveries = %d, want 0 (fault was on the squashed path)", res.Recoveries)
+	}
+	if res.Squashed == 0 {
+		t.Error("expected speculative state to be squashed")
+	}
+	if len(res.Out) != 1 || res.Out[0] != 42 {
+		t.Errorf("out = %v, want [42]", res.Out)
+	}
+}
+
+// TestBoostedFaultRecoversPrecisely: a non-null pointer to an unmapped
+// page; prediction is correct, so the postponed exception surfaces at the
+// commit, recovery code re-executes the load sequentially and the fault is
+// delivered precisely to the handler, which maps the page and resumes.
+func TestBoostedFaultRecoversPrecisely(t *testing.T) {
+	const wild = 0x0030_0000 // unmapped but non-null
+	sp := compileGuarded(t, machine.MinBoost3(), wild)
+	if countBoosted(sp) == 0 {
+		t.Fatal("test premise: the guarded load must be boosted")
+	}
+
+	var faults []sim.Fault
+	res, err := sim.Exec(sp, sim.ExecConfig{
+		OnFault: func(m *sim.Memory, f *sim.Fault) bool {
+			faults = append(faults, *f)
+			m.Map(f.Addr, 4)
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	if res.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", res.Recoveries)
+	}
+	if len(faults) != 1 {
+		t.Fatalf("handler saw %d faults, want 1 precise fault", len(faults))
+	}
+	if faults[0].Kind != sim.FaultLoad || faults[0].Addr != wild {
+		t.Errorf("precise fault = %+v", faults[0])
+	}
+	if faults[0].Boosted {
+		t.Error("the re-raised fault must be sequential (precise), not boosted")
+	}
+	// After demand paging, the load returns 0 and execution continues.
+	if len(res.Out) != 2 || res.Out[0] != 0 || res.Out[1] != 42 {
+		t.Errorf("out = %v, want [0 42]", res.Out)
+	}
+}
+
+// TestRecoveryChargesHandlerOverhead: a recovery costs the documented
+// ~10-cycle handler entry on top of re-execution.
+func TestRecoveryChargesHandlerOverhead(t *testing.T) {
+	healthy := compileGuarded(t, machine.MinBoost3(), valAddr)
+	resH, err := sim.Exec(healthy, sim.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const wild = 0x0030_0000
+	faulty := compileGuarded(t, machine.MinBoost3(), wild)
+	resF, err := sim.Exec(faulty, sim.ExecConfig{
+		OnFault: func(m *sim.Memory, f *sim.Fault) bool { m.Map(f.Addr, 4); return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := resF.Cycles - resH.Cycles
+	if extra < int64(faulty.Model.ExceptionOverhead) {
+		t.Errorf("recovery added %d cycles, want at least the %d-cycle handler overhead",
+			extra, faulty.Model.ExceptionOverhead)
+	}
+}
+
+// TestUnhandledPreciseFaultTerminates: without a handler, the re-raised
+// sequential fault stops execution and is reported.
+func TestUnhandledPreciseFaultTerminates(t *testing.T) {
+	const wild = 0x0030_0000
+	sp := compileGuarded(t, machine.MinBoost3(), wild)
+	res, err := sim.Exec(sp, sim.ExecConfig{})
+	if err == nil {
+		t.Fatal("expected a fault error")
+	}
+	f, ok := err.(*sim.Fault)
+	if !ok || f.Kind != sim.FaultLoad {
+		t.Fatalf("err = %v, want load fault", err)
+	}
+	if res.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", res.Recoveries)
+	}
+}
+
+// TestObjectGrowthUnderTwo: recovery code and compensation must keep the
+// scheduled object below the paper's two-times growth bound on the
+// canonical boostable program.
+func TestObjectGrowthUnderTwo(t *testing.T) {
+	for _, m := range allModels() {
+		sp := compile(t, buildBoostable, m, Options{})
+		if g := sp.ObjectGrowth(); g >= 2.0 {
+			t.Errorf("%s: object growth %.2f, want < 2.0", m, g)
+		}
+	}
+}

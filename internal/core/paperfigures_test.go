@@ -1,0 +1,267 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"boosting/internal/isa"
+	"boosting/internal/machine"
+	"boosting/internal/profile"
+	"boosting/internal/prog"
+	"boosting/internal/sim"
+)
+
+// This file reproduces the paper's worked examples as executable tests.
+
+// TestPaperFigure2 reconstructs the shape of Figure 2: a load whose
+// address is computed by another boosted instruction gets hoisted above
+// *two* conditional branches (the paper's "i2 is boosted two levels",
+// r4.BRR = load 4(r1.BR)), with the producer boosted above one.
+func TestPaperFigure2(t *testing.T) {
+	build := func() *prog.Program {
+		pr := prog.New()
+		pr.Word(77) // the loaded cell
+		f := prog.NewBuilder(pr, "main")
+		b1 := f.Block("b1")
+		b2 := f.Block("b2")
+		off1 := f.Block("off1")
+		off2 := f.Block("off2")
+		tail := f.Block("tail")
+
+		// Entry computes the guards early so the branches are ready and
+		// the blocks have empty slots for boosted work.
+		g1, g2, r2, r3 := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+		f.Li(g1, 1)
+		f.Li(g2, 1)
+		f.Li(r2, int32(prog.DataBase)-4) // r2 & r3 = address - 4
+		f.Li(r3, -1)                     // AND identity mask
+		// A multiply chain keeps the entry block open for many cycles, so
+		// the scheduler has room to hoist i1 and then the dependent load
+		// two levels up — the Figure 2 shape.
+		m, m2 := f.Reg(), f.Reg()
+		f.ALU(isa.MUL, m, r2, r2)
+		f.ALU(isa.ADD, m2, m, m)
+		f.Out(m2)
+		f.Branch(isa.BGTZ, g1, isa.R0, b1, off1)
+
+		f.Enter(off1)
+		f.Out(g1)
+		f.Halt()
+
+		f.Enter(b1) // CAT: the first predicted branch
+		f.Branch(isa.BGTZ, g2, isa.R0, b2, off2)
+
+		f.Enter(off2)
+		f.Out(g2)
+		f.Halt()
+
+		f.Enter(b2) // DOG/BIRD region: i1 and i2 live here originally
+		r1, r4 := f.Reg(), f.Reg()
+		f.ALU(isa.AND, r1, r2, r3) // i1: r1 = r2 & r3
+		f.Load(isa.LW, r4, r1, 4)  // i2: r4 = load 4(r1)
+		f.Out(r4)
+		f.Goto(tail)
+
+		f.Enter(tail)
+		f.Halt()
+		f.Finish()
+		return pr
+	}
+	sp := compile(t, build, machine.MinBoost3(), Options{})
+	checkEquivalent(t, build, sp)
+
+	// The load must appear boosted at level 2 somewhere above its origin,
+	// fed by a level-≥1 producer — the Figure 2 pattern.
+	listing := sp.Procs["main"].Format()
+	if !strings.Contains(listing, "lw") || !strings.Contains(listing, ".B2") {
+		t.Errorf("expected a two-level boosted load in the schedule:\n%s", listing)
+	}
+}
+
+// TestPaperFigure3 reconstructs Figure 3's availability example: blocks A
+// and D are control equivalent (diamond A→{B,C}→D). An instruction in D
+// that conflicts with B's code needs compensation to move; one that is
+// data equivalent moves with no compensation at all.
+func TestPaperFigure3(t *testing.T) {
+	build := func() *prog.Program {
+		pr := prog.New()
+		f := prog.NewBuilder(pr, "main")
+		bB := f.Block("B")
+		bC := f.Block("C")
+		bD := f.Block("D")
+
+		// A: guard mostly takes the C path (the paper's "path ACD is
+		// executed more frequently").
+		g, x, y, z := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+		f.Li(g, 1)
+		f.Li(x, 10)
+		f.Li(y, 20)
+		f.Branch(isa.BGTZ, g, isa.R0, bC, bB)
+
+		f.Enter(bB) // i3: x = 3 — conflicts with i4 below
+		f.Li(x, 3)
+		f.Goto(bD)
+
+		f.Enter(bC)
+		f.Jump(bD)
+
+		f.Enter(bD)
+		i4 := f.Reg()
+		f.ALU(isa.ADD, i4, x, x) // i4: reads x (B redefines x → not data equivalent)
+		f.ALU(isa.ADD, z, y, y)  // i5: reads y only (data equivalent pair A–D)
+		f.Out(i4)
+		f.Out(z)
+		f.Halt()
+		f.Finish()
+		return pr
+	}
+	sp := compile(t, build, machine.MinBoost3(), Options{})
+	checkEquivalent(t, build, sp)
+
+	// i5 (add z, y, y) moved to A without any compensation: the B block's
+	// schedule must not contain a copy of it.
+	p := sp.Procs["main"]
+	var bSched, aSched string
+	for id, sb := range p.Blocks {
+		txt := ""
+		for ci := range sb.Cycles {
+			for _, in := range sb.Cycles[ci].Slots {
+				if in != nil {
+					txt += in.String() + "\n"
+				}
+			}
+		}
+		switch sb.Block.Label {
+		case "B":
+			bSched = txt
+		case "entry":
+			aSched = txt
+		}
+		_ = id
+	}
+	if !strings.Contains(aSched, "add") {
+		t.Errorf("the data-equivalent add should move up to A:\n%s", aSched)
+	}
+	if strings.Count(bSched, "add") > 0 && strings.Contains(bSched, ", r") {
+		// i5 must not be duplicated into B. (i4-related compensation is
+		// allowed; it reads x which B redefines, so if it moved at all it
+		// needed copies.)
+		for _, line := range strings.Split(bSched, "\n") {
+			if strings.Contains(line, "add") && strings.Contains(line, "y") {
+				t.Errorf("data-equivalent move must not leave a copy in B:\n%s", bSched)
+			}
+		}
+	}
+}
+
+// TestPaperFigure6c verifies the Option-2 constraint the paper draws in
+// Figure 6: with a single shadow register file, overlapping boosted
+// definitions of the same register must be serialized by the scheduler —
+// and the executed program still matches the reference semantics.
+func TestPaperFigure6c(t *testing.T) {
+	build := func() *prog.Program {
+		pr := prog.New()
+		f := prog.NewBuilder(pr, "main")
+		b1 := f.Block("b1")
+		b2 := f.Block("b2")
+		offA := f.Block("offA")
+		offB := f.Block("offB")
+
+		g1, g2, r3, r4 := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+		f.Li(g1, 1)
+		f.Li(g2, 1)
+		f.Li(r3, 1) // r3 = 1
+		f.Branch(isa.BGTZ, g1, isa.R0, b1, offA)
+
+		f.Enter(offA)
+		f.Out(r3)
+		f.Halt()
+
+		f.Enter(b1)
+		f.Li(r3, 2) // r3 = 2
+		f.Branch(isa.BGTZ, g2, isa.R0, b2, offB)
+
+		f.Enter(offB)
+		f.Out(r3)
+		f.Halt()
+
+		f.Enter(b2)
+		f.Li(r3, 3) // r3 = 3
+		f.Move(r4, r3)
+		f.Out(r4)
+		f.Halt()
+		f.Finish()
+		return pr
+	}
+	// Both the single-shadow and multi-shadow machines must execute this
+	// correctly; the property of interest (no overlapping same-register
+	// levels on MinBoost3) is enforced by the simulator's hardware check,
+	// so plain successful execution is the assertion.
+	for _, m := range []*machine.Model{machine.MinBoost3(), machine.Boost7()} {
+		sp := compile(t, build, m, Options{})
+		checkEquivalent(t, build, sp)
+	}
+}
+
+// TestPredictedDirectionCommit pins the commit semantics the paper defines
+// in §2.3: a boosted instruction's effects reach the sequential state iff
+// the *predicted* direction is taken — tested both ways with a hand-set
+// prediction bit.
+func TestPredictedDirectionCommit(t *testing.T) {
+	build := func(bias int32) func() *prog.Program {
+		return func() *prog.Program {
+			pr := prog.New()
+			pr.Word(55)
+			f := prog.NewBuilder(pr, "main")
+			hot := f.Block("hot")
+			cold := f.Block("cold")
+			g, v, base := f.Reg(), f.Reg(), f.Reg()
+			f.La(base, prog.DataBase)
+			f.Li(g, bias)
+			f.Branch(isa.BGTZ, g, isa.R0, hot, cold)
+			f.Enter(cold)
+			f.Out(g)
+			f.Halt()
+			f.Enter(hot)
+			f.Load(isa.LW, v, base, 0)
+			f.Out(v)
+			f.Halt()
+			f.Finish()
+			return pr
+		}
+	}
+	// Trained with the branch taken: the load is boosted above it.
+	sp := compile(t, build(1), machine.Boost1(), Options{})
+	if countBoosted(sp) == 0 {
+		t.Fatal("premise: the guarded load should be boosted")
+	}
+	res := checkEquivalent(t, build(1), sp)
+	if res.Squashed != 0 {
+		t.Errorf("correct prediction must commit, not squash (%d)", res.Squashed)
+	}
+
+	// Same schedule shape, but the test input goes the other way: the
+	// speculative load must be squashed and never observed.
+	train := build(1)()
+	if err := profile.Annotate(train); err != nil {
+		t.Fatal(err)
+	}
+	test := build(-1)()
+	if err := profile.Transfer(train, test); err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := Schedule(test, machine.Boost1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sim.Exec(sp2, sim.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Squashed == 0 {
+		t.Error("mispredicted path must squash the boosted load")
+	}
+	if len(res2.Out) != 1 || int32(res2.Out[0]) != -1 {
+		t.Errorf("out = %v, want the cold path's value", res2.Out)
+	}
+}

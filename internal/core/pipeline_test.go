@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"boosting/internal/machine"
+	"boosting/internal/profile"
+	"boosting/internal/prog"
+	"boosting/internal/regalloc"
+	"boosting/internal/testgen"
+)
+
+// TestFullPipelineWithRegalloc runs the paper's actual compilation order —
+// register allocation before instruction scheduling — and checks semantic
+// equivalence for every model on random programs.
+func TestFullPipelineWithRegalloc(t *testing.T) {
+	models := allModels()
+	for seed := int64(500); seed <= 540; seed++ {
+		cfg := testgen.Config{WithCalls: seed%4 == 0}
+		build := func() *prog.Program {
+			pr := testgen.Random(seed, cfg)
+			if _, err := regalloc.Allocate(pr); err != nil {
+				t.Fatalf("seed %d: regalloc: %v", seed, err)
+			}
+			return pr
+		}
+		for _, m := range models {
+			sp := compile(t, build, m, Options{})
+			checkEquivalent(t, build, sp)
+		}
+	}
+}
+
+// TestInfiniteVsAllocatedCycles documents the paper's stacked bars: the
+// infinite-register schedule is never slower than the allocated one
+// (allocation only adds anti/output dependences and spill code).
+func TestInfiniteVsAllocatedCycles(t *testing.T) {
+	seed := int64(4242)
+	buildInf := func() *prog.Program { return testgen.Random(seed, testgen.Config{Segments: 10}) }
+	buildAlloc := func() *prog.Program {
+		pr := testgen.Random(seed, testgen.Config{Segments: 10})
+		if _, err := regalloc.Allocate(pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+	m := machine.MinBoost3()
+	spInf := compile(t, buildInf, m, Options{})
+	spAlloc := compile(t, buildAlloc, m, Options{})
+	resInf := checkEquivalent(t, buildInf, spInf)
+	resAlloc := checkEquivalent(t, buildAlloc, spAlloc)
+	if resInf.Cycles > resAlloc.Cycles {
+		t.Errorf("infinite-register cycles %d exceed allocated cycles %d",
+			resInf.Cycles, resAlloc.Cycles)
+	}
+}
+
+// TestProfileTransferPipeline mirrors the paper's train-vs-test input
+// methodology end to end.
+func TestProfileTransferPipeline(t *testing.T) {
+	train := testgen.Random(777, testgen.Config{})
+	test := testgen.Random(777, testgen.Config{})
+	if err := profile.Annotate(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := profile.Transfer(train, test); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := profile.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy out of range: %f", acc)
+	}
+	sp, err := Schedule(test, machine.Boost7(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *prog.Program { return testgen.Random(777, testgen.Config{}) }
+	checkEquivalent(t, build, sp)
+}

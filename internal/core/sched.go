@@ -1,0 +1,207 @@
+// Package core implements the paper's primary contribution: a trace-based
+// global instruction scheduler with boosting (Smith, Horowitz, Lam,
+// "Efficient Superscalar Performance Through Boosting", ASPLOS 1992, §3).
+//
+// The top-level structure follows the paper's Figure 4:
+//
+//	foreach PROCEDURE {
+//	    generate CFG and compute global data-flow info;
+//	    foreach REGION (innermost loop out to procedure level) {
+//	        while (exists unscheduled TRACE) {
+//	            select next best TRACE;
+//	            foreach BB in TRACE {
+//	                list schedule BB;
+//	                fill in the holes through upward code motion;
+//	            }
+//	        }
+//	        collapse REGION;
+//	    }
+//	}
+//
+// Boosting augments upward code motion: a speculative motion that is
+// unsafe (the instruction can raise an exception) or illegal (its
+// destination is live into a non-predicted successor of a crossed branch)
+// is performed anyway by labelling the instruction with a boosting level
+// equal to the number of conditional branches it crossed. Compensation
+// for crossed join blocks is inserted by splitting the off-trace edges
+// ("on-demand creation of basic blocks to hold duplicated instructions",
+// §3.2.2), and control/data-equivalent block pairs move instructions
+// without any compensation at all.
+//
+// All data-dependence edges (including anti and output) are honored in
+// absolute schedule order; boosting removes only control-dependence
+// constraints. This matches the paper's dependence-graph construction and
+// also guarantees that sequential compensation copies on off-trace edges
+// can never be observed out of order.
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"boosting/internal/dataflow"
+	"boosting/internal/isa"
+	"boosting/internal/machine"
+	"boosting/internal/prog"
+)
+
+// debugLog enables scheduler tracing via BOOSTDEBUG=1 (development aid).
+var debugLog = os.Getenv("BOOSTDEBUG") != ""
+
+// Options tunes the scheduler; the zero value is the paper's full
+// configuration for whatever model is passed.
+type Options struct {
+	// LocalOnly restricts scheduling to single basic blocks (no global
+	// code motion); used for the paper's "basic block scheduling" bars
+	// and for the scalar baseline.
+	LocalOnly bool
+	// DisableEquivalence turns off the control/data-equivalence shortcut,
+	// forcing duplication-based bookkeeping everywhere (ablation).
+	DisableEquivalence bool
+	// NoDisambiguation builds maximally conservative memory dependences
+	// (ablation).
+	NoDisambiguation bool
+	// MaxTraceBlocks bounds trace length (0 = default 32).
+	MaxTraceBlocks int
+}
+
+// Schedule compiles a program for the given machine model. The program is
+// modified in place (compensation blocks are added to its CFG); callers
+// who need the original should prog.Clone first. Branch prediction bits
+// must already be set (package profile).
+func Schedule(pr *prog.Program, model *machine.Model, opts Options) (*machine.SchedProgram, error) {
+	if opts.MaxTraceBlocks == 0 {
+		opts.MaxTraceBlocks = 32
+	}
+	sprog := &machine.SchedProgram{
+		Prog:  pr,
+		Model: model,
+		Procs: map[string]*machine.SchedProc{},
+	}
+	for _, p := range pr.ProcList() {
+		sp, err := scheduleProc(pr, p, model, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: scheduling %s: %w", p.Name, err)
+		}
+		sprog.Procs[p.Name] = sp
+	}
+	if err := sprog.Verify(); err != nil {
+		return nil, fmt.Errorf("core: schedule verification: %w", err)
+	}
+	return sprog, nil
+}
+
+// scheduleProc runs region-by-region trace scheduling over one procedure.
+func scheduleProc(pr *prog.Program, p *prog.Proc, model *machine.Model, opts Options) (*machine.SchedProc, error) {
+	sp := &machine.SchedProc{
+		Proc:     p,
+		Blocks:   map[int]*machine.SchedBlock{},
+		Recovery: map[int][]isa.Inst{},
+	}
+	s := &scheduler{
+		pr:        pr,
+		p:         p,
+		model:     model,
+		opts:      opts,
+		sp:        sp,
+		scheduled: map[int]bool{},
+		splits:    map[splitKey]*prog.Block{},
+	}
+
+	s.refresh()
+	regions := dataflow.Regions(s.info)
+	for _, reg := range regions {
+		if err := s.scheduleRegion(reg); err != nil {
+			return nil, err
+		}
+	}
+	// Any block not covered (unreachable code) gets a local schedule so
+	// the SchedProgram is total.
+	for _, b := range p.Blocks {
+		if b.Recovery || s.scheduled[b.ID] {
+			continue
+		}
+		if err := s.scheduleTrace([]*prog.Block{b}); err != nil {
+			return nil, err
+		}
+	}
+	return sp, nil
+}
+
+// scheduleRegion selects and schedules traces until every block of the
+// region is scheduled (paper: "while (exists unscheduled TRACE)").
+// Compensation blocks created inside the region join it and are scheduled
+// too.
+func (s *scheduler) scheduleRegion(reg *dataflow.Region) error {
+	s.region = reg
+	for {
+		s.refresh()
+		trace := s.selectTrace(reg)
+		if trace == nil {
+			return nil
+		}
+		if err := s.scheduleTrace(trace); err != nil {
+			return err
+		}
+	}
+}
+
+// refresh recomputes CFG orderings and liveness after structural edits.
+func (s *scheduler) refresh() {
+	s.p.RecomputePreds()
+	s.info = dataflow.Analyze(s.p)
+	s.lv = dataflow.ComputeLiveness(s.p)
+}
+
+// selectTrace picks the next unscheduled block in reverse postorder as the
+// seed and grows the trace along predicted successors (paper §3.2.1),
+// stopping at: a block outside the region or ending in a call/return/halt,
+// a block already in the trace (loop edge), or an already-scheduled block.
+func (s *scheduler) selectTrace(reg *dataflow.Region) []*prog.Block {
+	var seed *prog.Block
+	for _, b := range s.info.RPO {
+		if !b.Recovery && !s.scheduled[b.ID] && s.inRegion(reg, b) {
+			seed = b
+			break
+		}
+	}
+	if seed == nil {
+		return nil
+	}
+	trace := []*prog.Block{seed}
+	if s.opts.LocalOnly {
+		return trace
+	}
+	inTrace := map[int]bool{seed.ID: true}
+	for len(trace) < s.opts.MaxTraceBlocks {
+		cur := trace[len(trace)-1]
+		t := cur.Terminator()
+		if t != nil && (t.Op == isa.JAL || t.Op == isa.JR || t.Op == isa.HALT) {
+			break // calls, returns and halts end traces
+		}
+		next := cur.PredictedSucc()
+		if next == nil || next.Recovery {
+			break
+		}
+		if inTrace[next.ID] || s.scheduled[next.ID] || !s.inRegion(reg, next) {
+			break
+		}
+		trace = append(trace, next)
+		inTrace[next.ID] = true
+	}
+	return trace
+}
+
+// inRegion reports whether b belongs to the region. Blocks created after
+// region formation (compensation blocks) belong to the innermost region
+// still being scheduled, which is exactly the region whose edges spawned
+// them; we approximate by set membership plus "new block" detection.
+func (s *scheduler) inRegion(reg *dataflow.Region, b *prog.Block) bool {
+	if reg.Blocks[b] {
+		return true
+	}
+	// Compensation blocks are added to the region set on creation, so a
+	// miss here is authoritative except for the procedure-body region,
+	// which owns everything.
+	return reg.Loop == nil
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"testing"
+
+	"boosting/internal/isa"
+	"boosting/internal/machine"
+	"boosting/internal/profile"
+	"boosting/internal/prog"
+	"boosting/internal/sim"
+	"boosting/internal/testgen"
+)
+
+// allModels are the processor configurations under test.
+func allModels() []*machine.Model {
+	return []*machine.Model{
+		machine.Scalar(), machine.NoBoost(), machine.Squashing(),
+		machine.Boost1(), machine.MinBoost3(), machine.Boost7(),
+	}
+}
+
+// compile profiles, optionally register-allocates, and schedules a copy of
+// the program for the model.
+func compile(t *testing.T, build func() *prog.Program, model *machine.Model, opts Options) *machine.SchedProgram {
+	t.Helper()
+	pr := build()
+	if err := profile.Annotate(pr); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	sp, err := Schedule(pr, model, opts)
+	if err != nil {
+		t.Fatalf("schedule for %s: %v", model, err)
+	}
+	return sp
+}
+
+// checkEquivalent runs the scheduled program and compares observables with
+// the reference execution of a fresh original.
+func checkEquivalent(t *testing.T, build func() *prog.Program, sp *machine.SchedProgram) *sim.ExecResult {
+	t.Helper()
+	ref, err := sim.Run(build(), sim.RefConfig{})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	got, err := sim.Exec(sp, sim.ExecConfig{})
+	if err != nil {
+		t.Fatalf("scheduled run on %s: %v", sp.Model, err)
+	}
+	if len(got.Out) != len(ref.Out) {
+		t.Fatalf("%s: output length %d, want %d", sp.Model, len(got.Out), len(ref.Out))
+	}
+	for i := range ref.Out {
+		if got.Out[i] != ref.Out[i] {
+			t.Fatalf("%s: out[%d] = %d, want %d", sp.Model, i, int32(got.Out[i]), int32(ref.Out[i]))
+		}
+	}
+	if got.MemHash != ref.MemHash {
+		t.Fatalf("%s: final memory differs from reference", sp.Model)
+	}
+	return got
+}
+
+// buildBoostable builds the canonical boosting opportunity: a loop that
+// dereferences mostly-non-null pointers behind a null guard. The guarded
+// load is *unsafe* to speculate (it can fault) and its operand is ready
+// before the guard, so only boosting models can hoist it above the branch.
+func buildBoostable() *prog.Program {
+	pr := prog.New()
+	const n = 64
+	// values[i] at vals; pointer table at ptrs, every 8th entry null.
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = pr.Word(int32(i*7 - 20))
+	}
+	var ptrs uint32
+	for i := 0; i < n; i++ {
+		p := int32(vals[i])
+		if i%8 == 3 {
+			p = 0
+		}
+		a := pr.Word(p)
+		if i == 0 {
+			ptrs = a
+		}
+	}
+
+	f := prog.NewBuilder(pr, "main")
+	loop := f.Block("loop")
+	deref := f.Block("deref")
+	next := f.Block("next")
+	done := f.Block("done")
+
+	i, sum, base, limit := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	f.Li(i, 0)
+	f.Li(sum, 0)
+	f.La(base, ptrs)
+	f.Li(limit, n)
+	f.Goto(loop)
+
+	f.Enter(loop) // p = ptrs[i]; if p == 0 goto next
+	off, p := f.Reg(), f.Reg()
+	f.Imm(isa.SLL, off, i, 2)
+	f.ALU(isa.ADD, off, base, off)
+	f.Load(isa.LW, p, off, 0)
+	f.Branch(isa.BEQ, p, isa.R0, next, deref)
+
+	f.Enter(deref) // sum += *p
+	v := f.Reg()
+	f.Load(isa.LW, v, p, 0)
+	f.ALU(isa.ADD, sum, sum, v)
+	f.Goto(next)
+
+	f.Enter(next) // if ++i < limit goto loop
+	cmp := f.Reg()
+	f.Imm(isa.ADDI, i, i, 1)
+	f.ALU(isa.SLT, cmp, i, limit)
+	f.Branch(isa.BNE, cmp, isa.R0, loop, done)
+
+	f.Enter(done)
+	f.Out(sum)
+	f.Halt()
+	f.Finish()
+	return pr
+}
+
+func TestScheduleCorrectAllModels(t *testing.T) {
+	for _, m := range allModels() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			sp := compile(t, buildBoostable, m, Options{})
+			checkEquivalent(t, buildBoostable, sp)
+		})
+	}
+}
+
+func TestScheduleLocalOnlyCorrect(t *testing.T) {
+	for _, m := range []*machine.Model{machine.Scalar(), machine.NoBoost()} {
+		sp := compile(t, buildBoostable, m, Options{LocalOnly: true})
+		checkEquivalent(t, buildBoostable, sp)
+	}
+}
+
+// TestBoostingHappens verifies that boosting models actually emit boosted
+// instructions on the canonical pattern and that the non-boosting model
+// does not.
+func TestBoostingHappens(t *testing.T) {
+	spNo := compile(t, buildBoostable, machine.NoBoost(), Options{})
+	spB1 := compile(t, buildBoostable, machine.Boost1(), Options{})
+	if countBoosted(spNo) != 0 {
+		t.Error("NoBoost schedule contains boosted instructions")
+	}
+	if countBoosted(spB1) == 0 {
+		t.Error("Boost1 schedule contains no boosted instructions; the guarded load should be hoisted")
+	}
+}
+
+func countBoosted(sp *machine.SchedProgram) int {
+	n := 0
+	for _, p := range sp.Procs {
+		for _, sb := range p.Blocks {
+			for ci := range sb.Cycles {
+				for _, in := range sb.Cycles[ci].Slots {
+					if in != nil && in.IsBoosted() {
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TestBoostingHelpsCycles: boosted machines must not be slower than the
+// base global-scheduling machine, and the scalar must be slowest.
+func TestBoostingHelpsCycles(t *testing.T) {
+	cycles := map[string]int64{}
+	for _, m := range allModels() {
+		sp := compile(t, buildBoostable, m, Options{})
+		res := checkEquivalent(t, buildBoostable, sp)
+		cycles[m.Name] = res.Cycles
+	}
+	if cycles["NoBoost"] >= cycles["R2000"] {
+		t.Errorf("2-issue NoBoost (%d) not faster than scalar (%d)", cycles["NoBoost"], cycles["R2000"])
+	}
+	if cycles["Boost1"] > cycles["NoBoost"] {
+		t.Errorf("Boost1 (%d) slower than NoBoost (%d)", cycles["Boost1"], cycles["NoBoost"])
+	}
+	if cycles["Boost7"] > cycles["Squashing"] {
+		t.Errorf("Boost7 (%d) slower than Squashing (%d)", cycles["Boost7"], cycles["Squashing"])
+	}
+}
+
+// TestRecoveryGenerated: boosted schedules must carry recovery code for
+// branches that commit unsafe speculative instructions.
+func TestRecoveryGenerated(t *testing.T) {
+	sp := compile(t, buildBoostable, machine.MinBoost3(), Options{})
+	total := 0
+	for _, p := range sp.Procs {
+		total += len(p.Recovery)
+	}
+	if total == 0 {
+		t.Error("no recovery code generated for a schedule with boosted loads")
+	}
+}
+
+// TestSchedulePropertyRandom is the main semantic property test: random
+// programs behave identically under every machine model.
+func TestSchedulePropertyRandom(t *testing.T) {
+	models := allModels()
+	for seed := int64(1); seed <= 60; seed++ {
+		cfg := testgen.Config{WithCalls: seed%3 == 0}
+		build := func() *prog.Program { return testgen.Random(seed, cfg) }
+		for _, m := range models {
+			sp := compile(t, build, m, Options{})
+			checkEquivalent(t, build, sp)
+		}
+	}
+}
+
+// TestSchedulePropertyRandomAblation exercises the ablation knobs.
+func TestSchedulePropertyRandomAblation(t *testing.T) {
+	for seed := int64(100); seed <= 120; seed++ {
+		build := func() *prog.Program { return testgen.Random(seed, testgen.Config{}) }
+		for _, opts := range []Options{
+			{DisableEquivalence: true},
+			{NoDisambiguation: true},
+			{MaxTraceBlocks: 2},
+		} {
+			sp := compile(t, build, machine.Boost7(), opts)
+			checkEquivalent(t, build, sp)
+		}
+	}
+}
+
+// TestScheduleVerifies: the emitted schedule passes structural checks for
+// every model (Verify is also called inside Schedule; this documents it).
+func TestScheduleVerifies(t *testing.T) {
+	sp := compile(t, buildBoostable, machine.Squashing(), Options{})
+	if err := sp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulePropertyRandomLong is the deep semantic sweep (run in full
+// mode only): hundreds of random programs across every machine model and
+// both register regimes.
+func TestSchedulePropertyRandomLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property sweep skipped in -short mode")
+	}
+	models := allModels()
+	for seed := int64(1000); seed <= 1250; seed++ {
+		cfg := testgen.Config{
+			WithCalls: seed%3 == 0,
+			Segments:  4 + int(seed%8),
+			MaxDepth:  2 + int(seed%2),
+		}
+		build := func() *prog.Program { return testgen.Random(seed, cfg) }
+		for _, m := range models {
+			sp := compile(t, build, m, Options{})
+			checkEquivalent(t, build, sp)
+		}
+	}
+}
+
+// TestScheduleDeterministic: scheduling the same program twice yields
+// byte-identical schedules (required for reproducibility and for the
+// train/test profile-transfer methodology).
+func TestScheduleDeterministic(t *testing.T) {
+	for _, m := range []*machine.Model{machine.NoBoost(), machine.MinBoost3()} {
+		render := func() string {
+			pr := testgen.Random(31415, testgen.Config{WithCalls: true})
+			if err := profile.Annotate(pr); err != nil {
+				t.Fatal(err)
+			}
+			sp, err := Schedule(pr, m, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := ""
+			for _, name := range pr.Order {
+				out += sp.Procs[name].Format()
+			}
+			return out
+		}
+		if render() != render() {
+			t.Errorf("%s: nondeterministic schedule", m)
+		}
+	}
+}

@@ -1,0 +1,484 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"boosting/internal/dataflow"
+	"boosting/internal/ddg"
+	"boosting/internal/isa"
+	"boosting/internal/machine"
+	"boosting/internal/prog"
+)
+
+// splitKey identifies a CFG edge by source block, successor slot and
+// destination; compensation blocks are shared across motions on the same
+// edge.
+type splitKey struct {
+	fromID, slot, toID int
+}
+
+// scheduler carries per-procedure scheduling state.
+type scheduler struct {
+	pr    *prog.Program
+	p     *prog.Proc
+	model *machine.Model
+	opts  Options
+	sp    *machine.SchedProc
+
+	info *dataflow.CFGInfo
+	lv   *dataflow.Liveness
+
+	scheduled map[int]bool
+	splits    map[splitKey]*prog.Block
+	region    *dataflow.Region
+	curTrace  map[int]bool
+}
+
+// placement records where a DDG node landed.
+type placement struct {
+	blockIdx int // trace block index
+	cycle    int // cycle within the block schedule
+	abs      int // absolute cycle along the trace
+	level    int // boosting level (0 = sequential)
+}
+
+// boostRec tracks an in-flight boosted value for single-shadow conflict
+// checking and recovery-code generation.
+type boostRec struct {
+	node     *ddg.Node
+	dest     isa.Reg
+	startIdx int // trace block index where placed
+	level    int
+	endIdx   int // trace block index of the committing branch
+}
+
+// traceState is the working state for one trace.
+type traceState struct {
+	trace   []*prog.Block
+	g       *ddg.Graph
+	height  map[*ddg.Node]int
+	placed  map[*ddg.Node]*placement
+	sblocks []*machine.SchedBlock
+	nextAbs int
+	boosted []boostRec
+	// instSeq maps each emitted instruction to its original trace
+	// sequence number, for the sequential linearization of
+	// rewriteTraceInsts.
+	instSeq map[*isa.Inst]int
+}
+
+// scheduleTrace list-schedules every block of the trace top-down, filling
+// holes through upward code motion, then emits recovery code and rewrites
+// the trace blocks' instruction lists to match the executed code.
+func (s *scheduler) scheduleTrace(trace []*prog.Block) error {
+	if debugLog {
+		ids := make([]int, len(trace))
+		for i, b := range trace {
+			ids[i] = b.ID
+		}
+		fmt.Printf("TRACE %v\n", ids)
+	}
+	s.curTrace = map[int]bool{}
+	for _, b := range trace {
+		s.curTrace[b.ID] = true
+	}
+	g := ddg.Build(trace, ddg.Options{NoDisambiguation: s.opts.NoDisambiguation})
+	st := &traceState{
+		trace:   trace,
+		g:       g,
+		height:  computeHeights(g),
+		placed:  map[*ddg.Node]*placement{},
+		instSeq: map[*isa.Inst]int{},
+	}
+	for bi := range trace {
+		if err := s.scheduleBlock(st, bi); err != nil {
+			return err
+		}
+	}
+	s.emitRecovery(st)
+	for bi, b := range trace {
+		s.sp.Blocks[b.ID] = st.sblocks[bi]
+		s.scheduled[b.ID] = true
+	}
+	rewriteTraceInsts(st)
+	return nil
+}
+
+// computeHeights returns each node's critical-path height (latency-weighted
+// longest path to a DDG leaf), the primary list-scheduling priority.
+func computeHeights(g *ddg.Graph) map[*ddg.Node]int {
+	h := make(map[*ddg.Node]int, len(g.Nodes))
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		n := g.Nodes[i]
+		best := 0
+		for _, e := range n.Succs {
+			if v := e.Latency + h[e.To]; v > best {
+				best = v
+			}
+		}
+		h[n] = best
+	}
+	return h
+}
+
+// ready reports whether node n may issue at absolute cycle abs: every
+// dependence predecessor is placed and its latency satisfied.
+func (st *traceState) ready(n *ddg.Node, abs int) bool {
+	for _, e := range n.Preds {
+		p := st.placed[e.From]
+		if p == nil || p.abs+e.Latency > abs {
+			return false
+		}
+	}
+	return true
+}
+
+// scheduleBlock emits the machine schedule for trace block bi.
+func (s *scheduler) scheduleBlock(st *traceState, bi int) error {
+	b := st.trace[bi]
+	sb := &machine.SchedBlock{Block: b}
+	st.sblocks = append(st.sblocks, sb)
+	width := s.model.IssueWidth
+
+	// Natives of this block that are still unplaced, terminator separate.
+	var natives []*ddg.Node
+	var term *ddg.Node
+	for _, n := range st.g.ByBlock[bi] {
+		if st.placed[n] != nil {
+			continue
+		}
+		if n.IsTerm {
+			term = n
+		} else {
+			natives = append(natives, n)
+		}
+	}
+	byPriority(natives, st.height)
+
+	absBase := st.nextAbs
+	cycle := 0
+	finished := false
+	for !finished {
+		if cycle > 100000 {
+			return fmt.Errorf("block B%d: scheduler did not converge (dependence cycle?)", b.ID)
+		}
+		abs := absBase + cycle
+		cy := machine.Cycle{Slots: make([]*isa.Inst, width)}
+		free := make([]bool, width)
+		for i := range free {
+			free[i] = true
+		}
+
+		remaining := unplacedOf(st, natives)
+
+		// Try to finish the block: place the terminator here if its
+		// dependences allow and every remaining native provably fits into
+		// this cycle's leftover slots or the delay cycle.
+		if term != nil && st.ready(term, abs) {
+			if done, err := s.tryFinish(st, bi, sb, &cy, free, remaining, term, cycle, abs); err != nil {
+				return err
+			} else if done {
+				finished = true
+				continue
+			}
+		}
+		if term == nil && len(remaining) == 0 {
+			break // fall-through block complete
+		}
+
+		// Fill with ready natives by priority. Memory operations go first:
+		// the base superscalar has a single memory port, so an ALU
+		// instruction placed into the memory-capable slot can crowd out a
+		// critical load.
+		for _, memFirst := range []bool{true, false} {
+			for _, n := range remaining {
+				if st.placed[n] != nil || isa.ClassOf(n.Inst.Op) == isa.ClassMem != memFirst {
+					continue
+				}
+				if !st.ready(n, abs) {
+					continue
+				}
+				slot := s.model.SlotFor(isa.ClassOf(n.Inst.Op), free)
+				if slot < 0 {
+					continue
+				}
+				s.place(st, n, bi, sb, &cy, slot, cycle, abs, 0)
+				free[slot] = false
+			}
+		}
+
+		// Fill remaining holes with foreign instructions from later trace
+		// blocks (global code motion).
+		s.fillForeign(st, bi, sb, &cy, free, cycle, abs, false)
+
+		sb.Cycles = append(sb.Cycles, cy)
+		cycle++
+	}
+
+	st.nextAbs = absBase + len(sb.Cycles)
+	return nil
+}
+
+// unplacedOf filters the still-unplaced nodes, preserving priority order.
+func unplacedOf(st *traceState, nodes []*ddg.Node) []*ddg.Node {
+	out := nodes[:0:0]
+	for _, n := range nodes {
+		if st.placed[n] == nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// byPriority sorts nodes by descending critical-path height, then original
+// order.
+func byPriority(nodes []*ddg.Node, height map[*ddg.Node]int) {
+	sort.SliceStable(nodes, func(i, j int) bool {
+		hi, hj := height[nodes[i]], height[nodes[j]]
+		if hi != hj {
+			return hi > hj
+		}
+		return nodes[i].Seq < nodes[j].Seq
+	})
+}
+
+// tryFinish attempts to place the terminator in the current cycle, packing
+// all remaining natives into the leftover slots of this cycle and the
+// delay cycle. On success it appends the final cycle(s), fills leftover
+// slots with foreign instructions (the Squashing model's shadow zone), and
+// returns done=true. On failure nothing is mutated.
+func (s *scheduler) tryFinish(st *traceState, bi int, sb *machine.SchedBlock,
+	cy *machine.Cycle, free []bool, remaining []*ddg.Node, term *ddg.Node,
+	cycle, abs int) (bool, error) {
+
+	width := s.model.IssueWidth
+	// The terminator needs a slot in the current cycle.
+	termSlot := s.model.SlotFor(isa.ClassOf(term.Inst.Op), free)
+	if termSlot < 0 {
+		return false, nil
+	}
+	hasDelay := isa.HasDelaySlot(term.Inst.Op)
+
+	// Tentatively pack remaining natives: current-cycle leftovers first
+	// (must be ready now), then delay-cycle slots (ready next cycle).
+	curFree := append([]bool(nil), free...)
+	curFree[termSlot] = false
+	delayFree := make([]bool, width)
+	for i := range delayFree {
+		delayFree[i] = hasDelay
+	}
+	type packing struct {
+		n       *ddg.Node
+		inDelay bool
+		slot    int
+	}
+	var packs []packing
+	for _, n := range remaining {
+		c := isa.ClassOf(n.Inst.Op)
+		if st.ready(n, abs) {
+			if slot := s.model.SlotFor(c, curFree); slot >= 0 {
+				curFree[slot] = false
+				packs = append(packs, packing{n, false, slot})
+				continue
+			}
+		}
+		if hasDelay && st.ready(n, abs+1) {
+			if slot := s.model.SlotFor(c, delayFree); slot >= 0 {
+				delayFree[slot] = false
+				packs = append(packs, packing{n, true, slot})
+				continue
+			}
+		}
+		return false, nil // cannot finish this cycle
+	}
+
+	// Commit: terminator, then packed natives.
+	s.place(st, term, bi, sb, cy, termSlot, cycle, abs, 0)
+	var delay machine.Cycle
+	if hasDelay {
+		delay = machine.Cycle{Slots: make([]*isa.Inst, width)}
+	}
+	freeNow := append([]bool(nil), free...)
+	freeNow[termSlot] = false
+	freeDelay := make([]bool, width)
+	for i := range freeDelay {
+		freeDelay[i] = hasDelay
+	}
+	for _, pk := range packs {
+		if pk.inDelay {
+			s.place(st, pk.n, bi, sb, &delay, pk.slot, cycle+1, abs+1, 0)
+			freeDelay[pk.slot] = false
+		} else {
+			s.place(st, pk.n, bi, sb, cy, pk.slot, cycle, abs, 0)
+			freeNow[pk.slot] = false
+		}
+	}
+
+	// The branch-issue cycle and the delay cycle are the Squashing
+	// model's shadow zone: fill leftovers with foreign instructions.
+	s.fillForeign(st, bi, sb, cy, freeNow, cycle, abs, true)
+	sb.Cycles = append(sb.Cycles, *cy)
+	if hasDelay {
+		s.fillForeign(st, bi, sb, &delay, freeDelay, cycle+1, abs+1, true)
+		sb.Cycles = append(sb.Cycles, delay)
+	}
+	return true, nil
+}
+
+// place records node n at (blockIdx bi, cycle) in slot slot with the given
+// boosting level and writes the instruction into the cycle.
+func (s *scheduler) place(st *traceState, n *ddg.Node, bi int,
+	sb *machine.SchedBlock, cy *machine.Cycle, slot, cycle, abs, level int) {
+	in := n.Inst // copy
+	in.Boost = level
+	cy.Slots[slot] = &in
+	st.instSeq[&in] = n.Seq
+	st.placed[n] = &placement{blockIdx: bi, cycle: cycle, abs: abs, level: level}
+	_ = sb
+}
+
+// fillForeign fills the free slots of cy with instructions moved up from
+// later trace blocks. shadowZone marks the branch-issue and delay cycles
+// (the only positions the Squashing model may boost into).
+func (s *scheduler) fillForeign(st *traceState, bi int, sb *machine.SchedBlock,
+	cy *machine.Cycle, free []bool, cycle, abs int, shadowZone bool) {
+
+	if s.opts.LocalOnly {
+		return
+	}
+	for slot := 0; slot < len(free); slot++ {
+		if !free[slot] {
+			continue
+		}
+		best := s.bestForeign(st, bi, slot, abs, shadowZone)
+		if best == nil {
+			continue
+		}
+		plan := best.plan
+		n := best.node
+		// Perform bookkeeping: duplication on off-trace edges of crossed
+		// joins (unless the move is between control/data-equivalent
+		// blocks).
+		if len(plan.dupEdges) > 0 {
+			s.duplicate(n, plan.dupEdges)
+		}
+		if debugLog {
+			fmt.Printf("  MOTION %s: B%d <- B%d level=%d dups=%d\n",
+				n.Inst.String(), st.trace[bi].ID, n.Block.ID, plan.level, len(plan.dupEdges))
+		}
+		s.place(st, n, bi, sb, cy, slot, cycle, abs, plan.level)
+		free[slot] = false
+		if plan.level > 0 {
+			st.boosted = append(st.boosted, boostRec{
+				node:     n,
+				dest:     destOf(&n.Inst),
+				startIdx: bi,
+				level:    plan.level,
+				endIdx:   plan.endIdx,
+			})
+		}
+	}
+}
+
+// candidate pairs a movable node with its motion plan.
+type candidate struct {
+	node *ddg.Node
+	plan *motionPlan
+}
+
+// bestForeign returns the best foreign node that is ready,
+// class-compatible with the slot, and legally movable to block bi.
+//
+// Priority is critical-path height minus a boosting-level penalty: a
+// deeply boosted instruction commits only if several predictions hold
+// (mostly wasted work under imperfect prediction) and its uncommitted
+// shadow level constrains where its consumers may be placed, so between
+// candidates of similar height the shallower motion wins. When the slot
+// can execute memory operations — the machine's single memory port —
+// memory candidates are preferred over anything else, since an ALU
+// instruction can issue from the other side but a load cannot.
+func (s *scheduler) bestForeign(st *traceState, bi, slot, abs int, shadowZone bool) *candidate {
+	var best *candidate
+	bestScore := -1 << 30
+	bestMem := false
+	memSlot := s.model.Slots[slot].Has(isa.ClassMem)
+	for _, n := range st.g.Nodes {
+		if n.BlockIdx <= bi || st.placed[n] != nil || n.IsTerm {
+			continue
+		}
+		c := isa.ClassOf(n.Inst.Op)
+		if c != isa.ClassNone && !s.model.Slots[slot].Has(c) {
+			continue
+		}
+		isMem := c == isa.ClassMem
+		if memSlot && bestMem && !isMem {
+			continue // never displace a memory candidate from the memory port
+		}
+		if !st.ready(n, abs) {
+			continue
+		}
+		plan := s.planMotion(st, n, bi, shadowZone)
+		if plan == nil {
+			continue
+		}
+		score := st.height[n] - 3*plan.level
+		if best != nil && bestMem == isMem && score <= bestScore {
+			continue
+		}
+		if best == nil || (memSlot && isMem && !bestMem) || (bestMem == isMem && score > bestScore) {
+			best = &candidate{node: n, plan: plan}
+			bestScore = score
+			bestMem = isMem
+		}
+	}
+	return best
+}
+
+func destOf(in *isa.Inst) isa.Reg {
+	if d, ok := in.Dest(); ok {
+		return d
+	}
+	return isa.R0
+}
+
+// rewriteTraceInsts rebuilds each trace block's instruction list from its
+// final schedule so that later analyses (liveness, equivalence checks for
+// later traces) see the executed code, and so that a schedule without
+// boosting labels remains a valid *sequential* program (used by the
+// dynamic-scheduler prescheduling experiment). Instructions appear in
+// schedule order with their boosting labels; within one issue cycle they
+// are ordered by original program sequence — the hardware reads all
+// operands before any same-cycle write, so a same-cycle anti-dependent
+// pair is only sequentially faithful with the reader first. The
+// terminator moves to the end (delay-slot instructions execute before the
+// transfer, so this linearization is semantically faithful).
+func rewriteTraceInsts(st *traceState) {
+	for bi, b := range st.trace {
+		sb := st.sblocks[bi]
+		var insts []isa.Inst
+		var term *isa.Inst
+		for ci := range sb.Cycles {
+			slots := make([]*isa.Inst, 0, len(sb.Cycles[ci].Slots))
+			for _, in := range sb.Cycles[ci].Slots {
+				if in != nil && in.Op != isa.NOP {
+					slots = append(slots, in)
+				}
+			}
+			sort.SliceStable(slots, func(i, j int) bool {
+				return st.instSeq[slots[i]] < st.instSeq[slots[j]]
+			})
+			for _, in := range slots {
+				if isa.IsControl(in.Op) {
+					term = in
+					continue
+				}
+				insts = append(insts, *in)
+			}
+		}
+		if term != nil {
+			insts = append(insts, *term)
+		}
+		b.Insts = insts
+	}
+}

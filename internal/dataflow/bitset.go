@@ -1,0 +1,106 @@
+// Package dataflow implements the global analyses the scheduler depends on:
+// reverse-postorder, dominators and postdominators (for control
+// equivalence), live-variable analysis (for legality of speculative code
+// motion, paper §3.2.2), and natural-loop/region detection (for the
+// region-at-a-time scheduling of paper §3.2.1).
+package dataflow
+
+import "math/bits"
+
+// BitSet is a dense bit vector used for register sets and block sets.
+type BitSet []uint64
+
+// NewBitSet returns a bitset able to hold n elements.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set adds i to the set.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear removes i from the set.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether i is in the set.
+func (s BitSet) Has(i int) bool {
+	w := i / 64
+	return w < len(s) && s[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Union adds every element of t, reporting whether s changed.
+func (s BitSet) Union(t BitSet) bool {
+	changed := false
+	for i, w := range t {
+		if nw := s[i] | w; nw != s[i] {
+			s[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Subtract removes every element of t from s.
+func (s BitSet) Subtract(t BitSet) {
+	for i, w := range t {
+		s[i] &^= w
+	}
+}
+
+// Intersect keeps only elements also in t.
+func (s BitSet) Intersect(t BitSet) {
+	for i := range s {
+		if i < len(t) {
+			s[i] &= t[i]
+		} else {
+			s[i] = 0
+		}
+	}
+}
+
+// Copy overwrites s with t (same length required).
+func (s BitSet) Copy(t BitSet) { copy(s, t) }
+
+// Equal reports whether the two sets are identical.
+func (s BitSet) Equal(t BitSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of elements in the set.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Reset empties the set.
+func (s BitSet) Reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// CloneSet returns an independent copy.
+func (s BitSet) CloneSet() BitSet {
+	c := make(BitSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// ForEach calls fn for every element in ascending order.
+func (s BitSet) ForEach(fn func(i int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// --- brute-force oracles ---
+
+// reachableAvoiding returns the set of blocks reachable from start without
+// passing through avoid (avoid == nil disables).
+func reachableAvoiding(start, avoid *prog.Block) map[*prog.Block]bool {
+	seen := map[*prog.Block]bool{}
+	if start == avoid {
+		return seen
+	}
+	var dfs func(b *prog.Block)
+	dfs = func(b *prog.Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if s != avoid && !seen[s] {
+				dfs(s)
+			}
+		}
+	}
+	dfs(start)
+	return seen
+}
+
+// bruteDominates: a dom b iff b unreachable from entry when a removed.
+func bruteDominates(p *prog.Proc, a, b *prog.Block) bool {
+	if a == b {
+		return true
+	}
+	return !reachableAvoiding(p.Entry, a)[b]
+}
+
+// brutePostDominates: a pdom b iff no exit reachable from b when a removed.
+func brutePostDominates(p *prog.Proc, a, b *prog.Block) bool {
+	if a == b {
+		return true
+	}
+	seen := reachableAvoiding(b, a)
+	for blk := range seen {
+		if len(blk.Succs) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func checkDominance(t *testing.T, p *prog.Proc) {
+	t.Helper()
+	info := Analyze(p)
+	reach := reachableAvoiding(p.Entry, nil)
+	for _, a := range p.Blocks {
+		if !reach[a] {
+			continue
+		}
+		for _, b := range p.Blocks {
+			if !reach[b] {
+				continue
+			}
+			if got, want := info.Dominates(a, b), bruteDominates(p, a, b); got != want {
+				t.Errorf("Dominates(%s,%s) = %v, brute force says %v", a, b, got, want)
+			}
+			// Postdominance only meaningful for blocks that reach an exit.
+			if canReachExit(a) && canReachExit(b) {
+				if got, want := info.PostDominates(a, b), brutePostDominates(p, a, b); got != want {
+					t.Errorf("PostDominates(%s,%s) = %v, brute force says %v", a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func canReachExit(b *prog.Block) bool {
+	for blk := range reachableAvoiding(b, nil) {
+		if len(blk.Succs) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// --- structured cases ---
+
+func buildDiamond() *prog.Program {
+	pr := prog.New()
+	f := prog.NewBuilder(pr, "main")
+	thenB := f.Block("then")
+	elseB := f.Block("else")
+	join := f.Block("join")
+	r := f.Reg()
+	f.Li(r, 1)
+	f.Branch(isa.BGTZ, r, isa.R0, thenB, elseB)
+	f.Enter(thenB)
+	f.Imm(isa.ADDI, r, r, 1)
+	f.Jump(join)
+	f.Enter(elseB)
+	f.Imm(isa.ADDI, r, r, 2)
+	f.Goto(join)
+	f.Enter(join)
+	f.Out(r)
+	f.Halt()
+	f.Finish()
+	return pr
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	pr := buildDiamond()
+	p := pr.Main()
+	checkDominance(t, p)
+
+	info := Analyze(p)
+	entry, thenB, elseB, join := p.Blocks[0], p.Blocks[1], p.Blocks[2], p.Blocks[3]
+	if !info.Dominates(entry, join) || info.Dominates(thenB, join) || info.Dominates(elseB, join) {
+		t.Error("diamond dominance wrong")
+	}
+	if !info.PostDominates(join, entry) || !info.PostDominates(join, thenB) {
+		t.Error("diamond postdominance wrong")
+	}
+	if !info.ControlEquivalent(entry, join) {
+		t.Error("entry and join must be control equivalent")
+	}
+	if info.ControlEquivalent(entry, thenB) {
+		t.Error("entry and then must not be control equivalent")
+	}
+}
+
+func buildNestedLoop() *prog.Program {
+	pr := prog.New()
+	f := prog.NewBuilder(pr, "main")
+	outer := f.Block("outer")
+	inner := f.Block("inner")
+	innerEnd := f.Block("innerEnd")
+	done := f.Block("done")
+	i, j := f.Reg(), f.Reg()
+	f.Li(i, 3)
+	f.Goto(outer)
+	f.Enter(outer)
+	f.Li(j, 2)
+	f.Goto(inner)
+	f.Enter(inner)
+	f.Imm(isa.ADDI, j, j, -1)
+	f.Branch(isa.BGTZ, j, isa.R0, inner, innerEnd)
+	f.Enter(innerEnd)
+	f.Imm(isa.ADDI, i, i, -1)
+	f.Branch(isa.BGTZ, i, isa.R0, outer, done)
+	f.Enter(done)
+	f.Halt()
+	f.Finish()
+	return pr
+}
+
+func TestDominatorsNestedLoop(t *testing.T) {
+	pr := buildNestedLoop()
+	checkDominance(t, pr.Main())
+}
+
+func TestLoopsNested(t *testing.T) {
+	pr := buildNestedLoop()
+	p := pr.Main()
+	info := Analyze(p)
+	loops := FindLoops(info)
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	var innerL, outerL *Loop
+	for _, l := range loops {
+		if l.Header.Label == "inner" {
+			innerL = l
+		}
+		if l.Header.Label == "outer" {
+			outerL = l
+		}
+	}
+	if innerL == nil || outerL == nil {
+		t.Fatalf("loop headers not found: %v", loops)
+	}
+	if innerL.Parent != outerL {
+		t.Error("inner loop's parent must be outer loop")
+	}
+	if innerL.Depth != 2 || outerL.Depth != 1 {
+		t.Errorf("depths inner=%d outer=%d", innerL.Depth, outerL.Depth)
+	}
+	if !outerL.Blocks[innerL.Header] {
+		t.Error("outer loop must contain inner header")
+	}
+	if innerL.Blocks[outerL.Header] {
+		t.Error("inner loop must not contain outer header")
+	}
+}
+
+func TestRegionsOrderedInnermostFirst(t *testing.T) {
+	pr := buildNestedLoop()
+	info := Analyze(pr.Main())
+	regions := Regions(info)
+	if len(regions) != 3 {
+		t.Fatalf("got %d regions, want 3 (two loops + body)", len(regions))
+	}
+	if regions[0].Depth < regions[1].Depth || regions[1].Depth < regions[2].Depth {
+		t.Error("regions must be ordered innermost first")
+	}
+	if regions[len(regions)-1].Loop != nil {
+		t.Error("last region must be the procedure body")
+	}
+}
+
+// --- liveness ---
+
+func TestLivenessDiamond(t *testing.T) {
+	pr := prog.New()
+	f := prog.NewBuilder(pr, "main")
+	thenB := f.Block("then")
+	elseB := f.Block("else")
+	join := f.Block("join")
+	a, b, c := f.Reg(), f.Reg(), f.Reg()
+	f.Li(a, 1)
+	f.Li(b, 2)
+	f.Branch(isa.BGTZ, a, isa.R0, thenB, elseB)
+	f.Enter(thenB)
+	f.ALU(isa.ADD, c, a, b) // uses a, b
+	f.Jump(join)
+	f.Enter(elseB)
+	f.Li(c, 0) // kills c, doesn't use b
+	f.Goto(join)
+	f.Enter(join)
+	f.Out(c)
+	f.Halt()
+	p := f.Finish()
+
+	lv := ComputeLiveness(p)
+	entry, then_, else_, join_ := p.Blocks[0], p.Blocks[1], p.Blocks[2], p.Blocks[3]
+	if !lv.Out[entry.ID].Has(int(b)) {
+		t.Error("b must be live out of entry (used in then)")
+	}
+	if !lv.In[then_.ID].Has(int(a)) || !lv.In[then_.ID].Has(int(b)) {
+		t.Error("a and b must be live into then")
+	}
+	if lv.In[else_.ID].Has(int(b)) {
+		t.Error("b must not be live into else")
+	}
+	if lv.In[else_.ID].Has(int(c)) {
+		t.Error("c must not be live into else (killed before use)")
+	}
+	if !lv.In[join_.ID].Has(int(c)) {
+		t.Error("c must be live into join")
+	}
+	if lv.Out[join_.ID].Has(int(c)) {
+		t.Error("c must not be live out of the exit block (virtual regs die)")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	pr := buildCountdownDF(5)
+	p := pr.Main()
+	lv := ComputeLiveness(p)
+	loop := p.Blocks[1]
+	// The counter is used at loop top, so it is live around the back edge.
+	r := isa.FirstVirtual
+	if !lv.In[loop.ID].Has(int(r)) || !lv.Out[loop.ID].Has(int(r)) {
+		t.Error("loop counter must be live in and out of loop block")
+	}
+}
+
+func buildCountdownDF(n int32) *prog.Program {
+	pr := prog.New()
+	f := prog.NewBuilder(pr, "main")
+	loop := f.Block("loop")
+	done := f.Block("done")
+	r := f.Reg()
+	f.Li(r, n)
+	f.Goto(loop)
+	f.Enter(loop)
+	f.Out(r)
+	f.Imm(isa.ADDI, r, r, -1)
+	f.Branch(isa.BGTZ, r, isa.R0, loop, done)
+	f.Enter(done)
+	f.Halt()
+	f.Finish()
+	return pr
+}
+
+func TestLiveAt(t *testing.T) {
+	pr := buildCountdownDF(5)
+	p := pr.Main()
+	lv := ComputeLiveness(p)
+	loop := p.Blocks[1]
+	r := int(isa.FirstVirtual)
+	// Before the OUT (index 0) the counter is live.
+	if !lv.LiveAt(loop, 0).Has(r) {
+		t.Error("counter live before OUT")
+	}
+}
+
+// --- randomized CFG property test ---
+
+// genRandomCFG builds a random but well-formed procedure with nb blocks.
+func genRandomCFG(rng *rand.Rand, nb int) *prog.Program {
+	pr := prog.New()
+	f := prog.NewBuilder(pr, "main")
+	blocks := []*prog.Block{f.EntryBlock()}
+	for i := 1; i < nb; i++ {
+		blocks = append(blocks, f.Block("b"))
+	}
+	r := f.Reg()
+	for i, b := range blocks {
+		if i > 0 {
+			f.Enter(b)
+		}
+		f.Imm(isa.ADDI, r, r, 1)
+		// Choose a terminator shape.
+		switch rng.Intn(4) {
+		case 0: // halt
+			f.Halt()
+		case 1: // jump
+			f.Jump(blocks[rng.Intn(nb)])
+		case 2: // fallthrough
+			f.Goto(blocks[rng.Intn(nb)])
+		default: // branch
+			f.Branch(isa.BGTZ, r, isa.R0, blocks[rng.Intn(nb)], blocks[rng.Intn(nb)])
+		}
+	}
+	f.P.RecomputePreds()
+	return pr
+}
+
+func TestDominancePropertyRandomCFGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 200; trial++ {
+		nb := 2 + rng.Intn(8)
+		pr := genRandomCFG(rng, nb)
+		if err := prog.Verify(pr.Main()); err != nil {
+			t.Fatalf("trial %d: invalid CFG: %v", trial, err)
+		}
+		checkDominance(t, pr.Main())
+		if t.Failed() {
+			t.Fatalf("trial %d failed; CFG:\n%s", trial, prog.Format(pr.Main()))
+		}
+	}
+}
+
+// --- bitset ---
+
+func TestBitSetOps(t *testing.T) {
+	s := NewBitSet(130)
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if !s.Has(0) || !s.Has(64) || !s.Has(129) || s.Has(1) {
+		t.Error("set/has wrong")
+	}
+	if s.Count() != 3 {
+		t.Errorf("count = %d", s.Count())
+	}
+	u := NewBitSet(130)
+	u.Set(1)
+	if !u.Union(s) {
+		t.Error("union must report change")
+	}
+	if u.Union(s) {
+		t.Error("second union must report no change")
+	}
+	if u.Count() != 4 {
+		t.Errorf("after union count = %d", u.Count())
+	}
+	u.Subtract(s)
+	if u.Count() != 1 || !u.Has(1) {
+		t.Error("subtract wrong")
+	}
+	c := s.CloneSet()
+	if !c.Equal(s) {
+		t.Error("clone not equal")
+	}
+	c.Clear(64)
+	if c.Equal(s) || s.Has(64) == false {
+		t.Error("clone not independent")
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 129 {
+		t.Errorf("ForEach order %v", got)
+	}
+	s.Intersect(c)
+	if s.Has(64) {
+		t.Error("intersect wrong")
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Error("reset wrong")
+	}
+}

@@ -1,0 +1,292 @@
+package dataflow
+
+import (
+	"boosting/internal/prog"
+)
+
+// CFGInfo bundles orderings and dominance information for one procedure.
+// Recovery blocks are excluded from all analyses (they are reachable only
+// through the exception mechanism).
+type CFGInfo struct {
+	Proc *prog.Proc
+	// RPO is the blocks in reverse postorder from the entry.
+	RPO []*prog.Block
+	// RPONum maps block ID to its reverse-postorder index (-1 if
+	// unreachable or a recovery block).
+	RPONum []int
+	// IDom maps block ID to its immediate dominator (nil for entry and
+	// unreachable blocks).
+	IDom []*prog.Block
+	// IPDom maps block ID to its immediate postdominator (nil for exit
+	// blocks and blocks that cannot reach an exit).
+	IPDom []*prog.Block
+}
+
+// Analyze computes orderings and dominance for p.
+func Analyze(p *prog.Proc) *CFGInfo {
+	n := maxBlockID(p) + 1
+	info := &CFGInfo{
+		Proc:   p,
+		RPONum: make([]int, n),
+		IDom:   make([]*prog.Block, n),
+		IPDom:  make([]*prog.Block, n),
+	}
+	for i := range info.RPONum {
+		info.RPONum[i] = -1
+	}
+
+	// Depth-first postorder, then reverse.
+	seen := make([]bool, n)
+	var post []*prog.Block
+	var dfs func(b *prog.Block)
+	dfs = func(b *prog.Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(p.Entry)
+	info.RPO = make([]*prog.Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		info.RPO = append(info.RPO, post[i])
+	}
+	for i, b := range info.RPO {
+		info.RPONum[b.ID] = i
+	}
+
+	info.computeDominators()
+	info.computePostdominators()
+	return info
+}
+
+func maxBlockID(p *prog.Proc) int {
+	max := 0
+	for _, b := range p.Blocks {
+		if b.ID > max {
+			max = b.ID
+		}
+	}
+	return max
+}
+
+// computeDominators implements the Cooper/Harvey/Kennedy iterative
+// algorithm over reverse postorder.
+func (info *CFGInfo) computeDominators() {
+	entry := info.Proc.Entry
+	info.IDom[entry.ID] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range info.RPO {
+			if b == entry {
+				continue
+			}
+			var newIDom *prog.Block
+			for _, pred := range b.Preds {
+				if info.IDom[pred.ID] == nil {
+					continue // unprocessed or unreachable
+				}
+				if newIDom == nil {
+					newIDom = pred
+				} else {
+					newIDom = info.intersect(pred, newIDom)
+				}
+			}
+			if newIDom != nil && info.IDom[b.ID] != newIDom {
+				info.IDom[b.ID] = newIDom
+				changed = true
+			}
+		}
+	}
+	info.IDom[entry.ID] = nil // conventional: entry has no idom
+}
+
+func (info *CFGInfo) intersect(a, b *prog.Block) *prog.Block {
+	for a != b {
+		for info.RPONum[a.ID] > info.RPONum[b.ID] {
+			a = info.IDom[a.ID]
+			if a == nil {
+				return b
+			}
+		}
+		for info.RPONum[b.ID] > info.RPONum[a.ID] {
+			b = info.IDom[b.ID]
+			if b == nil {
+				return a
+			}
+		}
+	}
+	return a
+}
+
+// computePostdominators computes dominators of the reversed CFG rooted at a
+// virtual exit node whose reverse-successors are all real exit blocks
+// (JR/HALT). Blocks that cannot reach any exit keep a nil IPDom.
+func (info *CFGInfo) computePostdominators() {
+	n := len(info.RPONum)
+	const virtualExit = -1 // sentinel index in parent arrays
+
+	// Reverse-graph RPO from the virtual exit: DFS over predecessors.
+	seen := make([]bool, n)
+	var post []*prog.Block
+	var dfs func(b *prog.Block)
+	dfs = func(b *prog.Block) {
+		seen[b.ID] = true
+		for _, p := range b.Preds {
+			if !seen[p.ID] {
+				dfs(p)
+			}
+		}
+		post = append(post, b)
+	}
+	for _, b := range info.RPO {
+		if len(b.Succs) == 0 && !seen[b.ID] {
+			dfs(b)
+		}
+	}
+	order := make([]*prog.Block, 0, len(post)) // reverse postorder
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	num := make([]int, n)
+	for i := range num {
+		num[i] = -2 // unreachable from exit
+	}
+	for i, b := range order {
+		num[b.ID] = i
+	}
+
+	// parent[b] = immediate postdominator; virtualExit for exit blocks.
+	parent := make([]int, n) // stores block IDs, or virtualExit, or -2 unset
+	for i := range parent {
+		parent[i] = -2
+	}
+	byNum := order // byNum[i] has num i
+
+	intersect := func(a, b int) int { // a, b are nums or virtualExit
+		for a != b {
+			if a == virtualExit || b == virtualExit {
+				return virtualExit
+			}
+			for a > b {
+				p := parent[byNum[a].ID]
+				if p < 0 {
+					return virtualExit
+				}
+				a = num[p]
+			}
+			for b > a {
+				p := parent[byNum[b].ID]
+				if p < 0 {
+					return virtualExit
+				}
+				b = num[p]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			var newParent int
+			hasCand := false
+			if len(b.Succs) == 0 {
+				newParent = virtualExit
+				hasCand = true
+			} else {
+				cand := -2
+				for _, s := range b.Succs {
+					if num[s.ID] < 0 || (parent[s.ID] == -2 && len(s.Succs) != 0) {
+						continue // successor not yet processed or dead
+					}
+					sn := num[s.ID]
+					if cand == -2 {
+						cand = sn
+					} else {
+						cand = intersect(cand, sn)
+					}
+				}
+				if cand != -2 {
+					hasCand = true
+					if cand == virtualExit {
+						newParent = virtualExit
+					} else {
+						newParent = byNum[cand].ID
+					}
+				}
+			}
+			if hasCand {
+				var cur int
+				if len(b.Succs) == 0 {
+					cur = parent[b.ID]
+					if cur != virtualExit {
+						parent[b.ID] = virtualExit
+						changed = true
+					}
+					continue
+				}
+				cur = parent[b.ID]
+				// newParent here encodes: virtualExit or a block ID; but for
+				// intersect we stored nums — normalize comparisons via IDs.
+				if cur != newParent {
+					parent[b.ID] = newParent
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, b := range order {
+		p := parent[b.ID]
+		if p >= 0 {
+			info.IPDom[b.ID] = info.blockByID(p)
+		} else {
+			info.IPDom[b.ID] = nil // virtual exit or unreachable
+		}
+	}
+}
+
+func (info *CFGInfo) blockByID(id int) *prog.Block {
+	for _, b := range info.Proc.Blocks {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}
+
+// Dominates reports whether a dominates b (reflexive).
+func (info *CFGInfo) Dominates(a, b *prog.Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = info.IDom[b.ID]
+	}
+	return false
+}
+
+// PostDominates reports whether a postdominates b (reflexive).
+func (info *CFGInfo) PostDominates(a, b *prog.Block) bool {
+	seen := 0
+	for b != nil && seen <= len(info.RPO)+1 {
+		if a == b {
+			return true
+		}
+		b = info.IPDom[b.ID]
+		seen++
+	}
+	return false
+}
+
+// ControlEquivalent reports whether executing a implies executing b and
+// vice versa: a dominates b and b postdominates a (paper §3.2.2's
+// "control equivalence", the conditional-pair/equivalent-blocks notion).
+// It is only meaningful when a appears before b on a path; callers pass
+// (earlier, later).
+func (info *CFGInfo) ControlEquivalent(earlier, later *prog.Block) bool {
+	return info.Dominates(earlier, later) && info.PostDominates(later, earlier)
+}

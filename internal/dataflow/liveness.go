@@ -1,0 +1,161 @@
+package dataflow
+
+import (
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// Liveness holds per-block live-variable sets over registers. Register r is
+// live at a point if some path from that point uses r before redefining it.
+// The scheduler consults live-IN sets of non-predicted successors to decide
+// whether a speculative code motion is *illegal* (paper §3.2.2: "By
+// checking the live-IN sets of the non-predicted successor blocks against
+// the destination register of the current instruction, an algorithm can
+// determine when a speculative movement is illegal").
+type Liveness struct {
+	// NumRegs is the size of each set (max register index + 1).
+	NumRegs int
+	// In[b.ID] and Out[b.ID] are live-IN and live-OUT of the block.
+	In  []BitSet
+	Out []BitSet
+	// Use and Def are the per-block gen/kill sets.
+	Use []BitSet
+	Def []BitSet
+}
+
+// callerVisible lists registers treated as live across calls and at
+// returns: the ABI registers our convention exposes. A JAL additionally
+// defines RA and may define RV.
+var callerVisible = []isa.Reg{isa.RV, isa.A0, isa.A1, isa.A2, isa.A3, isa.SP, isa.RA}
+
+// ComputeLiveness runs iterative backward live-variable analysis on p.
+// Recovery blocks are skipped. At procedure exits (JR/HALT) the
+// caller-visible ABI registers are live-out, which conservatively keeps
+// return values alive.
+func ComputeLiveness(p *prog.Proc) *Liveness {
+	nBlocks := maxBlockID(p) + 1
+	nRegs := int(p.MaxReg()) + 1
+	lv := &Liveness{
+		NumRegs: nRegs,
+		In:      make([]BitSet, nBlocks),
+		Out:     make([]BitSet, nBlocks),
+		Use:     make([]BitSet, nBlocks),
+		Def:     make([]BitSet, nBlocks),
+	}
+	for _, b := range p.Blocks {
+		lv.In[b.ID] = NewBitSet(nRegs)
+		lv.Out[b.ID] = NewBitSet(nRegs)
+		lv.Use[b.ID] = NewBitSet(nRegs)
+		lv.Def[b.ID] = NewBitSet(nRegs)
+		lv.localSets(b)
+	}
+
+	// Iterate to fixpoint, visiting blocks in reverse order for speed.
+	blocks := p.Blocks
+	var tmp = NewBitSet(nRegs)
+	for changed := true; changed; {
+		changed = false
+		for i := len(blocks) - 1; i >= 0; i-- {
+			b := blocks[i]
+			if b.Recovery {
+				continue
+			}
+			out := lv.Out[b.ID]
+			if len(b.Succs) == 0 {
+				for _, r := range callerVisible {
+					if int(r) < nRegs {
+						out.Set(int(r))
+					}
+				}
+			}
+			for _, s := range b.Succs {
+				if out.Union(lv.In[s.ID]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			tmp.Copy(out)
+			tmp.Subtract(lv.Def[b.ID])
+			tmp.Union(lv.Use[b.ID])
+			if !tmp.Equal(lv.In[b.ID]) {
+				lv.In[b.ID].Copy(tmp)
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// localSets fills Use (upward-exposed uses) and Def for block b.
+func (lv *Liveness) localSets(b *prog.Block) {
+	use, def := lv.Use[b.ID], lv.Def[b.ID]
+	var regs []isa.Reg
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		regs = in.Uses(regs[:0])
+		for _, r := range regs {
+			if !def.Has(int(r)) {
+				use.Set(int(r))
+			}
+		}
+		if in.Op == isa.JAL {
+			// Calls use the argument registers and SP.
+			for _, r := range []isa.Reg{isa.A0, isa.A1, isa.A2, isa.A3, isa.SP} {
+				if !def.Has(int(r)) {
+					use.Set(int(r))
+				}
+			}
+			// And define RV and RA (clobbered by callee/linkage).
+			def.Set(int(isa.RV))
+			def.Set(int(isa.RA))
+			continue
+		}
+		if in.Boost > 0 {
+			// A boosted def's sequential effect happens at a later
+			// block's commit; treating it as a kill here would
+			// understate liveness for blocks entered mid-trace.
+			continue
+		}
+		regs = in.Defs(regs[:0])
+		for _, r := range regs {
+			if r != isa.R0 {
+				def.Set(int(r))
+			}
+		}
+	}
+}
+
+// LiveIntoEdge returns the set of registers live on entry to succ. It is
+// the legality test set for boosting: a speculative def of r moved above
+// b's terminating branch is illegal iff r is live into the non-predicted
+// successor.
+func (lv *Liveness) LiveIntoEdge(succ *prog.Block) BitSet { return lv.In[succ.ID] }
+
+// LiveAt computes the registers live immediately before instruction index
+// idx within block b (0 = block start). It walks backward from the block's
+// live-out; cost is O(block length) so callers should batch queries.
+func (lv *Liveness) LiveAt(b *prog.Block, idx int) BitSet {
+	live := lv.Out[b.ID].CloneSet()
+	var regs []isa.Reg
+	for i := len(b.Insts) - 1; i >= idx; i-- {
+		in := &b.Insts[i]
+		if in.Boost == 0 {
+			regs = in.Defs(regs[:0])
+			for _, r := range regs {
+				if r != isa.R0 {
+					live.Clear(int(r))
+				}
+			}
+		}
+		regs = in.Uses(regs[:0])
+		for _, r := range regs {
+			live.Set(int(r))
+		}
+		if in.Op == isa.JAL {
+			for _, r := range []isa.Reg{isa.A0, isa.A1, isa.A2, isa.A3, isa.SP} {
+				live.Set(int(r))
+			}
+		}
+	}
+	return live
+}

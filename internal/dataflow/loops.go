@@ -1,0 +1,118 @@
+package dataflow
+
+import (
+	"sort"
+
+	"boosting/internal/prog"
+)
+
+// Loop is a natural loop: a header block and the set of blocks in the loop
+// body (including the header).
+type Loop struct {
+	Header *prog.Block
+	Blocks map[*prog.Block]bool
+	// Parent is the innermost enclosing loop, nil for outermost loops.
+	Parent *Loop
+	// Depth is 1 for outermost loops, increasing inward.
+	Depth int
+}
+
+// Region is a unit of scheduling (paper §3.2.1): either a loop body or the
+// whole procedure body. Regions are scheduled innermost-first and traces
+// never cross a region boundary.
+type Region struct {
+	// Loop is nil for the procedure-body region.
+	Loop *Loop
+	// Blocks is the set of blocks owned by this region, excluding blocks
+	// of nested inner regions' *bodies*? No — a region contains all its
+	// blocks; trace selection simply skips blocks already scheduled as
+	// part of an inner region.
+	Blocks map[*prog.Block]bool
+	// Depth orders regions: larger depth is scheduled first.
+	Depth int
+}
+
+// FindLoops detects natural loops from back edges (edge tail→head where
+// head dominates tail). Loops sharing a header are merged, as usual.
+func FindLoops(info *CFGInfo) []*Loop {
+	byHeader := map[*prog.Block]*Loop{}
+	for _, b := range info.RPO {
+		for _, s := range b.Succs {
+			if info.Dominates(s, b) {
+				// b→s is a back edge with header s.
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[*prog.Block]bool{s: true}}
+					byHeader[s] = l
+				}
+				collectLoopBody(l, b)
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header.ID < loops[j].Header.ID })
+
+	// Nesting: loop A is inside loop B if B contains A's header and A != B.
+	for _, a := range loops {
+		for _, b := range loops {
+			if a == b || !b.Blocks[a.Header] {
+				continue
+			}
+			// b encloses a; keep the smallest enclosing loop as parent.
+			if a.Parent == nil || len(b.Blocks) < len(a.Parent.Blocks) {
+				a.Parent = b
+			}
+		}
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	return loops
+}
+
+// collectLoopBody adds all blocks that reach tail without passing through
+// the header (the standard natural-loop body computation).
+func collectLoopBody(l *Loop, tail *prog.Block) {
+	var stack []*prog.Block
+	if !l.Blocks[tail] {
+		l.Blocks[tail] = true
+		stack = append(stack, tail)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range b.Preds {
+			if !l.Blocks[p] {
+				l.Blocks[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+// Regions returns the scheduling regions of the procedure ordered
+// innermost-first: one region per natural loop, then the procedure body.
+// Every region's block set includes nested blocks; the scheduler relies on
+// "already scheduled" marks to avoid rescheduling inner-region blocks, so
+// inner regions collapse naturally (paper: "collapse REGION").
+func Regions(info *CFGInfo) []*Region {
+	loops := FindLoops(info)
+	sort.SliceStable(loops, func(i, j int) bool { return loops[i].Depth > loops[j].Depth })
+	regions := make([]*Region, 0, len(loops)+1)
+	for _, l := range loops {
+		regions = append(regions, &Region{Loop: l, Blocks: l.Blocks, Depth: l.Depth})
+	}
+	body := map[*prog.Block]bool{}
+	for _, b := range info.RPO {
+		body[b] = true
+	}
+	regions = append(regions, &Region{Blocks: body, Depth: 0})
+	return regions
+}

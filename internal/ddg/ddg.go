@@ -1,0 +1,302 @@
+// Package ddg builds the data-dependence graph for a trace of basic
+// blocks (paper §3.2.1: "During the construction of the trace, two data
+// structures are built. One is a simple data dependence graph of all the
+// instructions in the trace...").
+//
+// The graph covers register true/anti/output dependences, memory
+// dependences (with a simple base+offset disambiguator), and ordering
+// edges for side-effecting instructions. Control dependences are *not*
+// represented — that is the whole point of boosting: "No edges are added
+// to our data dependence graph to enforce control dependence constraints."
+// Branch order is preserved structurally because branches never move out
+// of their blocks.
+package ddg
+
+import (
+	"fmt"
+
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// DepKind classifies a dependence edge.
+type DepKind uint8
+
+const (
+	// DepTrue is a read-after-write register dependence.
+	DepTrue DepKind = iota
+	// DepAnti is a write-after-read register dependence.
+	DepAnti
+	// DepOutput is a write-after-write register dependence.
+	DepOutput
+	// DepMem is a memory dependence (any of RAW/WAR/WAW through memory).
+	DepMem
+	// DepOrder is an ordering edge for side effects (OUT streams, calls,
+	// and everything pinned around a barrier).
+	DepOrder
+)
+
+// String names the dependence kind.
+func (k DepKind) String() string {
+	switch k {
+	case DepTrue:
+		return "true"
+	case DepAnti:
+		return "anti"
+	case DepOutput:
+		return "output"
+	case DepMem:
+		return "mem"
+	case DepOrder:
+		return "order"
+	}
+	return "?"
+}
+
+// Edge is a dependence from an earlier instruction to a later one.
+type Edge struct {
+	To      *Node
+	From    *Node
+	Kind    DepKind
+	Latency int
+}
+
+// Node is one instruction in the trace.
+type Node struct {
+	// Inst is the scheduler's working copy of the instruction; Boost is
+	// filled in during code motion.
+	Inst isa.Inst
+	// Block is the block the instruction originally lives in.
+	Block *prog.Block
+	// BlockIdx is the block's position in the trace (0-based).
+	BlockIdx int
+	// InstIdx is the instruction's original index within its block.
+	InstIdx int
+	// Seq is the linearized position in the trace (construction order);
+	// it defines "original program order" along the trace.
+	Seq int
+	// IsTerm marks the block terminator (branch/jump/call/ret/halt).
+	IsTerm bool
+
+	// Preds and Succs are incoming and outgoing dependence edges.
+	Preds []*Edge
+	Succs []*Edge
+}
+
+// String renders the node for diagnostics.
+func (n *Node) String() string {
+	return fmt.Sprintf("[%d B%d.%d %s]", n.Seq, n.Block.ID, n.InstIdx, n.Inst.String())
+}
+
+// Graph is the dependence graph of one trace.
+type Graph struct {
+	Nodes []*Node
+	// ByBlock groups nodes by trace block index, in original order.
+	ByBlock [][]*Node
+}
+
+// Options tunes graph construction.
+type Options struct {
+	// NoDisambiguation disables the base+offset memory disambiguator,
+	// making every load depend on every earlier store (ablation knob;
+	// the paper's conclusion calls for "better memory disambiguation").
+	NoDisambiguation bool
+}
+
+// addEdge links from → to with the given kind and latency, skipping
+// duplicates of identical kind.
+func addEdge(from, to *Node, kind DepKind, latency int) {
+	for _, e := range from.Succs {
+		if e.To == to && e.Kind == kind {
+			if latency > e.Latency {
+				e.Latency = latency
+			}
+			return
+		}
+	}
+	e := &Edge{From: from, To: to, Kind: kind, Latency: latency}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// memRef describes a memory access for disambiguation: address = base
+// register version + constant offset.
+type memRef struct {
+	baseVer int // version number of the base register at access time
+	base    isa.Reg
+	off     int32
+	size    int32
+}
+
+// overlaps conservatively decides whether two references may touch the
+// same bytes. Identical base version ⇒ compare offset ranges exactly;
+// otherwise assume overlap.
+func (a memRef) overlaps(b memRef) bool {
+	if a.base == b.base && a.baseVer == b.baseVer {
+		return a.off < b.off+b.size && b.off < a.off+a.size
+	}
+	return true
+}
+
+// Build constructs the dependence graph for the trace.
+func Build(trace []*prog.Block, opts Options) *Graph {
+	g := &Graph{ByBlock: make([][]*Node, len(trace))}
+
+	lastDef := map[isa.Reg]*Node{}
+	lastUses := map[isa.Reg][]*Node{}
+	regVer := map[isa.Reg]int{}
+
+	var stores []*Node
+	var storeRefs []memRef
+	var loads []*Node
+	var loadRefs []memRef
+	var lastOut *Node
+	var lastBarrier *Node // JAL: everything is ordered around it
+
+	var uses, defs []isa.Reg
+	seq := 0
+	for bi, b := range trace {
+		for ii := range b.Insts {
+			in := b.Insts[ii]
+			n := &Node{
+				Inst:     in,
+				Block:    b,
+				BlockIdx: bi,
+				InstIdx:  ii,
+				Seq:      seq,
+				IsTerm:   ii == len(b.Insts)-1 && isa.IsControl(in.Op),
+			}
+			seq++
+			g.Nodes = append(g.Nodes, n)
+			g.ByBlock[bi] = append(g.ByBlock[bi], n)
+
+			// Barrier ordering: nothing moves across a call.
+			if lastBarrier != nil {
+				addEdge(lastBarrier, n, DepOrder, 1)
+			}
+
+			// Register dependences. Calls implicitly read the argument
+			// registers and the stack pointer and define the linkage
+			// registers (the Uses/Defs accessors list only explicit
+			// operands).
+			uses = n.Inst.Uses(uses[:0])
+			if in.Op == isa.JAL {
+				uses = append(uses, isa.A0, isa.A1, isa.A2, isa.A3, isa.SP)
+			}
+			for _, r := range uses {
+				if r == isa.R0 {
+					continue
+				}
+				if d := lastDef[r]; d != nil {
+					addEdge(d, n, DepTrue, isa.Latency(d.Inst.Op))
+				}
+				lastUses[r] = append(lastUses[r], n)
+			}
+			defs = n.Inst.Defs(defs[:0])
+			if in.Op == isa.JAL {
+				defs = append(defs, isa.RV)
+			}
+			for _, r := range defs {
+				if r == isa.R0 {
+					continue
+				}
+				if d := lastDef[r]; d != nil {
+					addEdge(d, n, DepOutput, 1)
+				}
+				for _, u := range lastUses[r] {
+					if u != n {
+						addEdge(u, n, DepAnti, 0)
+					}
+				}
+				lastDef[r] = n
+				lastUses[r] = lastUses[r][:0]
+				regVer[r]++
+			}
+
+			// Memory dependences.
+			if isa.IsMem(in.Op) {
+				size, _ := memSize(in.Op)
+				ref := memRef{base: in.Rs, baseVer: regVer[in.Rs], off: in.Imm, size: size}
+				if opts.NoDisambiguation {
+					ref = memRef{base: -1, baseVer: -1} // always overlaps
+				}
+				if isa.IsLoad(in.Op) {
+					for i, s := range stores {
+						if ref.overlaps(storeRefs[i]) || opts.NoDisambiguation {
+							addEdge(s, n, DepMem, 1)
+						}
+					}
+					loads = append(loads, n)
+					loadRefs = append(loadRefs, ref)
+				} else {
+					for i, s := range stores {
+						if ref.overlaps(storeRefs[i]) || opts.NoDisambiguation {
+							addEdge(s, n, DepMem, 1)
+						}
+					}
+					for i, l := range loads {
+						if ref.overlaps(loadRefs[i]) || opts.NoDisambiguation {
+							addEdge(l, n, DepMem, 1)
+						}
+					}
+					stores = append(stores, n)
+					storeRefs = append(storeRefs, ref)
+				}
+			}
+
+			// Observable output stream stays ordered.
+			if in.Op == isa.OUT {
+				if lastOut != nil {
+					addEdge(lastOut, n, DepOrder, 1)
+				}
+				lastOut = n
+			}
+
+			// Calls and returns barrier everything that follows; they also
+			// depend on all prior memory and output activity.
+			if in.Op == isa.JAL || in.Op == isa.JR || in.Op == isa.HALT {
+				for _, s := range stores {
+					addEdge(s, n, DepOrder, 1)
+				}
+				for _, l := range loads {
+					addEdge(l, n, DepOrder, 1)
+				}
+				if lastOut != nil && lastOut != n {
+					addEdge(lastOut, n, DepOrder, 1)
+				}
+				lastBarrier = n
+				// Calls clobber memory: later loads/stores must not move
+				// above them; reset tracking so subsequent memory ops
+				// depend on the barrier (via the lastBarrier edge).
+				stores = stores[:0]
+				storeRefs = storeRefs[:0]
+				loads = loads[:0]
+				loadRefs = loadRefs[:0]
+			}
+		}
+	}
+	return g
+}
+
+func memSize(op isa.Op) (int32, bool) {
+	switch op {
+	case isa.LW, isa.SW:
+		return 4, true
+	case isa.LH, isa.LHU, isa.SH:
+		return 2, true
+	default:
+		return 1, true
+	}
+}
+
+// Terminator returns the terminator node of trace block bi, or nil.
+func (g *Graph) Terminator(bi int) *Node {
+	ns := g.ByBlock[bi]
+	if len(ns) == 0 {
+		return nil
+	}
+	if last := ns[len(ns)-1]; last.IsTerm {
+		return last
+	}
+	return nil
+}

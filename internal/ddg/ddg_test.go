@@ -1,0 +1,204 @@
+package ddg
+
+import (
+	"testing"
+
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// buildTrace assembles a single-block trace from instructions.
+func buildTrace(insts ...isa.Inst) []*prog.Block {
+	pr := prog.New()
+	f := prog.NewBuilder(pr, "main")
+	for _, in := range insts {
+		switch {
+		case isa.IsCondBranch(in.Op):
+			// not used in these tests
+		default:
+			f.Cur().Insts = append(f.Cur().Insts, in)
+		}
+	}
+	f.Halt()
+	f.Finish()
+	return []*prog.Block{pr.Main().Entry}
+}
+
+// edge looks up a dependence from node i to node j.
+func edge(g *Graph, i, j int) *Edge {
+	for _, e := range g.Nodes[i].Succs {
+		if e.To == g.Nodes[j] {
+			return e
+		}
+	}
+	return nil
+}
+
+func TestRegisterDependences(t *testing.T) {
+	g := Build(buildTrace(
+		isa.Inst{Op: isa.ADDI, Rd: 1, Rs: 0, Imm: 5}, // 0: def r1
+		isa.Inst{Op: isa.ADD, Rd: 2, Rs: 1, Rt: 1},   // 1: use r1, def r2
+		isa.Inst{Op: isa.ADDI, Rd: 1, Rs: 0, Imm: 9}, // 2: redef r1
+		isa.Inst{Op: isa.ADD, Rd: 2, Rs: 2, Rt: 1},   // 3: use r1,r2, redef r2
+	), Options{})
+
+	if e := edge(g, 0, 1); e == nil || e.Kind != DepTrue || e.Latency != 1 {
+		t.Errorf("true dep 0→1: %+v", e)
+	}
+	if e := edge(g, 1, 2); e == nil || e.Kind != DepAnti || e.Latency != 0 {
+		t.Errorf("anti dep 1→2 (use r1 before redef): %+v", e)
+	}
+	if e := edge(g, 0, 2); e == nil || e.Kind != DepOutput {
+		t.Errorf("output dep 0→2: %+v", e)
+	}
+	if e := edge(g, 2, 3); e == nil || e.Kind != DepTrue {
+		t.Errorf("true dep 2→3 through redefined r1: %+v", e)
+	}
+	if e := edge(g, 0, 3); e != nil && e.Kind == DepTrue {
+		t.Error("stale def 0 must not feed 3 (r1 redefined at 2)")
+	}
+}
+
+func TestLoadLatency(t *testing.T) {
+	g := Build(buildTrace(
+		isa.Inst{Op: isa.LW, Rd: 1, Rs: 2, Imm: 0},
+		isa.Inst{Op: isa.ADD, Rd: 3, Rs: 1, Rt: 1},
+	), Options{})
+	if e := edge(g, 0, 1); e == nil || e.Latency != 2 {
+		t.Errorf("load consumer latency: %+v", e)
+	}
+}
+
+func TestMemoryDisambiguation(t *testing.T) {
+	// Same base register, non-overlapping offsets: independent.
+	g := Build(buildTrace(
+		isa.Inst{Op: isa.SW, Rt: 1, Rs: 2, Imm: 0},
+		isa.Inst{Op: isa.LW, Rd: 3, Rs: 2, Imm: 8},
+	), Options{})
+	if e := edge(g, 0, 1); e != nil {
+		t.Errorf("disjoint accesses must not depend: %+v", e)
+	}
+
+	// Overlapping offsets: RAW memory dependence.
+	g = Build(buildTrace(
+		isa.Inst{Op: isa.SW, Rt: 1, Rs: 2, Imm: 0},
+		isa.Inst{Op: isa.LW, Rd: 3, Rs: 2, Imm: 0},
+	), Options{})
+	if e := edge(g, 0, 1); e == nil || e.Kind != DepMem {
+		t.Errorf("overlapping accesses must depend: %+v", e)
+	}
+
+	// Byte store into the middle of a word load: overlap.
+	g = Build(buildTrace(
+		isa.Inst{Op: isa.SB, Rt: 1, Rs: 2, Imm: 2},
+		isa.Inst{Op: isa.LW, Rd: 3, Rs: 2, Imm: 0},
+	), Options{})
+	if e := edge(g, 0, 1); e == nil {
+		t.Error("partially overlapping accesses must depend")
+	}
+
+	// Different base registers: conservatively dependent.
+	g = Build(buildTrace(
+		isa.Inst{Op: isa.SW, Rt: 1, Rs: 2, Imm: 0},
+		isa.Inst{Op: isa.LW, Rd: 3, Rs: 4, Imm: 64},
+	), Options{})
+	if e := edge(g, 0, 1); e == nil {
+		t.Error("unknown bases must be conservatively dependent")
+	}
+
+	// Base register redefined between the accesses: same base+offset no
+	// longer proves independence.
+	g = Build(buildTrace(
+		isa.Inst{Op: isa.SW, Rt: 1, Rs: 2, Imm: 0},
+		isa.Inst{Op: isa.ADDI, Rd: 2, Rs: 2, Imm: 4},
+		isa.Inst{Op: isa.LW, Rd: 3, Rs: 2, Imm: 8},
+	), Options{})
+	if e := edge(g, 0, 2); e == nil {
+		t.Error("base redefinition must kill the disambiguation")
+	}
+}
+
+func TestNoDisambiguationOption(t *testing.T) {
+	g := Build(buildTrace(
+		isa.Inst{Op: isa.SW, Rt: 1, Rs: 2, Imm: 0},
+		isa.Inst{Op: isa.LW, Rd: 3, Rs: 2, Imm: 8},
+	), Options{NoDisambiguation: true})
+	if e := edge(g, 0, 1); e == nil {
+		t.Error("NoDisambiguation must make every load depend on every store")
+	}
+}
+
+func TestStoreOrdering(t *testing.T) {
+	g := Build(buildTrace(
+		isa.Inst{Op: isa.LW, Rd: 1, Rs: 2, Imm: 0}, // load
+		isa.Inst{Op: isa.SW, Rt: 3, Rs: 2, Imm: 0}, // WAR with load
+		isa.Inst{Op: isa.SW, Rt: 4, Rs: 2, Imm: 0}, // WAW with store
+	), Options{})
+	if e := edge(g, 0, 1); e == nil || e.Kind != DepMem {
+		t.Errorf("WAR memory dep: %+v", e)
+	}
+	if e := edge(g, 1, 2); e == nil || e.Kind != DepMem {
+		t.Errorf("WAW memory dep: %+v", e)
+	}
+}
+
+func TestOutOrdering(t *testing.T) {
+	g := Build(buildTrace(
+		isa.Inst{Op: isa.OUT, Rs: 1},
+		isa.Inst{Op: isa.OUT, Rs: 2},
+	), Options{})
+	if e := edge(g, 0, 1); e == nil || e.Kind != DepOrder {
+		t.Errorf("OUT stream ordering: %+v", e)
+	}
+}
+
+func TestCallDependences(t *testing.T) {
+	pr := prog.New()
+	cal := prog.NewBuilder(pr, "leaf")
+	cal.Ret()
+	cal.Finish()
+	f := prog.NewBuilder(pr, "main")
+	a := f.Reg()
+	f.Imm(isa.ADDI, isa.A0, isa.R0, 1) // 0: def A0
+	f.Store(isa.SW, a, isa.SP, 0)      // 1: store
+	f.Call("leaf")                     // 2: call
+	f.Move(a, isa.RV)                  // 3 (in continuation; not in trace)
+	f.Halt()
+	f.Finish()
+	trace := []*prog.Block{pr.Main().Entry}
+	g := Build(trace, Options{})
+
+	// JAL must depend on the argument setup (true dep through A0).
+	if e := edge(g, 0, 2); e == nil || e.Kind != DepTrue {
+		t.Errorf("call must depend on its argument setup: %+v", e)
+	}
+	// JAL must be ordered after memory activity.
+	if e := edge(g, 1, 2); e == nil {
+		t.Error("call must be ordered after stores")
+	}
+}
+
+func TestTerminatorHelper(t *testing.T) {
+	pr := prog.New()
+	f := prog.NewBuilder(pr, "main")
+	f.Halt()
+	f.Finish()
+	g := Build([]*prog.Block{pr.Main().Entry}, Options{})
+	if g.Terminator(0) == nil || g.Terminator(0).Inst.Op != isa.HALT {
+		t.Error("terminator lookup broken")
+	}
+	if !g.Terminator(0).IsTerm {
+		t.Error("IsTerm not set")
+	}
+}
+
+func TestDepKindStrings(t *testing.T) {
+	for k, want := range map[DepKind]string{
+		DepTrue: "true", DepAnti: "anti", DepOutput: "output",
+		DepMem: "mem", DepOrder: "order",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

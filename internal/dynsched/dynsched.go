@@ -1,0 +1,558 @@
+// Package dynsched implements the paper's dynamically-scheduled
+// superscalar comparison machine (§4.3.2): a trace-driven timing model of
+// an out-of-order processor that is functionally equivalent to the base
+// 2-issue superscalar.
+//
+// Parameters follow the paper: it "fetches and decodes two instructions
+// per cycle. It uses a total of 30 reservation station locations and a
+// 16-entry reorder buffer to implement out-of-order execution with
+// speculation, and it uses a 2048-entry, 4-way set associative branch
+// target buffer to predict branches. It has the same number of functional
+// units as our statically-scheduled machine, but since the
+// dynamically-scheduled machine uses reservation stations, it can issue up
+// to 6 instructions per cycle."
+//
+// The lower/upper bars of Figure 9 correspond to Renaming=false/true:
+// without register renaming at most one in-flight producer per
+// architectural register is allowed (write-after-write stalls dispatch);
+// with renaming, reservation stations carry tags and any number of defs
+// may be in flight.
+package dynsched
+
+import (
+	"fmt"
+
+	"boosting/internal/cache"
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+	"boosting/internal/sim"
+)
+
+// Config parameterizes the machine. The zero value is invalid; use
+// Default().
+type Config struct {
+	FetchWidth  int // instructions fetched/decoded/dispatched per cycle
+	RetireWidth int // instructions retired per cycle
+	NumRS       int // total reservation station entries
+	ROBSize     int // reorder buffer entries
+	BTBSets     int // branch target buffer sets
+	BTBWays     int // branch target buffer associativity
+	Renaming    bool
+	// MaxCycles bounds the simulation (0 = 2G cycles).
+	MaxCycles int64
+	// DataCache, if non-nil, models a finite data cache; misses extend
+	// memory-operation latency.
+	DataCache *cache.Cache
+}
+
+// Default returns the paper's configuration (without renaming).
+func Default() Config {
+	return Config{
+		FetchWidth:  2,
+		RetireWidth: 2,
+		NumRS:       30,
+		ROBSize:     16,
+		BTBSets:     512,
+		BTBWays:     4,
+	}
+}
+
+// Result reports the timing outcome.
+type Result struct {
+	Cycles      int64
+	Insts       int64
+	Branches    int64
+	Mispredicts int64
+	// Out and MemHash come from the functional execution that produced
+	// the trace (the timing model does not change semantics).
+	Out     []uint32
+	MemHash uint64
+}
+
+// Simulate runs the program functionally and feeds its dynamic instruction
+// stream through the out-of-order timing model.
+func Simulate(pr *prog.Program, cfg Config) (*Result, error) {
+	if cfg.FetchWidth == 0 {
+		return nil, fmt.Errorf("dynsched: zero config; use Default()")
+	}
+	p := newPipeline(cfg)
+	ref, err := sim.Run(pr, sim.RefConfig{
+		OnInst: func(ev sim.InstEvent) { p.feed(ev) },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dynsched: functional run: %w", err)
+	}
+	p.drainAll()
+	res := p.result()
+	res.Out = ref.Out
+	res.MemHash = ref.MemHash
+	return res, nil
+}
+
+// rec is one dynamic instruction in the pipeline.
+type rec struct {
+	op      isa.Op
+	class   isa.Class
+	dst     isa.Reg
+	srcs    [2]isa.Reg
+	id      int // static instruction ID (the "PC" for the BTB)
+	addr    uint32
+	size    int
+	taken   bool
+	nextID  int // dynamic target ID for JR
+	isLoad  bool
+	isStore bool
+
+	// Pipeline state.
+	waitOn   [2]int // ROB sequence numbers of producers (-1 = ready)
+	issued   bool
+	done     bool
+	doneAt   int64 // cycle the result is available
+	seq      int64 // global sequence number
+	mispred  bool
+	isBranch bool
+}
+
+// pipeline is the out-of-order machine state.
+type pipeline struct {
+	cfg   Config
+	cycle int64
+
+	fetchQ []rec // instructions awaiting dispatch (from the trace)
+	rob    []rec // dispatched, not yet retired (index 0 = oldest)
+
+	// regProducer maps a register to the seq of its newest in-flight
+	// producer (or -1).
+	regProducer map[isa.Reg]int64
+	// inflightDefs counts in-flight defs per register (no-renaming check).
+	inflightDefs map[isa.Reg]int
+	// results maps producer seq → completion cycle, for wakeup of
+	// dependents dispatched while the producer was in flight.
+	results map[int64]int64
+
+	rsUsed int
+	btb    *btb
+
+	// fetchBlockedBy is the seq of an unresolved mispredicted branch
+	// (fetch stalls until it resolves), or -1.
+	fetchBlockedBy int64
+
+	nextSeq     int64
+	insts       int64
+	branches    int64
+	mispredicts int64
+	maxCycles   int64
+}
+
+func newPipeline(cfg Config) *pipeline {
+	mc := cfg.MaxCycles
+	if mc == 0 {
+		mc = 2_000_000_000
+	}
+	return &pipeline{
+		cfg:            cfg,
+		regProducer:    map[isa.Reg]int64{},
+		inflightDefs:   map[isa.Reg]int{},
+		results:        map[int64]int64{},
+		btb:            newBTB(cfg.BTBSets, cfg.BTBWays),
+		fetchBlockedBy: -1,
+		maxCycles:      mc,
+	}
+}
+
+// feed queues one traced instruction and lets the pipeline advance while
+// the queue is saturated, to bound memory.
+func (p *pipeline) feed(ev sim.InstEvent) {
+	in := ev.Inst
+	r := rec{
+		op:      in.Op,
+		class:   isa.ClassOf(in.Op),
+		id:      in.ID,
+		addr:    ev.Addr,
+		taken:   ev.Taken,
+		nextID:  ev.NextID,
+		isLoad:  isa.IsLoad(in.Op),
+		isStore: isa.IsStore(in.Op),
+		dst:     isa.R0,
+	}
+	var tmp []isa.Reg
+	tmp = in.Defs(tmp)
+	if len(tmp) > 0 {
+		r.dst = tmp[0]
+	}
+	r.srcs = [2]isa.Reg{isa.R0, isa.R0}
+	tmp = in.Uses(tmp[:0])
+	for i, u := range tmp {
+		if i < 2 {
+			r.srcs[i] = u
+		}
+	}
+	r.isBranch = isa.IsCondBranch(in.Op) || in.Op == isa.JR
+	size, _ := memSize(in.Op)
+	r.size = size
+	p.fetchQ = append(p.fetchQ, r)
+	for len(p.fetchQ) > 4096 && p.cycle < p.maxCycles {
+		p.step()
+	}
+}
+
+func memSize(op isa.Op) (int, bool) {
+	switch op {
+	case isa.LW, isa.SW:
+		return 4, true
+	case isa.LH, isa.LHU, isa.SH:
+		return 2, true
+	case isa.LB, isa.LBU, isa.SB:
+		return 1, true
+	}
+	return 0, false
+}
+
+// drainAll runs the pipeline until empty.
+func (p *pipeline) drainAll() {
+	for (len(p.fetchQ) > 0 || len(p.rob) > 0) && p.cycle < p.maxCycles {
+		p.step()
+	}
+}
+
+func (p *pipeline) result() *Result {
+	return &Result{
+		Cycles:      p.cycle,
+		Insts:       p.insts,
+		Branches:    p.branches,
+		Mispredicts: p.mispredicts,
+	}
+}
+
+// step advances one cycle: retire, issue/execute, dispatch.
+func (p *pipeline) step() {
+	p.retire()
+	p.issue()
+	p.dispatch()
+	p.cycle++
+}
+
+// retire removes completed instructions in order, up to RetireWidth.
+func (p *pipeline) retire() {
+	n := 0
+	for n < p.cfg.RetireWidth && len(p.rob) > 0 {
+		head := &p.rob[0]
+		if !head.done || head.doneAt > p.cycle {
+			break
+		}
+		if head.dst != isa.R0 {
+			p.inflightDefs[head.dst]--
+			if p.regProducer[head.dst] == head.seq {
+				delete(p.regProducer, head.dst)
+			}
+		}
+		delete(p.results, head.seq)
+		p.rob = p.rob[1:]
+		n++
+	}
+}
+
+// fuState tracks per-cycle functional unit availability. The FU mix
+// matches the static machine: 2 integer ALUs, 1 shifter, 1 multiply/divide
+// unit, 1 memory port, 1 branch unit. ALU/shift/mem/branch are pipelined;
+// multiply/divide is not.
+type fuState struct {
+	alu, shift, mem, branch int
+}
+
+// issue starts execution of ready reservation-station entries.
+func (p *pipeline) issue() {
+	fu := fuState{}
+	var muldivBusy int64 = -1
+	// First pass: find the muldiv busy horizon.
+	for i := range p.rob {
+		e := &p.rob[i]
+		if e.issued && !isDone(e, p.cycle) && e.class == isa.ClassMulDiv {
+			if e.doneAt > muldivBusy {
+				muldivBusy = e.doneAt
+			}
+		}
+	}
+	for i := range p.rob {
+		e := &p.rob[i]
+		if e.issued {
+			if !e.done && e.doneAt <= p.cycle {
+				e.done = true
+				if e.mispred && p.fetchBlockedBy == e.seq {
+					p.fetchBlockedBy = -1 // redirect complete; fetch resumes
+				}
+			}
+			continue
+		}
+		if !p.operandsReady(e) {
+			continue
+		}
+		// Memory ordering: a load may not issue before every earlier
+		// store has executed (addresses unknown until then); a store may
+		// not issue before earlier memory operations to overlapping
+		// addresses have issued.
+		if e.isLoad && !p.earlierStoresDone(i) {
+			continue
+		}
+		if e.isStore && !p.earlierMemIssued(i) {
+			continue
+		}
+		// Functional unit availability.
+		switch e.class {
+		case isa.ClassALU, isa.ClassNone:
+			if fu.alu >= 2 {
+				continue
+			}
+			fu.alu++
+		case isa.ClassShift:
+			if fu.shift >= 1 {
+				continue
+			}
+			fu.shift++
+		case isa.ClassMem:
+			if fu.mem >= 1 {
+				continue
+			}
+			fu.mem++
+		case isa.ClassBranch:
+			if fu.branch >= 1 {
+				continue
+			}
+			fu.branch++
+		case isa.ClassMulDiv:
+			if muldivBusy > p.cycle {
+				continue
+			}
+			muldivBusy = p.cycle + int64(isa.Latency(e.op))
+		}
+		e.issued = true
+		e.doneAt = p.cycle + int64(isa.Latency(e.op))
+		if (e.isLoad || e.isStore) && p.cfg.DataCache != nil {
+			e.doneAt += p.cfg.DataCache.Access(e.addr)
+		}
+		p.results[e.seq] = e.doneAt
+		p.rsUsed--
+	}
+}
+
+func isDone(e *rec, cycle int64) bool { return e.done && e.doneAt <= cycle }
+
+// operandsReady reports whether both source operands are available. A
+// producer absent from the ROB has retired, so its result is in the
+// register file.
+func (p *pipeline) operandsReady(e *rec) bool {
+	minSeq := int64(0)
+	if len(p.rob) > 0 {
+		minSeq = p.rob[0].seq
+	}
+	for _, w := range e.waitOn {
+		if w < 0 {
+			continue
+		}
+		if int64(w) < minSeq {
+			continue // producer retired
+		}
+		doneAt, ok := p.results[int64(w)]
+		if !ok || doneAt > p.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// earlierStoresDone reports whether all older stores in the ROB have
+// issued and produced their addresses, and forwards conservatively: the
+// load must also wait for an overlapping older store's completion.
+func (p *pipeline) earlierStoresDone(idx int) bool {
+	e := &p.rob[idx]
+	for i := 0; i < idx; i++ {
+		o := &p.rob[i]
+		if !o.isStore {
+			continue
+		}
+		if !o.issued {
+			return false
+		}
+		if overlaps(o, e) && o.doneAt > p.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// earlierMemIssued reports whether all older overlapping memory operations
+// have issued (write-after-read and write-after-write ordering).
+func (p *pipeline) earlierMemIssued(idx int) bool {
+	e := &p.rob[idx]
+	for i := 0; i < idx; i++ {
+		o := &p.rob[i]
+		if (o.isStore || o.isLoad) && overlaps(o, e) && !o.issued {
+			return false
+		}
+	}
+	return true
+}
+
+func overlaps(a, b *rec) bool {
+	return a.addr < b.addr+uint32(b.size) && b.addr < a.addr+uint32(a.size)
+}
+
+// dispatch moves instructions from the fetch queue into the ROB and
+// reservation stations, up to FetchWidth per cycle, respecting structural
+// limits, the no-renaming WAW restriction, and mispredict fetch stalls.
+func (p *pipeline) dispatch() {
+	for n := 0; n < p.cfg.FetchWidth; n++ {
+		if len(p.fetchQ) == 0 || p.fetchBlockedBy >= 0 {
+			return
+		}
+		if len(p.rob) >= p.cfg.ROBSize || p.rsUsed >= p.cfg.NumRS {
+			return
+		}
+		e := p.fetchQ[0]
+		if !p.cfg.Renaming && e.dst != isa.R0 && p.inflightDefs[e.dst] > 0 {
+			return // WAW: wait for the previous def of this register
+		}
+		p.fetchQ = p.fetchQ[1:]
+		e.seq = p.nextSeq
+		p.nextSeq++
+		p.insts++
+
+		// Source operands: record in-flight producers.
+		e.waitOn = [2]int{-1, -1}
+		for i, s := range e.srcs {
+			if s == isa.R0 {
+				continue
+			}
+			if seq, ok := p.regProducer[s]; ok {
+				e.waitOn[i] = int(seq)
+			}
+		}
+		if e.dst != isa.R0 {
+			p.regProducer[e.dst] = e.seq
+			p.inflightDefs[e.dst]++
+		}
+
+		// Branch prediction.
+		if isa.IsCondBranch(e.op) {
+			p.branches++
+			pred := p.btb.predictCond(e.id)
+			p.btb.updateCond(e.id, e.taken)
+			if pred != e.taken {
+				p.mispredicts++
+				e.mispred = true
+				p.fetchBlockedBy = e.seq
+			}
+		} else if e.op == isa.JR {
+			target, hit := p.btb.predictTarget(e.id)
+			p.btb.updateTarget(e.id, e.nextID)
+			if !hit || target != e.nextID {
+				p.mispredicts++
+				e.mispred = true
+				p.fetchBlockedBy = e.seq
+			}
+		}
+
+		p.rob = append(p.rob, e)
+		p.rsUsed++
+	}
+}
+
+// btb is a set-associative branch target buffer with 2-bit counters.
+type btb struct {
+	sets int
+	ways int
+	// entries[set][way]
+	tags     [][]int
+	counters [][]uint8
+	targets  [][]int
+	lru      [][]int64
+	tick     int64
+}
+
+func newBTB(sets, ways int) *btb {
+	b := &btb{sets: sets, ways: ways}
+	b.tags = make([][]int, sets)
+	b.counters = make([][]uint8, sets)
+	b.targets = make([][]int, sets)
+	b.lru = make([][]int64, sets)
+	for i := 0; i < sets; i++ {
+		b.tags[i] = make([]int, ways)
+		b.counters[i] = make([]uint8, ways)
+		b.targets[i] = make([]int, ways)
+		b.lru[i] = make([]int64, ways)
+		for w := 0; w < ways; w++ {
+			b.tags[i][w] = -1
+		}
+	}
+	return b
+}
+
+func (b *btb) find(pc int) (set, way int, hit bool) {
+	set = pc % b.sets
+	for w := 0; w < b.ways; w++ {
+		if b.tags[set][w] == pc {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// predictCond predicts a conditional branch: taken iff the 2-bit counter
+// is ≥ 2; a miss predicts not-taken.
+func (b *btb) predictCond(pc int) bool {
+	if set, way, hit := b.find(pc); hit {
+		return b.counters[set][way] >= 2
+	}
+	return false
+}
+
+// updateCond trains the counter (allocating on first sight).
+func (b *btb) updateCond(pc int, taken bool) {
+	set, way := b.allocate(pc)
+	c := b.counters[set][way]
+	if taken && c < 3 {
+		c++
+	}
+	if !taken && c > 0 {
+		c--
+	}
+	b.counters[set][way] = c
+	b.lru[set][way] = b.tick
+	b.tick++
+}
+
+// predictTarget predicts an indirect target by last-seen target.
+func (b *btb) predictTarget(pc int) (int, bool) {
+	if set, way, hit := b.find(pc); hit {
+		return b.targets[set][way], true
+	}
+	return 0, false
+}
+
+// updateTarget records the latest indirect target.
+func (b *btb) updateTarget(pc, target int) {
+	set, way := b.allocate(pc)
+	b.targets[set][way] = target
+	b.lru[set][way] = b.tick
+	b.tick++
+}
+
+// allocate returns the way for pc, evicting LRU on conflict.
+func (b *btb) allocate(pc int) (int, int) {
+	set, way, hit := b.find(pc)
+	if hit {
+		return set, way
+	}
+	victim := 0
+	for w := 1; w < b.ways; w++ {
+		if b.lru[set][w] < b.lru[set][victim] {
+			victim = w
+		}
+	}
+	b.tags[set][victim] = pc
+	b.counters[set][victim] = 1 // weakly not-taken
+	b.targets[set][victim] = 0
+	b.lru[set][victim] = b.tick
+	b.tick++
+	return set, victim
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders a horizontal stacked bar chart in plain text, in the
+// style of the paper's Figures 8 and 9: one row per benchmark, a solid
+// lower bar and a lighter upper extension (e.g. infinite-register or
+// renaming headroom). Values are speedups; the axis starts at 1.0 (no
+// speedup) like the figures'.
+func BarChart(labels []string, lower, upper []float64, unit string) string {
+	const width = 48 // character cells for the value range
+	maxV := 1.0
+	for i := range lower {
+		if lower[i] > maxV {
+			maxV = lower[i]
+		}
+		if i < len(upper) && upper[i] > maxV {
+			maxV = upper[i]
+		}
+	}
+	scale := float64(width) / (maxV - 1.0)
+	var b strings.Builder
+	for i, name := range labels {
+		lo := lower[i]
+		hi := lo
+		if i < len(upper) && upper[i] > lo {
+			hi = upper[i]
+		}
+		nLo := int((lo - 1.0) * scale)
+		nHi := int((hi - 1.0) * scale)
+		if nLo < 0 {
+			nLo = 0
+		}
+		if nHi < nLo {
+			nHi = nLo
+		}
+		bar := strings.Repeat("#", nLo) + strings.Repeat("+", nHi-nLo)
+		if hi > lo {
+			fmt.Fprintf(&b, "%-13s|%-*s %.2f%s (%.2f%s)\n", name, width, bar, lo, unit, hi, unit)
+		} else {
+			fmt.Fprintf(&b, "%-13s|%-*s %.2f%s\n", name, width, bar, lo, unit)
+		}
+	}
+	fmt.Fprintf(&b, "%-13s|%s>\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%-13s1.0%s%.2f\n", "", strings.Repeat(" ", width-4), maxV)
+	return b.String()
+}
+
+// Figure8Chart renders Figure 8 as the paper draws it: bars of the global
+// scheduling speedup with the infinite-register upper portion stacked.
+func Figure8Chart(rows []Figure8Row) string {
+	var labels []string
+	var lo, hi []float64
+	for _, r := range rows {
+		labels = append(labels, r.Name)
+		lo = append(lo, r.Global)
+		hi = append(hi, r.GlobalInf)
+	}
+	return "speedup over R2000 — global scheduling (# = allocated, + = infinite registers)\n" +
+		BarChart(labels, lo, hi, "x")
+}
+
+// Figure9Chart renders Figure 9's two bar groups side by side: MinBoost3
+// and the dynamic scheduler.
+func Figure9Chart(rows []Figure9Row) string {
+	var labels []string
+	var lo, hi []float64
+	for _, r := range rows {
+		labels = append(labels, r.Name+"/mb3")
+		lo = append(lo, r.MinBoost3)
+		hi = append(hi, r.MinBoost3Inf)
+		labels = append(labels, r.Name+"/dyn")
+		lo = append(lo, r.Dynamic)
+		hi = append(hi, r.DynamicRenamed)
+	}
+	return "speedup over R2000 (# = base, + = infinite regs / renaming)\n" +
+		BarChart(labels, lo, hi, "x")
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits every experiment's rows as CSV for external plotting:
+// one record per (experiment, benchmark, series) triple with a numeric
+// value. The format is deliberately long/tidy so spreadsheet pivoting and
+// plotting tools can consume it directly.
+func (s *Suite) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"experiment", "benchmark", "series", "value"}); err != nil {
+		return err
+	}
+	emit := func(exp, bench, series string, v float64) error {
+		return cw.Write([]string{exp, bench, series, strconv.FormatFloat(v, 'g', 8, 64)})
+	}
+
+	t1, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	for _, r := range t1 {
+		if err := emit("table1", r.Name, "cycles", float64(r.Cycles)); err != nil {
+			return err
+		}
+		if err := emit("table1", r.Name, "ipc", r.IPC); err != nil {
+			return err
+		}
+		if err := emit("table1", r.Name, "accuracy", r.Accuracy); err != nil {
+			return err
+		}
+	}
+
+	f8, _, _, err := s.Figure8()
+	if err != nil {
+		return err
+	}
+	for _, r := range f8 {
+		for _, sv := range []struct {
+			series string
+			v      float64
+		}{
+			{"basicblock", r.BasicBlock}, {"global", r.Global}, {"global_inf", r.GlobalInf},
+		} {
+			if err := emit("figure8", r.Name, sv.series, sv.v); err != nil {
+				return err
+			}
+		}
+	}
+
+	t2, _, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	for _, r := range t2 {
+		for _, m := range Table2Models {
+			if err := emit("table2", r.Name, m, r.Improvement[m]); err != nil {
+				return err
+			}
+		}
+	}
+
+	f9, _, _, err := s.Figure9()
+	if err != nil {
+		return err
+	}
+	for _, r := range f9 {
+		for _, sv := range []struct {
+			series string
+			v      float64
+		}{
+			{"minboost3", r.MinBoost3}, {"minboost3_inf", r.MinBoost3Inf},
+			{"dynamic", r.Dynamic}, {"dynamic_renamed", r.DynamicRenamed},
+		} {
+			if err := emit("figure9", r.Name, sv.series, sv.v); err != nil {
+				return err
+			}
+		}
+	}
+
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4.3):
+//
+//	Table 1  – benchmark simulation information (cycles, IPC, accuracy)
+//	Figure 8 – base superscalar speedups: basic-block vs global scheduling,
+//	           register-allocated vs infinite-register (stacked)
+//	Table 2  – % improvement over global scheduling for Squashing, Boost1,
+//	           MinBoost3 and Boost7
+//	Figure 9 – MinBoost3 vs the dynamically-scheduled superscalar
+//
+// plus the quantitative claims made in prose: boosted-exception handling
+// costs (§2.3) and shadow register file hardware costs (§4.3.2).
+//
+// Methodology mirrors the paper: workloads are compiled (register
+// allocation first, then scheduling), branch predictions come from a
+// profile on the training input, performance is measured on the test
+// input, and speedup is total R2000 cycles divided by total cycles of the
+// machine under test. Every simulated run is verified against the
+// reference interpreter's output and final memory before its cycle count
+// is used.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"boosting/internal/core"
+	"boosting/internal/machine"
+	"boosting/internal/profile"
+	"boosting/internal/prog"
+	"boosting/internal/regalloc"
+	"boosting/internal/sim"
+	"boosting/internal/workloads"
+)
+
+// Suite runs experiments over the benchmark set, caching compiled
+// programs and cycle counts so the table/figure functions can share work.
+type Suite struct {
+	Workloads []*workloads.Workload
+	// cycles caches measured cycle counts by cache key.
+	cycles map[string]int64
+	// refs caches reference results for verification, keyed by
+	// workload+regalloc mode.
+	refs map[string]*sim.Result
+	// accuracy and refInsts cache Table 1 inputs.
+	accuracy map[string]float64
+}
+
+// NewSuite returns a Suite over the full benchmark set.
+func NewSuite() *Suite {
+	return &Suite{
+		Workloads: workloads.All(),
+		cycles:    map[string]int64{},
+		refs:      map[string]*sim.Result{},
+		accuracy:  map[string]float64{},
+	}
+}
+
+// buildPair builds (train, test) programs for a workload, optionally
+// register-allocated, with predictions transferred from the training
+// profile.
+func (s *Suite) buildPair(w *workloads.Workload, alloc bool) (*prog.Program, error) {
+	train := w.BuildTrain()
+	test := w.BuildTest()
+	if alloc {
+		if _, err := regalloc.Allocate(train); err != nil {
+			return nil, fmt.Errorf("%s: regalloc train: %w", w.Name, err)
+		}
+		if _, err := regalloc.Allocate(test); err != nil {
+			return nil, fmt.Errorf("%s: regalloc test: %w", w.Name, err)
+		}
+	}
+	if err := profile.Annotate(train); err != nil {
+		return nil, fmt.Errorf("%s: profile: %w", w.Name, err)
+	}
+	if err := profile.Transfer(train, test); err != nil {
+		return nil, fmt.Errorf("%s: transfer: %w", w.Name, err)
+	}
+	return test, nil
+}
+
+// reference returns (cached) reference results for the test input.
+func (s *Suite) reference(w *workloads.Workload, alloc bool) (*sim.Result, error) {
+	key := fmt.Sprintf("%s/alloc=%v", w.Name, alloc)
+	if r, ok := s.refs[key]; ok {
+		return r, nil
+	}
+	test, err := s.buildPair(w, alloc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.Run(test, sim.RefConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: reference: %w", w.Name, err)
+	}
+	s.refs[key] = r
+	return r, nil
+}
+
+// measure compiles the workload for the model/options and returns verified
+// cycle counts.
+func (s *Suite) measure(w *workloads.Workload, model *machine.Model, opts core.Options, alloc bool) (int64, error) {
+	key := fmt.Sprintf("%s/%s/local=%v/alloc=%v", w.Name, model.Name, opts.LocalOnly, alloc)
+	if c, ok := s.cycles[key]; ok {
+		return c, nil
+	}
+	ref, err := s.reference(w, alloc)
+	if err != nil {
+		return 0, err
+	}
+	test, err := s.buildPair(w, alloc)
+	if err != nil {
+		return 0, err
+	}
+	sp, err := core.Schedule(test, model, opts)
+	if err != nil {
+		return 0, fmt.Errorf("%s on %s: %w", w.Name, model.Name, err)
+	}
+	res, err := sim.Exec(sp, sim.ExecConfig{})
+	if err != nil {
+		return 0, fmt.Errorf("%s on %s: exec: %w", w.Name, model.Name, err)
+	}
+	if err := verify(ref, res.Out, res.MemHash); err != nil {
+		return 0, fmt.Errorf("%s on %s: %w", w.Name, model.Name, err)
+	}
+	s.cycles[key] = res.Cycles
+	return res.Cycles, nil
+}
+
+// verify compares observable behavior with the reference run.
+func verify(ref *sim.Result, out []uint32, memHash uint64) error {
+	if len(out) != len(ref.Out) {
+		return fmt.Errorf("verification failed: %d outputs, want %d", len(out), len(ref.Out))
+	}
+	for i := range out {
+		if out[i] != ref.Out[i] {
+			return fmt.Errorf("verification failed: out[%d] = %d, want %d", i, out[i], ref.Out[i])
+		}
+	}
+	if memHash != ref.MemHash {
+		return fmt.Errorf("verification failed: final memory differs")
+	}
+	return nil
+}
+
+// scalarCycles measures the R2000 baseline (locally scheduled, register
+// allocated — the "commercial MIPS assembler" role).
+func (s *Suite) scalarCycles(w *workloads.Workload) (int64, error) {
+	return s.measure(w, machine.Scalar(), core.Options{LocalOnly: true}, true)
+}
+
+// GeoMean returns the geometric mean of vs.
+func GeoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}

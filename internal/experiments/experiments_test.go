@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestReproduceAll regenerates every table and figure and checks the
+// paper's qualitative findings (the "shape" criteria from DESIGN.md).
+func TestReproduceAll(t *testing.T) {
+	s := NewSuite()
+
+	// ---- Table 1 ----
+	t1, err := s.Table1()
+	if err != nil {
+		t.Fatalf("Table 1: %v", err)
+	}
+	t.Logf("Table 1:\n%s", FormatTable1(t1))
+	for _, r := range t1 {
+		if r.IPC <= 0.5 || r.IPC > 1.0 {
+			t.Errorf("Table 1 %s: scalar IPC %.2f outside the R2000 band (0.5, 1.0]", r.Name, r.IPC)
+		}
+		if r.Accuracy < 0.6 || r.Accuracy > 1.0 {
+			t.Errorf("Table 1 %s: accuracy %.3f implausible", r.Name, r.Accuracy)
+		}
+	}
+
+	// ---- Figure 8 ----
+	f8, gmBB, gmGl, err := s.Figure8()
+	if err != nil {
+		t.Fatalf("Figure 8: %v", err)
+	}
+	t.Logf("Figure 8:\n%s", FormatFigure8(f8, gmBB, gmGl))
+	if gmGl <= gmBB {
+		t.Errorf("Figure 8: global scheduling (%.3f) must beat basic-block scheduling (%.3f)", gmGl, gmBB)
+	}
+	if gmBB < 1.0 {
+		t.Errorf("Figure 8: basic-block speedup %.3f below 1; dual issue should never lose", gmBB)
+	}
+	var infRatios []float64
+	for _, r := range f8 {
+		if r.GlobalInf+1e-9 < r.Global {
+			t.Errorf("Figure 8 %s: infinite-register bar (%.3f) below allocated bar (%.3f)",
+				r.Name, r.GlobalInf, r.Global)
+		}
+		infRatios = append(infRatios, r.GlobalInf/r.Global)
+	}
+	infGain := GeoMean(infRatios) - 1
+
+	// ---- Table 2 ----
+	t2, geo, err := s.Table2()
+	if err != nil {
+		t.Fatalf("Table 2: %v", err)
+	}
+	t.Logf("Table 2:\n%s", FormatTable2(t2, geo))
+	if geo["Squashing"] <= 0 {
+		t.Errorf("Table 2: Squashing improvement %.3f should be positive", geo["Squashing"])
+	}
+	if geo["Boost1"] < geo["Squashing"] {
+		t.Errorf("Table 2: Boost1 (%.3f) must beat Squashing (%.3f)", geo["Boost1"], geo["Squashing"])
+	}
+	if geo["MinBoost3"] < geo["Boost1"]-0.02 {
+		t.Errorf("Table 2: MinBoost3 (%.3f) far below Boost1 (%.3f)", geo["MinBoost3"], geo["Boost1"])
+	}
+	if geo["Boost7"]+1e-9 < geo["MinBoost3"] {
+		t.Errorf("Table 2: Boost7 (%.3f) must not lose to MinBoost3 (%.3f)", geo["Boost7"], geo["MinBoost3"])
+	}
+	// The paper's §4.3.2 software-vs-hardware claim: "hardware support for
+	// unsafe speculative code motions improves machine performance beyond
+	// the best performance of the pure software schemes" — the
+	// infinite-register gain must be smaller than Boost1's gain.
+	if infGain >= geo["Boost1"] {
+		t.Errorf("infinite registers (+%.3f) should gain less than Boost1 (+%.3f)",
+			infGain, geo["Boost1"])
+	}
+
+	// Diminishing returns at the deep end: the paper's conclusion is that
+	// Boost7's "amount of extra hardware does little to improve
+	// performance" over the minimal schemes — its increment over
+	// MinBoost3 must be small compared with the gains the cheap schemes
+	// already deliver.
+	if geo["Boost7"]-geo["MinBoost3"] > 0.5*geo["MinBoost3"] {
+		t.Errorf("Table 2: Boost7's step over MinBoost3 (%.3f) is not marginal (MinBoost3 %.3f)",
+			geo["Boost7"]-geo["MinBoost3"], geo["MinBoost3"])
+	}
+
+	// ---- Figure 9 ----
+	f9, gmMB3, gmDyn, err := s.Figure9()
+	if err != nil {
+		t.Fatalf("Figure 9: %v", err)
+	}
+	t.Logf("Figure 9:\n%s", FormatFigure9(f9, gmMB3, gmDyn))
+	// The paper's headline: the minimal static machine reaches the
+	// performance of the much more complex dynamic machine (both ≈1.5x).
+	if gmMB3 < 0.9*gmDyn {
+		t.Errorf("Figure 9: MinBoost3 (%.3fx) falls well short of the dynamic scheduler (%.3fx)",
+			gmMB3, gmDyn)
+	}
+
+	// ---- Exception costs (§2.3) ----
+	ec, err := s.ExceptionCostsReport()
+	if err != nil {
+		t.Fatalf("exception costs: %v", err)
+	}
+	for name, g := range ec.Growth {
+		if g >= 2.0 {
+			t.Errorf("object growth for %s is %.2f; paper promises < 2x", name, g)
+		}
+	}
+	t.Logf("object growth under MinBoost3: %v (handler overhead %d cycles)", ec.Growth, ec.HandlerOverhead)
+}

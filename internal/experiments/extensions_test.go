@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+
+	"boosting/internal/machine"
+	"boosting/internal/workloads"
+)
+
+// TestExtensionsSmoke exercises the extension measurements end to end on
+// one workload each (the full-set versions run as benchmarks).
+func TestExtensionsSmoke(t *testing.T) {
+	s := NewSuite()
+	grep := s.Workloads[4]
+	if grep.Name != "grep" {
+		t.Fatal("workload order changed")
+	}
+
+	plain, err := s.DynCycles(grep, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := s.DynPrescheduled(grep, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre <= 0 || plain <= 0 {
+		t.Fatalf("cycles %d/%d", plain, pre)
+	}
+	// Prescheduling reorders but never changes semantics (verified inside)
+	// and should not catastrophically hurt.
+	if float64(pre) > 1.5*float64(plain) {
+		t.Errorf("prescheduled dynamic run implausibly slow: %d vs %d", pre, plain)
+	}
+
+	unrolled, err := s.UnrolledCycles(grep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.MeasureModel(grep, machine.MinBoost3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unrolled <= 0 || unrolled > base {
+		t.Errorf("unrolling grep should not slow it down: %d vs %d", unrolled, base)
+	}
+
+	perfect, cached, err := s.CacheSpeedups(grep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached > perfect {
+		t.Errorf("a finite cache cannot improve the speedup ratio here: %.3f vs %.3f", cached, perfect)
+	}
+	if perfect <= 1 {
+		t.Errorf("MinBoost3 must beat scalar on grep: %.3f", perfect)
+	}
+
+	// Cached results must be stable.
+	again, err := s.DynPrescheduled(grep, false)
+	if err != nil || again != pre {
+		t.Errorf("cache instability: %d vs %d (%v)", again, pre, err)
+	}
+}
+
+// TestConclusionStableAcrossInputs re-runs the central comparison (boosted
+// vs base superscalar) on a different-seed/different-size input pair for
+// one workload, checking the paper's conclusions are not artifacts of the
+// particular dataset.
+func TestConclusionStableAcrossInputs(t *testing.T) {
+	for _, in := range []workloads.Input{
+		{Seed: 1234, Size: 6000},
+		{Seed: 9876, Size: 18000},
+	} {
+		w := &workloads.Workload{
+			Name:  "grep",
+			Build: workloads.Grep().Build,
+			Train: workloads.Input{Seed: in.Seed + 1, Size: in.Size / 2},
+			Test:  in,
+		}
+		s := NewSuite()
+		s.Workloads = []*workloads.Workload{w}
+		base, err := s.MeasureModel(w, machine.NoBoost())
+		if err != nil {
+			t.Fatal(err)
+		}
+		boosted, err := s.MeasureModel(w, machine.MinBoost3())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if boosted >= base {
+			t.Errorf("input %+v: boosting (%d) failed to beat global scheduling (%d)",
+				in, boosted, base)
+		}
+	}
+}

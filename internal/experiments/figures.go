@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"boosting/internal/core"
+	"boosting/internal/dynsched"
+	"boosting/internal/machine"
+	"boosting/internal/workloads"
+)
+
+// Figure9Row is one group of bars from Figure 9: speedups over the scalar
+// machine for the MinBoost3 static machine (register allocated / infinite
+// registers) and the dynamically-scheduled machine (without / with
+// register renaming).
+type Figure9Row struct {
+	Name string
+	// MinBoost3 and MinBoost3Inf are the static machine's lower and upper
+	// bar portions.
+	MinBoost3    float64
+	MinBoost3Inf float64
+	// Dynamic and DynamicRenamed are the dynamic scheduler's lower and
+	// upper bar portions.
+	Dynamic        float64
+	DynamicRenamed float64
+}
+
+// Figure9 reproduces Figure 9.
+func (s *Suite) Figure9() ([]Figure9Row, float64, float64, error) {
+	var rows []Figure9Row
+	var mb3s, dyns []float64
+	for _, w := range s.Workloads {
+		scalar, err := s.scalarCycles(w)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		mb3, err := s.measure(w, machine.MinBoost3(), core.Options{}, true)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		mb3inf, err := s.measure(w, machine.MinBoost3(), core.Options{}, false)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		dyn, err := s.dynCycles(w, false)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		dynRen, err := s.dynCycles(w, true)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		row := Figure9Row{
+			Name:           w.Name,
+			MinBoost3:      float64(scalar) / float64(mb3),
+			MinBoost3Inf:   float64(scalar) / float64(mb3inf),
+			Dynamic:        float64(scalar) / float64(dyn),
+			DynamicRenamed: float64(scalar) / float64(dynRen),
+		}
+		rows = append(rows, row)
+		mb3s = append(mb3s, row.MinBoost3)
+		dyns = append(dyns, row.Dynamic)
+	}
+	return rows, GeoMean(mb3s), GeoMean(dyns), nil
+}
+
+// dynCycles measures the dynamically-scheduled machine on the
+// register-allocated test program (cached). The dynamic machine does its
+// own prediction with a BTB, so the static profile is irrelevant to it,
+// but the input program is the same one the static machines compile.
+func (s *Suite) dynCycles(w *workloads.Workload, renaming bool) (int64, error) {
+	key := fmt.Sprintf("%s/dyn/ren=%v", w.Name, renaming)
+	if c, ok := s.cycles[key]; ok {
+		return c, nil
+	}
+	test, err := s.buildPair(w, true)
+	if err != nil {
+		return 0, err
+	}
+	cfg := dynsched.Default()
+	cfg.Renaming = renaming
+	res, err := dynsched.Simulate(test, cfg)
+	if err != nil {
+		return 0, err
+	}
+	ref, err := s.reference(w, true)
+	if err != nil {
+		return 0, err
+	}
+	if err := verify(ref, res.Out, res.MemHash); err != nil {
+		return 0, fmt.Errorf("%s dynamic: %w", w.Name, err)
+	}
+	s.cycles[key] = res.Cycles
+	return res.Cycles, nil
+}
+
+// FormatFigure9 renders the figure's series.
+func FormatFigure9(rows []Figure9Row, gmMB3, gmDyn float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %14s %10s %14s\n",
+		"", "MinBoost3", "MinBoost3(inf)", "Dynamic", "Dynamic(ren)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %9.2fx %13.2fx %9.2fx %13.2fx\n",
+			r.Name, r.MinBoost3, r.MinBoost3Inf, r.Dynamic, r.DynamicRenamed)
+	}
+	fmt.Fprintf(&b, "%-10s %9.2fx %27.2fx\n", "G.M.", gmMB3, gmDyn)
+	return b.String()
+}
+
+// ExceptionCosts quantifies §2.3's prose claims on the benchmark set:
+// object-file growth (scheduled + recovery code vs original, "less than a
+// two-times growth") and the boosted exception handler overhead in cycles.
+type ExceptionCosts struct {
+	// Growth maps workload name to object growth under MinBoost3.
+	Growth map[string]float64
+	// HandlerOverhead is the modeled handler entry cost in cycles.
+	HandlerOverhead int
+}
+
+// ExceptionCostsReport computes the exception-cost table.
+func (s *Suite) ExceptionCostsReport() (*ExceptionCosts, error) {
+	out := &ExceptionCosts{
+		Growth:          map[string]float64{},
+		HandlerOverhead: machine.MinBoost3().ExceptionOverhead,
+	}
+	for _, w := range s.Workloads {
+		test, err := s.buildPair(w, true)
+		if err != nil {
+			return nil, err
+		}
+		orig := test.NumInsts()
+		sp, err := core.Schedule(test, machine.MinBoost3(), core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		_ = orig
+		out.Growth[w.Name] = sp.ObjectGrowth()
+	}
+	return out, nil
+}
+
+// SpeedupSummary bundles the headline comparison used by the README and
+// the examples: geometric-mean speedups over the scalar machine for every
+// configuration in the paper.
+type SpeedupSummary struct {
+	BasicBlock float64
+	Global     float64
+	Squashing  float64
+	Boost1     float64
+	MinBoost3  float64
+	Boost7     float64
+	Dynamic    float64
+}
+
+// Summary computes the headline geometric means.
+func (s *Suite) Summary() (*SpeedupSummary, error) {
+	sum := &SpeedupSummary{}
+	collect := func(model *machine.Model, opts core.Options) (float64, error) {
+		var vs []float64
+		for _, w := range s.Workloads {
+			scalar, err := s.scalarCycles(w)
+			if err != nil {
+				return 0, err
+			}
+			c, err := s.measure(w, model, opts, true)
+			if err != nil {
+				return 0, err
+			}
+			vs = append(vs, float64(scalar)/float64(c))
+		}
+		return GeoMean(vs), nil
+	}
+	var err error
+	if sum.BasicBlock, err = collect(machine.NoBoost(), core.Options{LocalOnly: true}); err != nil {
+		return nil, err
+	}
+	if sum.Global, err = collect(machine.NoBoost(), core.Options{}); err != nil {
+		return nil, err
+	}
+	if sum.Squashing, err = collect(machine.Squashing(), core.Options{}); err != nil {
+		return nil, err
+	}
+	if sum.Boost1, err = collect(machine.Boost1(), core.Options{}); err != nil {
+		return nil, err
+	}
+	if sum.MinBoost3, err = collect(machine.MinBoost3(), core.Options{}); err != nil {
+		return nil, err
+	}
+	if sum.Boost7, err = collect(machine.Boost7(), core.Options{}); err != nil {
+		return nil, err
+	}
+	var dyn []float64
+	for _, w := range s.Workloads {
+		scalar, err := s.scalarCycles(w)
+		if err != nil {
+			return nil, err
+		}
+		c, err := s.dynCycles(w, false)
+		if err != nil {
+			return nil, err
+		}
+		dyn = append(dyn, float64(scalar)/float64(c))
+	}
+	sum.Dynamic = GeoMean(dyn)
+	return sum, nil
+}

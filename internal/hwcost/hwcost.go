@@ -1,0 +1,162 @@
+// Package hwcost models the hardware cost of boosting support, following
+// the paper's §4.3.2 discussion: "The decoder for a Boost1 machine with 32
+// sequential registers contains only 33% more transistors than a normal
+// decoder for a register file with 64 registers (50% more transistors are
+// required for a MinBoost3 implementation)," and the register file access
+// path grows by approximately one gate delay.
+//
+// The model counts decoder transistors for NOR-style address decoders and
+// the extra per-register shadow logic of Figure 7 (one counter, one valid
+// bit, one "which register is shadow" flip-flop per pair). It is an
+// analytic estimate, not a layout: its purpose is to rank configurations
+// and reproduce the paper's relative numbers.
+package hwcost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decoder cost model: an N-entry decoder is built from N AND/NOR gates of
+// log2(N) inputs each (one per word line); a k-input static CMOS gate
+// costs 2k transistors.
+func decoderTransistors(words int) int {
+	bits := int(math.Ceil(math.Log2(float64(words))))
+	return words * 2 * bits
+}
+
+// Cost describes one register-file configuration.
+type Cost struct {
+	Name string
+	// Registers is the number of architecturally addressable registers.
+	Registers int
+	// ShadowPerReg is the number of shadow locations per register.
+	ShadowPerReg int
+	// DecoderTransistors counts the register file address decoders.
+	DecoderTransistors int
+	// ShadowLogicTransistors counts counters, valid bits and swap gates.
+	ShadowLogicTransistors int
+	// ExtraAccessGateDelays is the register read-path penalty in gate
+	// delays relative to a plain register file.
+	ExtraAccessGateDelays int
+}
+
+// Total returns the combined transistor estimate.
+func (c Cost) Total() int { return c.DecoderTransistors + c.ShadowLogicTransistors }
+
+const (
+	// Per-register shadow bookkeeping in the Figure 7 scheme: a T
+	// flip-flop to "pong" the pair (~12 transistors), a valid bit (~6),
+	// and an AND/OR gate pair on the commit path (~8).
+	swapLogicPerReg = 12 + 6 + 8
+	// Each counter bit costs a flip-flop plus decrement logic.
+	counterBitPerReg = 12 + 6
+)
+
+// PlainFile returns the cost of a conventional file with n registers.
+func PlainFile(name string, n int) Cost {
+	return Cost{
+		Name:               name,
+		Registers:          n,
+		DecoderTransistors: decoderTransistors(n),
+	}
+}
+
+// BoostFile returns the cost of a boosted register file with n sequential
+// registers and maxLevel levels sharing a single shadow location per
+// register (the Option 2 hardware of Figure 7). With maxLevel == 1 the
+// counter degenerates to a valid bit and the pong flip-flop (the Boost1
+// hardware).
+//
+// Decoder structure per register pair: a log2(n)-input decode gate drives
+// two word lines; each word line is qualified by a select gate combining
+// the decode, the instruction's boost/sequential bit and the pair's pong
+// flip-flop ("a single gate to the register file access path"), plus
+// valid/commit steering. For multi-level counters the select additionally
+// matches the counter value. Storage (counter/valid flip-flops) is
+// accounted separately in ShadowLogicTransistors.
+func BoostFile(name string, n, maxLevel int) Cost {
+	bits := int(math.Ceil(math.Log2(float64(n))))
+	perPair := 2*bits + // decode gate
+		2*6 + // two 3-input word-line select gates
+		10 // valid/commit steering
+	counterBits := 0
+	if maxLevel > 1 {
+		counterBits = int(math.Ceil(math.Log2(float64(maxLevel + 1))))
+		perPair += 2 * counterBits // counter-match gating on the selects
+	}
+	return Cost{
+		Name:                   name,
+		Registers:              n,
+		ShadowPerReg:           1,
+		DecoderTransistors:     n * perPair,
+		ShadowLogicTransistors: n * (swapLogicPerReg + counterBits*counterBitPerReg),
+		ExtraAccessGateDelays:  1,
+	}
+}
+
+// FullShadowFile returns the cost of the general multi-shadow scheme
+// (§4.1): maxLevel+1 physical registers per sequential register, each with
+// a level counter.
+func FullShadowFile(name string, n, maxLevel int) Cost {
+	pool := maxLevel + 1
+	counterBits := int(math.Ceil(math.Log2(float64(pool))))
+	return Cost{
+		Name:                   name,
+		Registers:              n,
+		ShadowPerReg:           maxLevel,
+		DecoderTransistors:     decoderTransistors(n*pool) + n*pool*2,
+		ShadowLogicTransistors: n * pool * (swapLogicPerReg + counterBits*counterBitPerReg),
+		ExtraAccessGateDelays:  2,
+	}
+}
+
+// Report compares the evaluated configurations the way §4.3.2 does:
+// decoder growth is quoted relative to a plain 64-register decoder (the
+// natural alternative use of the same storage).
+type Report struct {
+	Base64 Cost
+	Boost1 Cost
+	MinB3  Cost
+	Boost7 Cost
+	// DecoderGrowth1 and DecoderGrowth3 are the fractional decoder
+	// transistor increases of Boost1/MinBoost3 over the 64-entry decoder.
+	DecoderGrowth1 float64
+	DecoderGrowth3 float64
+}
+
+// NewReport builds the comparison for 32 sequential registers.
+func NewReport() Report {
+	base := PlainFile("64-reg file", 64)
+	b1 := BoostFile("Boost1", 32, 1)
+	b3 := BoostFile("MinBoost3", 32, 3)
+	b7 := FullShadowFile("Boost7", 32, 7)
+	return Report{
+		Base64:         base,
+		Boost1:         b1,
+		MinB3:          b3,
+		Boost7:         b7,
+		DecoderGrowth1: growth(b1, base),
+		DecoderGrowth3: growth(b3, base),
+	}
+}
+
+// growth compares decoder transistor counts, the paper's §4.3.2 metric.
+func growth(c, base Cost) float64 {
+	return float64(c.DecoderTransistors-base.DecoderTransistors) /
+		float64(base.DecoderTransistors)
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"base 64-reg decoder: %d transistors\n"+
+			"Boost1:    decoder+shadow %d (+%.0f%% vs 64-reg decoder), +%d gate delay\n"+
+			"MinBoost3: decoder+shadow %d (+%.0f%% vs 64-reg decoder), +%d gate delay\n"+
+			"Boost7:    decoder+shadow %d (full multi-shadow), +%d gate delays\n",
+		r.Base64.DecoderTransistors,
+		r.Boost1.Total(), 100*r.DecoderGrowth1, r.Boost1.ExtraAccessGateDelays,
+		r.MinB3.Total(), 100*r.DecoderGrowth3, r.MinB3.ExtraAccessGateDelays,
+		r.Boost7.Total(), r.Boost7.ExtraAccessGateDelays,
+	)
+}

@@ -1,0 +1,61 @@
+package hwcost
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecoderScaling(t *testing.T) {
+	d32 := decoderTransistors(32)
+	d64 := decoderTransistors(64)
+	if d32 != 32*2*5 {
+		t.Errorf("32-entry decoder = %d, want %d", d32, 32*2*5)
+	}
+	if d64 != 64*2*6 {
+		t.Errorf("64-entry decoder = %d, want %d", d64, 64*2*6)
+	}
+	if d64 <= d32 {
+		t.Error("bigger decoders must cost more")
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	r := NewReport()
+	// The paper: Boost1 decoder ≈ +33% over a 64-register decoder,
+	// MinBoost3 ≈ +50%. Our analytic model should land in the same
+	// neighborhood (between 20% and 60%) and preserve the ordering.
+	if r.DecoderGrowth1 < 0.15 || r.DecoderGrowth1 > 0.60 {
+		t.Errorf("Boost1 decoder growth %.2f outside the plausible band around the paper's 0.33",
+			r.DecoderGrowth1)
+	}
+	if r.DecoderGrowth3 < r.DecoderGrowth1 {
+		t.Error("MinBoost3 must cost more than Boost1")
+	}
+	if r.DecoderGrowth3 > 0.85 {
+		t.Errorf("MinBoost3 decoder growth %.2f far beyond the paper's 0.50", r.DecoderGrowth3)
+	}
+	// Boost7's full shadow structures must dwarf both (the paper calls
+	// this hardware "obviously unreasonable").
+	if r.Boost7.Total() < 2*r.MinB3.Total() {
+		t.Errorf("Boost7 (%d) should cost far more than MinBoost3 (%d)",
+			r.Boost7.Total(), r.MinB3.Total())
+	}
+	// Access-path penalty: one gate delay for the single-shadow schemes.
+	if r.Boost1.ExtraAccessGateDelays != 1 || r.MinB3.ExtraAccessGateDelays != 1 {
+		t.Error("single-shadow schemes add exactly one gate to the access path")
+	}
+	if !strings.Contains(r.String(), "Boost1") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestCostTotals(t *testing.T) {
+	c := BoostFile("x", 32, 3)
+	if c.Total() != c.DecoderTransistors+c.ShadowLogicTransistors {
+		t.Error("Total mismatch")
+	}
+	p := PlainFile("p", 32)
+	if p.ShadowLogicTransistors != 0 || p.ExtraAccessGateDelays != 0 {
+		t.Error("plain file must have no shadow costs")
+	}
+}

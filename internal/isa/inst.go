@@ -1,0 +1,184 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BranchDir is a predicted direction for one conditional branch in a general
+// (non-trace-based) boosting label, matching the paper's ".BRR"-style
+// suffixes: R (predicted right/taken path in our rendering), L (left/not
+// taken), or X (don't care — the branch is independent).
+type BranchDir uint8
+
+const (
+	// DirR marks dependence on the branch going its predicted direction.
+	DirR BranchDir = iota
+	// DirL marks dependence on the branch going against its prediction.
+	DirL
+	// DirX marks independence from the branch (don't care).
+	DirX
+)
+
+// String returns "R", "L" or "X".
+func (d BranchDir) String() string {
+	switch d {
+	case DirR:
+		return "R"
+	case DirL:
+		return "L"
+	default:
+		return "X"
+	}
+}
+
+// Inst is one machine instruction. The zero value is a NOP.
+//
+// Register fields follow MIPS conventions loosely:
+//
+//	ALU/shift/muldiv: Rd = Rs op Rt (or op Imm for immediate forms)
+//	loads:            Rd = Mem[Rs+Imm]
+//	stores:           Mem[Rs+Imm] = Rt
+//	branches:         compare Rs (and Rt for BEQ/BNE); Pred gives the
+//	                  statically predicted outcome; targets live on the
+//	                  enclosing basic block's CFG edges
+//	JAL:              Sym names the callee; Rd receives the return address
+//	JR:               jumps to the address in Rs (procedure return)
+//	OUT:              appends the value of Rs to the program output
+//
+// Boost is the trace-based boosting level: 0 means sequential, n > 0 means
+// the instruction's effects are speculative until the next n conditional
+// branches each resolve in their predicted direction (paper §2.3). Dirs, if
+// non-nil, carries the general per-branch labelling used by the ".BRR"
+// examples; the trace-based schedulers leave it nil.
+type Inst struct {
+	Op   Op
+	Rd   Reg
+	Rs   Reg
+	Rt   Reg
+	Imm  int32
+	Sym  string // callee name for JAL; optional annotation elsewhere
+	Pred bool   // for conditional branches: statically predicted taken?
+
+	Boost int
+	Dirs  []BranchDir
+
+	// ID is a stable identity assigned by the program builder; it survives
+	// scheduling, duplication and boosting so that tests can trace an
+	// instruction's journey. Duplicates share the original's ID.
+	ID int
+}
+
+// Defs appends the registers written by the instruction to dst and returns
+// it. R0 writes are included (the simulator discards them); callers that
+// care filter them.
+func (in *Inst) Defs(dst []Reg) []Reg {
+	switch {
+	case in.Op == NOP || in.Op == HALT || in.Op == OUT:
+		return dst
+	case IsStore(in.Op) || IsCondBranch(in.Op) || in.Op == J:
+		return dst
+	case in.Op == JAL:
+		return append(dst, in.Rd)
+	case in.Op == JR:
+		return dst
+	default:
+		return append(dst, in.Rd)
+	}
+}
+
+// Uses appends the registers read by the instruction to dst and returns it.
+func (in *Inst) Uses(dst []Reg) []Reg {
+	switch in.Op {
+	case NOP, HALT, J, JAL, LUI:
+		return dst
+	case ADD, SUB, AND, OR, XOR, NOR, SLT, SLTU, SLLV, SRLV, SRAV,
+		MUL, DIV, REM, DIVU:
+		return append(dst, in.Rs, in.Rt)
+	case ADDI, ANDI, ORI, XORI, SLTI, SLTIU, SLL, SRL, SRA:
+		return append(dst, in.Rs)
+	case LW, LB, LBU, LH, LHU:
+		return append(dst, in.Rs)
+	case SW, SB, SH:
+		return append(dst, in.Rs, in.Rt)
+	case BEQ, BNE:
+		return append(dst, in.Rs, in.Rt)
+	case BLEZ, BGTZ, BLTZ, BGEZ:
+		return append(dst, in.Rs)
+	case JR:
+		return append(dst, in.Rs)
+	case OUT:
+		return append(dst, in.Rs)
+	}
+	return dst
+}
+
+// Dest returns the destination register and true if the instruction writes
+// a register.
+func (in *Inst) Dest() (Reg, bool) {
+	d := in.Defs(nil)
+	if len(d) == 0 {
+		return 0, false
+	}
+	return d[0], true
+}
+
+// IsBoosted reports whether the instruction carries a boosting label.
+func (in *Inst) IsBoosted() bool { return in.Boost > 0 }
+
+// boostSuffix renders the boosting label: ".B2" for trace-based labels or
+// ".BRL" style when explicit directions are present.
+func (in *Inst) boostSuffix() string {
+	if in.Boost <= 0 {
+		return ""
+	}
+	if len(in.Dirs) > 0 {
+		var b strings.Builder
+		b.WriteString(".B")
+		for _, d := range in.Dirs {
+			b.WriteString(d.String())
+		}
+		return b.String()
+	}
+	return fmt.Sprintf(".B%d", in.Boost)
+}
+
+// String renders the instruction in assembler-like syntax, including any
+// boosting suffix on the destination and the prediction bit on branches.
+func (in *Inst) String() string {
+	bs := in.boostSuffix()
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.String() + bs
+	case ADD, SUB, AND, OR, XOR, NOR, SLT, SLTU, SLLV, SRLV, SRAV, MUL, DIV, REM, DIVU:
+		return fmt.Sprintf("%s %s%s, %s, %s", in.Op, in.Rd, bs, in.Rs, in.Rt)
+	case ADDI, ANDI, ORI, XORI, SLTI, SLTIU, SLL, SRL, SRA:
+		return fmt.Sprintf("%s %s%s, %s, %d", in.Op, in.Rd, bs, in.Rs, in.Imm)
+	case LUI:
+		return fmt.Sprintf("%s %s%s, %d", in.Op, in.Rd, bs, in.Imm)
+	case LW, LB, LBU, LH, LHU:
+		return fmt.Sprintf("%s %s%s, %d(%s)", in.Op, in.Rd, bs, in.Imm, in.Rs)
+	case SW, SB, SH:
+		return fmt.Sprintf("%s %s%s, %d(%s)", in.Op, in.Rt, bs, in.Imm, in.Rs)
+	case BEQ, BNE:
+		return fmt.Sprintf("%s%s %s, %s%s", in.Op, bs, in.Rs, in.Rt, predSuffix(in.Pred))
+	case BLEZ, BGTZ, BLTZ, BGEZ:
+		return fmt.Sprintf("%s%s %s%s", in.Op, bs, in.Rs, predSuffix(in.Pred))
+	case J:
+		return "j" + bs
+	case JAL:
+		return fmt.Sprintf("jal%s %s", bs, in.Sym)
+	case JR:
+		return fmt.Sprintf("jr%s %s", bs, in.Rs)
+	case OUT:
+		return fmt.Sprintf("out%s %s", bs, in.Rs)
+	}
+	return fmt.Sprintf("%s?", in.Op)
+}
+
+func predSuffix(taken bool) string {
+	if taken {
+		return " ;taken"
+	}
+	return " ;not-taken"
+}

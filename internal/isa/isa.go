@@ -1,0 +1,295 @@
+// Package isa defines the instruction set architecture used throughout the
+// boosting reproduction: a load/store RISC machine closely modeled on the
+// MIPS R2000 (the paper's base architecture), extended with the boosting
+// labels of Smith, Horowitz and Lam (ASPLOS 1992).
+//
+// An instruction may carry a boosting level n > 0, meaning it is control
+// dependent upon the next n conditional branches each taking its predicted
+// direction (the paper's trace-based ".Bn" labelling). Conditional branches
+// carry their static prediction bit.
+package isa
+
+import "fmt"
+
+// Reg names an architectural or virtual register. Registers 0..31 are the
+// architectural set (R0 is hardwired to zero, as on the R2000). Registers
+// >= 32 are virtual registers used by the infinite-register scheduling model
+// and by workloads before register allocation.
+type Reg int32
+
+// NumArchRegs is the number of architectural integer registers.
+const NumArchRegs = 32
+
+// Conventional register assignments (a small subset of the MIPS o32 ABI,
+// enough for our workloads and register allocator).
+const (
+	// R0 always reads as zero; writes are discarded.
+	R0 Reg = 0
+	// RV holds a procedure's return value (MIPS $v0).
+	RV Reg = 2
+	// A0..A3 hold procedure arguments (MIPS $a0..$a3).
+	A0 Reg = 4
+	A1 Reg = 5
+	A2 Reg = 6
+	A3 Reg = 7
+	// SP is the stack pointer (MIPS $sp).
+	SP Reg = 29
+	// RA holds the return address written by JAL (MIPS $ra).
+	RA Reg = 31
+	// FirstVirtual is the first virtual (non-architectural) register.
+	FirstVirtual Reg = 32
+)
+
+// IsArch reports whether r is one of the 32 architectural registers.
+func (r Reg) IsArch() bool { return r >= 0 && r < NumArchRegs }
+
+// IsVirtual reports whether r is a virtual register (>= FirstVirtual).
+func (r Reg) IsVirtual() bool { return r >= FirstVirtual }
+
+// String renders architectural registers as "r4" and virtual ones as "v7".
+func (r Reg) String() string {
+	if r.IsVirtual() {
+		return fmt.Sprintf("v%d", int32(r-FirstVirtual))
+	}
+	return fmt.Sprintf("r%d", int32(r))
+}
+
+// Op enumerates the machine operations.
+type Op uint8
+
+const (
+	// NOP does nothing for one cycle (delay-slot filler).
+	NOP Op = iota
+
+	// Three-register ALU operations: Rd = Rs op Rt.
+	ADD // add (traps on signed overflow on a real R2000; we wrap)
+	SUB
+	AND
+	OR
+	XOR
+	NOR
+	SLT  // set Rd=1 if Rs < Rt (signed) else 0
+	SLTU // unsigned compare
+
+	// Immediate ALU operations: Rd = Rs op Imm.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	SLTIU
+	LUI // Rd = Imm << 16
+
+	// Shifts: Rd = Rs shifted by Imm (SLL/SRL/SRA) or by Rt (SLLV/SRLV/SRAV).
+	SLL
+	SRL
+	SRA
+	SLLV
+	SRLV
+	SRAV
+
+	// Multiply/divide. Unlike the R2000's HI/LO scheme these write Rd
+	// directly, but they keep the R2000's multi-cycle latencies.
+	MUL  // Rd = Rs * Rt (low 32 bits)
+	DIV  // Rd = Rs / Rt (signed; traps on divide by zero)
+	REM  // Rd = Rs % Rt (signed; traps on divide by zero)
+	DIVU // Rd = Rs / Rt (unsigned; traps on divide by zero)
+
+	// Loads: Rd = Mem[Rs + Imm]. A load has one architectural delay slot.
+	LW
+	LB
+	LBU
+	LH
+	LHU
+
+	// Stores: Mem[Rs + Imm] = Rt.
+	SW
+	SB
+	SH
+
+	// Conditional branches. Branches compare and jump relative to the
+	// block structure (targets are CFG edges, not addresses, in the IR).
+	// Each branch has one architectural delay slot.
+	BEQ  // taken if Rs == Rt
+	BNE  // taken if Rs != Rt
+	BLEZ // taken if Rs <= 0
+	BGTZ // taken if Rs > 0
+	BLTZ // taken if Rs < 0
+	BGEZ // taken if Rs >= 0
+
+	// Unconditional control transfer.
+	J    // jump (block-to-block; also one delay slot)
+	JAL  // jump and link: RA = return point, call procedure named Sym
+	JR   // jump register: return (Rs == RA) or indirect jump
+	HALT // stop the machine (end of program)
+
+	// OUT appends the low byte... no: OUT appends the 32-bit value in Rs
+	// to the program's output stream. It is the observable side effect used
+	// to compare original and scheduled programs.
+	OUT
+
+	numOps // sentinel; keep last
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	NOR: "nor", SLT: "slt", SLTU: "sltu", ADDI: "addi", ANDI: "andi",
+	ORI: "ori", XORI: "xori", SLTI: "slti", SLTIU: "sltiu", LUI: "lui",
+	SLL: "sll", SRL: "srl", SRA: "sra", SLLV: "sllv", SRLV: "srlv",
+	SRAV: "srav", MUL: "mul", DIV: "div", REM: "rem", DIVU: "divu",
+	LW: "lw", LB: "lb", LBU: "lbu", LH: "lh", LHU: "lhu",
+	SW: "sw", SB: "sb", SH: "sh",
+	BEQ: "beq", BNE: "bne", BLEZ: "blez", BGTZ: "bgtz", BLTZ: "bltz",
+	BGEZ: "bgez", J: "j", JAL: "jal", JR: "jr", HALT: "halt", OUT: "out",
+}
+
+// String returns the assembler mnemonic for the op.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class groups operations by the functional unit that executes them. The
+// 2-issue superscalar distributes units between its two sides exactly as in
+// the paper: side 0 has an integer ALU, the branch unit, the shifter, the
+// integer multiply/divide unit and the FPU; side 1 has an integer ALU and
+// the single memory port.
+type Class uint8
+
+const (
+	// ClassALU covers simple integer operations (either side).
+	ClassALU Class = iota
+	// ClassShift covers shift operations (side 0 only).
+	ClassShift
+	// ClassMulDiv covers multiply/divide (side 0 only).
+	ClassMulDiv
+	// ClassMem covers loads and stores (side 1 only).
+	ClassMem
+	// ClassBranch covers branches and jumps (side 0 only).
+	ClassBranch
+	// ClassNone covers NOP and HALT, which any slot may hold.
+	ClassNone
+	// NumClasses is the number of functional-unit classes.
+	NumClasses
+)
+
+// String returns a short name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassShift:
+		return "shift"
+	case ClassMulDiv:
+		return "muldiv"
+	case ClassMem:
+		return "mem"
+	case ClassBranch:
+		return "branch"
+	case ClassNone:
+		return "none"
+	}
+	return "?"
+}
+
+// ClassOf returns the functional-unit class of op.
+func ClassOf(op Op) Class {
+	switch op {
+	case ADD, SUB, AND, OR, XOR, NOR, SLT, SLTU,
+		ADDI, ANDI, ORI, XORI, SLTI, SLTIU, LUI, OUT:
+		return ClassALU
+	case SLL, SRL, SRA, SLLV, SRLV, SRAV:
+		return ClassShift
+	case MUL, DIV, REM, DIVU:
+		return ClassMulDiv
+	case LW, LB, LBU, LH, LHU, SW, SB, SH:
+		return ClassMem
+	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, J, JAL, JR:
+		return ClassBranch
+	default:
+		return ClassNone
+	}
+}
+
+// Latency returns the number of cycles between issue of op and availability
+// of its result to a dependent instruction. These follow the MIPS R2000:
+// single-cycle ALU ops, loads with one delay slot (latency 2), and
+// multi-cycle multiply/divide.
+func Latency(op Op) int {
+	switch ClassOf(op) {
+	case ClassMem:
+		if IsLoad(op) {
+			return 2 // one load delay slot
+		}
+		return 1
+	case ClassMulDiv:
+		if op == MUL {
+			return 12
+		}
+		return 35 // div/rem/divu
+	default:
+		return 1
+	}
+}
+
+// IsLoad reports whether op reads memory into a register.
+func IsLoad(op Op) bool {
+	switch op {
+	case LW, LB, LBU, LH, LHU:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether op writes memory.
+func IsStore(op Op) bool {
+	switch op {
+	case SW, SB, SH:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses memory.
+func IsMem(op Op) bool { return IsLoad(op) || IsStore(op) }
+
+// IsCondBranch reports whether op is a conditional branch.
+func IsCondBranch(op Op) bool {
+	switch op {
+	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ:
+		return true
+	}
+	return false
+}
+
+// IsJump reports whether op is an unconditional control transfer.
+func IsJump(op Op) bool {
+	switch op {
+	case J, JAL, JR:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether op transfers control (branch, jump, or halt).
+func IsControl(op Op) bool { return IsCondBranch(op) || IsJump(op) || op == HALT }
+
+// CanExcept reports whether executing op may raise an exception: memory
+// operations can fault on unmapped addresses and divides trap on a zero
+// divisor. An instruction for which CanExcept is true is an *unsafe*
+// speculative movement in the paper's taxonomy (Figure 1c) and must be
+// boosted when moved above a control-dependent branch.
+func CanExcept(op Op) bool {
+	switch op {
+	case LW, LB, LBU, LH, LHU, SW, SB, SH, DIV, REM, DIVU:
+		return true
+	}
+	return false
+}
+
+// HasDelaySlot reports whether op has one architectural delay slot
+// (branches and jumps, following the R2000; loads expose their delay as
+// latency instead).
+func HasDelaySlot(op Op) bool { return IsCondBranch(op) || IsJump(op) }

@@ -1,0 +1,185 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{R0, "r0"}, {RA, "r31"}, {FirstVirtual, "v0"}, {FirstVirtual + 7, "v7"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegClassification(t *testing.T) {
+	if !R0.IsArch() || R0.IsVirtual() {
+		t.Error("R0 must be architectural")
+	}
+	if FirstVirtual.IsArch() || !FirstVirtual.IsVirtual() {
+		t.Error("FirstVirtual must be virtual")
+	}
+	if Reg(31).IsVirtual() || !Reg(31).IsArch() {
+		t.Error("r31 must be architectural")
+	}
+}
+
+func TestClassOfCoversAllOps(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		c := ClassOf(op)
+		switch op {
+		case NOP, HALT:
+			if c != ClassNone {
+				t.Errorf("%s: class %s, want none", op, c)
+			}
+		case LW, LB, LBU, LH, LHU, SW, SB, SH:
+			if c != ClassMem {
+				t.Errorf("%s: class %s, want mem", op, c)
+			}
+		case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, J, JAL, JR:
+			if c != ClassBranch {
+				t.Errorf("%s: class %s, want branch", op, c)
+			}
+		case MUL, DIV, REM, DIVU:
+			if c != ClassMulDiv {
+				t.Errorf("%s: class %s, want muldiv", op, c)
+			}
+		case SLL, SRL, SRA, SLLV, SRLV, SRAV:
+			if c != ClassShift {
+				t.Errorf("%s: class %s, want shift", op, c)
+			}
+		default:
+			if c != ClassALU {
+				t.Errorf("%s: class %s, want alu", op, c)
+			}
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if Latency(LW) != 2 {
+		t.Errorf("LW latency %d, want 2 (one delay slot)", Latency(LW))
+	}
+	if Latency(SW) != 1 {
+		t.Errorf("SW latency %d, want 1", Latency(SW))
+	}
+	if Latency(ADD) != 1 {
+		t.Errorf("ADD latency %d, want 1", Latency(ADD))
+	}
+	if Latency(MUL) <= 1 || Latency(DIV) <= Latency(MUL) {
+		t.Error("multiply/divide latencies must be multi-cycle and div > mul")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !IsLoad(LBU) || IsLoad(SB) || !IsStore(SH) || IsStore(LW) {
+		t.Error("load/store predicates wrong")
+	}
+	if !IsMem(LW) || !IsMem(SB) || IsMem(ADD) {
+		t.Error("IsMem wrong")
+	}
+	if !IsCondBranch(BGEZ) || IsCondBranch(J) || !IsJump(JAL) || IsJump(BEQ) {
+		t.Error("branch predicates wrong")
+	}
+	if !IsControl(HALT) || IsControl(OUT) {
+		t.Error("IsControl wrong")
+	}
+	if !CanExcept(DIV) || !CanExcept(LW) || !CanExcept(SW) || CanExcept(ADD) || CanExcept(MUL) {
+		t.Error("CanExcept wrong")
+	}
+	if !HasDelaySlot(BEQ) || !HasDelaySlot(J) || HasDelaySlot(HALT) || HasDelaySlot(LW) {
+		t.Error("HasDelaySlot wrong")
+	}
+}
+
+func TestDefsUses(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		defs []Reg
+		uses []Reg
+	}{
+		{Inst{Op: ADD, Rd: 3, Rs: 1, Rt: 2}, []Reg{3}, []Reg{1, 2}},
+		{Inst{Op: ADDI, Rd: 3, Rs: 1, Imm: 4}, []Reg{3}, []Reg{1}},
+		{Inst{Op: LW, Rd: 5, Rs: 6, Imm: 8}, []Reg{5}, []Reg{6}},
+		{Inst{Op: SW, Rt: 5, Rs: 6, Imm: 8}, nil, []Reg{6, 5}},
+		{Inst{Op: BEQ, Rs: 1, Rt: 2}, nil, []Reg{1, 2}},
+		{Inst{Op: BLTZ, Rs: 1}, nil, []Reg{1}},
+		{Inst{Op: J}, nil, nil},
+		{Inst{Op: JAL, Rd: RA}, []Reg{RA}, nil},
+		{Inst{Op: JR, Rs: RA}, nil, []Reg{RA}},
+		{Inst{Op: OUT, Rs: 9}, nil, []Reg{9}},
+		{Inst{Op: NOP}, nil, nil},
+		{Inst{Op: HALT}, nil, nil},
+		{Inst{Op: LUI, Rd: 7, Imm: 1}, []Reg{7}, nil},
+	}
+	for _, c := range cases {
+		gotD := c.in.Defs(nil)
+		gotU := c.in.Uses(nil)
+		if !regsEqual(gotD, c.defs) {
+			t.Errorf("%s: defs %v, want %v", c.in.String(), gotD, c.defs)
+		}
+		if !regsEqual(gotU, c.uses) {
+			t.Errorf("%s: uses %v, want %v", c.in.String(), gotU, c.uses)
+		}
+	}
+}
+
+func regsEqual(a, b []Reg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInstString(t *testing.T) {
+	in := Inst{Op: LW, Rd: 4, Rs: 1, Imm: 4, Boost: 2}
+	if got := in.String(); got != "lw r4.B2, 4(r1)" {
+		t.Errorf("boosted load renders %q", got)
+	}
+	in2 := Inst{Op: BNE, Rs: 1, Rt: 2, Pred: true}
+	if got := in2.String(); !strings.Contains(got, "taken") {
+		t.Errorf("branch string %q should carry prediction", got)
+	}
+	in3 := Inst{Op: AND, Rd: 1, Rs: 2, Rt: 3, Boost: 2, Dirs: []BranchDir{DirR, DirL}}
+	if got := in3.String(); !strings.Contains(got, ".BRL") {
+		t.Errorf("explicit-direction label renders %q, want .BRL suffix", got)
+	}
+}
+
+// Property: every op's defs and uses never include more than 2 registers
+// and never panic, for all register assignments.
+func TestDefsUsesTotal(t *testing.T) {
+	f := func(op uint8, rd, rs, rt int16) bool {
+		in := Inst{Op: Op(op % uint8(numOps)), Rd: Reg(rd), Rs: Reg(rs), Rt: Reg(rt)}
+		d := in.Defs(nil)
+		u := in.Uses(nil)
+		return len(d) <= 1 && len(u) <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: String never returns an empty string.
+func TestStringTotal(t *testing.T) {
+	f := func(op uint8, boost uint8) bool {
+		in := Inst{Op: Op(op % uint8(numOps)), Rd: 1, Rs: 2, Rt: 3, Boost: int(boost % 8)}
+		return in.String() != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

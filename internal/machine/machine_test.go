@@ -1,0 +1,219 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+func TestModelDefinitions(t *testing.T) {
+	s := Scalar()
+	if s.IssueWidth != 1 || len(s.Slots) != 1 {
+		t.Error("scalar must be single-issue")
+	}
+	for _, c := range []isa.Class{isa.ClassALU, isa.ClassShift, isa.ClassMulDiv, isa.ClassMem, isa.ClassBranch} {
+		if !s.Slots[0].Has(c) {
+			t.Errorf("scalar slot must accept %s", c)
+		}
+	}
+
+	b := NoBoost()
+	if b.IssueWidth != 2 {
+		t.Error("base superscalar is 2-issue")
+	}
+	// Paper §4.3.1: "we can perform two integer ALU operations in
+	// parallel, but not a branch and a shift operation in parallel".
+	if !b.Slots[0].Has(isa.ClassALU) || !b.Slots[1].Has(isa.ClassALU) {
+		t.Error("both sides need an integer ALU")
+	}
+	if !b.Slots[0].Has(isa.ClassBranch) || b.Slots[1].Has(isa.ClassBranch) {
+		t.Error("only side 0 has the branch unit")
+	}
+	if !b.Slots[0].Has(isa.ClassShift) || b.Slots[1].Has(isa.ClassShift) {
+		t.Error("only side 0 has the shifter")
+	}
+	if b.Slots[0].Has(isa.ClassMem) || !b.Slots[1].Has(isa.ClassMem) {
+		t.Error("only side 1 has the memory port")
+	}
+}
+
+func TestBoostConfigs(t *testing.T) {
+	if NoBoost().Boost.Enabled() {
+		t.Error("NoBoost must have no boosting")
+	}
+	sq := Squashing()
+	if !sq.Boost.SquashOnly || sq.Boost.MaxLevel != 1 || !sq.Boost.StoreBuffer {
+		t.Errorf("squashing config wrong: %+v", sq.Boost)
+	}
+	b1 := Boost1()
+	if b1.Boost.MaxLevel != 1 || !b1.Boost.StoreBuffer || b1.Boost.MultiShadow || b1.Boost.SquashOnly {
+		t.Errorf("boost1 config wrong: %+v", b1.Boost)
+	}
+	m3 := MinBoost3()
+	if m3.Boost.MaxLevel != 3 || m3.Boost.StoreBuffer || m3.Boost.MultiShadow {
+		t.Errorf("minboost3 config wrong: %+v", m3.Boost)
+	}
+	b7 := Boost7()
+	if b7.Boost.MaxLevel != 7 || !b7.Boost.StoreBuffer || !b7.Boost.MultiShadow {
+		t.Errorf("boost7 config wrong: %+v", b7.Boost)
+	}
+	if n := BoostN(5); n.Boost.MaxLevel != 5 || n.Name != "Boost5" {
+		t.Errorf("BoostN wrong: %+v", n)
+	}
+	if len(AllEvaluated()) != 4 {
+		t.Error("AllEvaluated must list the four Table 2 models")
+	}
+}
+
+func TestSlotFor(t *testing.T) {
+	m := NoBoost()
+	free := []bool{true, true}
+	if got := m.SlotFor(isa.ClassMem, free); got != 1 {
+		t.Errorf("mem slot = %d, want 1", got)
+	}
+	if got := m.SlotFor(isa.ClassBranch, free); got != 0 {
+		t.Errorf("branch slot = %d, want 0", got)
+	}
+	if got := m.SlotFor(isa.ClassALU, []bool{false, true}); got != 1 {
+		t.Errorf("alu with slot0 busy = %d, want 1", got)
+	}
+	if got := m.SlotFor(isa.ClassShift, []bool{false, true}); got != -1 {
+		t.Errorf("shift with slot0 busy = %d, want -1", got)
+	}
+	if got := m.SlotFor(isa.ClassNone, []bool{false, true}); got != 1 {
+		t.Errorf("none-class = %d, want any free slot", got)
+	}
+}
+
+// tiny schedule fixture: one block, [add|lw], [beq|-], [nop delay].
+func fixture(t *testing.T) (*SchedProgram, *SchedBlock) {
+	t.Helper()
+	pr := prog.New()
+	f := prog.NewBuilder(pr, "main")
+	loop := f.Block("loop")
+	done := f.Block("done")
+	f.Goto(loop)
+	f.Enter(loop)
+	r := f.Reg()
+	f.Imm(isa.ADDI, r, r, 1)
+	f.Branch(isa.BGTZ, r, isa.R0, loop, done)
+	f.Enter(done)
+	f.Halt()
+	f.Finish()
+
+	loopB := pr.Main().Blocks[1]
+	add := &loopB.Insts[0]
+	beq := &loopB.Insts[1]
+	sb := &SchedBlock{
+		Block: loopB,
+		Cycles: []Cycle{
+			{Slots: []*isa.Inst{beq, add}},
+			{Slots: []*isa.Inst{nil, nil}},
+		},
+	}
+	sp := &SchedProgram{
+		Prog:  pr,
+		Model: NoBoost(),
+		Procs: map[string]*SchedProc{
+			"main": {
+				Proc: pr.Main(),
+				Blocks: map[int]*SchedBlock{
+					0: {Block: pr.Main().Blocks[0], Cycles: nil},
+					1: sb,
+					2: {Block: pr.Main().Blocks[2], Cycles: []Cycle{
+						{Slots: []*isa.Inst{&pr.Main().Blocks[2].Insts[0], nil}},
+					}},
+				},
+				Recovery: map[int][]isa.Inst{},
+			},
+		},
+	}
+	return sp, sb
+}
+
+func TestScheduleCounting(t *testing.T) {
+	sp, sb := fixture(t)
+	if sb.NumInsts() != 2 || sb.NumUseful() != 2 {
+		t.Errorf("counts: %d/%d", sb.NumInsts(), sb.NumUseful())
+	}
+	nop := &isa.Inst{Op: isa.NOP}
+	sb.Cycles[1].Slots[0] = nop
+	if sb.NumInsts() != 3 || sb.NumUseful() != 2 {
+		t.Errorf("with nop: %d/%d", sb.NumInsts(), sb.NumUseful())
+	}
+	if n := len(sb.Cycles[0].Insts()); n != 2 {
+		t.Errorf("cycle insts = %d", n)
+	}
+	if sp.NumInsts() == 0 || sp.ObjectGrowth() <= 0 {
+		t.Error("program counting broken")
+	}
+}
+
+func TestVerifyAcceptsGoodSchedule(t *testing.T) {
+	sp, _ := fixture(t)
+	if err := sp.Verify(); err != nil {
+		t.Fatalf("good schedule rejected: %v", err)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	// Wrong slot class: branch in slot 1.
+	sp, sb := fixture(t)
+	sb.Cycles[0].Slots[0], sb.Cycles[0].Slots[1] = sb.Cycles[0].Slots[1], sb.Cycles[0].Slots[0]
+	if err := sp.Verify(); err == nil || !strings.Contains(err.Error(), "class") {
+		t.Errorf("want class error, got %v", err)
+	}
+
+	// Missing delay cycle: terminator in the last cycle.
+	sp, sb = fixture(t)
+	sb.Cycles = sb.Cycles[:1]
+	if err := sp.Verify(); err == nil {
+		t.Error("want terminator-position error")
+	}
+
+	// Boost level beyond the model.
+	sp, sb = fixture(t)
+	boosted := *sb.Cycles[0].Slots[1]
+	boosted.Boost = 1
+	sb.Cycles[0].Slots[1] = &boosted
+	if err := sp.Verify(); err == nil || !strings.Contains(err.Error(), "boost level") {
+		t.Errorf("want boost-level error, got %v", err)
+	}
+
+	// Boosted store without a store buffer.
+	sp, sb = fixture(t)
+	sp.Model = MinBoost3()
+	st := &isa.Inst{Op: isa.SW, Rt: 1, Rs: 2, Boost: 1}
+	sb.Cycles[0].Slots[1] = st
+	if err := sp.Verify(); err == nil || !strings.Contains(err.Error(), "store") {
+		t.Errorf("want store-buffer error, got %v", err)
+	}
+
+	// Squashing: boosted instruction outside the shadow zone.
+	sp, sb = fixture(t)
+	sp.Model = Squashing()
+	early := &isa.Inst{Op: isa.ADDI, Rd: 3, Rs: 3, Imm: 1, Boost: 1}
+	sb.Cycles = append([]Cycle{{Slots: []*isa.Inst{early, nil}}}, sb.Cycles...)
+	if err := sp.Verify(); err == nil || !strings.Contains(err.Error(), "shadow") {
+		t.Errorf("want shadow-zone error, got %v", err)
+	}
+
+	// Missing block schedule.
+	sp, _ = fixture(t)
+	delete(sp.Procs["main"].Blocks, 2)
+	if err := sp.Verify(); err == nil {
+		t.Error("want missing-schedule error")
+	}
+}
+
+func TestFormatSchedule(t *testing.T) {
+	sp, _ := fixture(t)
+	out := sp.Procs["main"].Format()
+	for _, want := range []string{".sched main", "bgtz", "addi", " | "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package machine describes the processor models of the paper's evaluation
+// and the machine-level schedule representation produced by the schedulers
+// and consumed by the simulators.
+//
+// The base superscalar (paper §4.3.1) is a 2-issue machine with restricted
+// issue: side 0 holds an integer ALU, the branch unit, a shifter and the
+// integer multiply/divide unit; side 1 holds an integer ALU and the single
+// memory port. There is no swap logic: the scheduler is responsible for
+// placing each instruction in a slot whose functional units can execute it.
+// Loads and branches have a single delay slot, as on the MIPS R2000.
+//
+// The speculative-execution variants (paper §4.2–4.3) differ only in their
+// boosting hardware:
+//
+//	NoBoost    – no speculation hardware; only safe+legal motions.
+//	Squashing  – squashing pipeline only: boosted instructions may sit in
+//	             the branch-issue cycle or the delay-slot cycle (Option 3).
+//	Boost1     – one shadow register file and one shadow store buffer;
+//	             boosting past a single branch.
+//	MinBoost3  – single shadow register file handling up to 3 levels
+//	             (Option 2) but no shadow store buffer (Option 1).
+//	Boost7     – full shadow structures for 7 levels of boosting.
+package machine
+
+import (
+	"fmt"
+
+	"boosting/internal/isa"
+)
+
+// ClassSet is a bitmask of functional-unit classes a slot accepts.
+type ClassSet uint16
+
+// Has reports whether the set accepts class c.
+func (s ClassSet) Has(c isa.Class) bool { return s&(1<<uint(c)) != 0 }
+
+// classSetOf builds a ClassSet from classes.
+func classSetOf(cs ...isa.Class) ClassSet {
+	var s ClassSet
+	for _, c := range cs {
+		s |= 1 << uint(c)
+	}
+	return s
+}
+
+// BoostConfig describes the boosting hardware of a model.
+type BoostConfig struct {
+	// MaxLevel is the deepest supported boosting level (0 = no boosting).
+	MaxLevel int
+	// StoreBuffer reports whether a shadow store buffer exists, i.e.
+	// whether stores may be boosted (paper Option 1 removes it).
+	StoreBuffer bool
+	// MultiShadow reports whether each register has a distinct shadow
+	// location per boosting level (the full scheme of §4.1). When false
+	// (Option 2) a register has a single shadow location shared by all
+	// levels, so at most one uncommitted boosted value per register may
+	// be outstanding, and the scheduler must honor the resulting
+	// output-like dependence (Figure 6c).
+	MultiShadow bool
+	// SquashOnly restricts boosted instructions to the branch-issue cycle
+	// and the branch-delay cycle of the block ending in their dependent
+	// branch (Option 3, the Squashing model).
+	SquashOnly bool
+}
+
+// Enabled reports whether any boosting is available.
+func (c BoostConfig) Enabled() bool { return c.MaxLevel > 0 }
+
+// Model is a processor configuration.
+type Model struct {
+	// Name identifies the model in output tables.
+	Name string
+	// IssueWidth is the number of instructions issued per cycle.
+	IssueWidth int
+	// Slots[i] is the set of instruction classes slot i accepts.
+	Slots []ClassSet
+	// Boost is the boosting hardware configuration.
+	Boost BoostConfig
+	// ExceptionOverhead is the cycle cost of entering the boosted
+	// exception handler (paper §2.3: "approximate 10-cycle overhead").
+	ExceptionOverhead int
+}
+
+// SlotFor returns the lowest-numbered free slot that can execute class c,
+// or -1. free[i] reports whether slot i is still empty.
+func (m *Model) SlotFor(c isa.Class, free []bool) int {
+	for i, s := range m.Slots {
+		if free[i] && (s.Has(c) || c == isa.ClassNone) {
+			return i
+		}
+	}
+	return -1
+}
+
+// String returns the model name.
+func (m *Model) String() string { return m.Name }
+
+// anySlot accepts every class (scalar machine).
+var anySlot = classSetOf(isa.ClassALU, isa.ClassShift, isa.ClassMulDiv,
+	isa.ClassMem, isa.ClassBranch, isa.ClassNone)
+
+// side0 and side1 are the base superscalar's two issue slots.
+var (
+	side0 = classSetOf(isa.ClassALU, isa.ClassBranch, isa.ClassShift,
+		isa.ClassMulDiv, isa.ClassNone)
+	side1 = classSetOf(isa.ClassALU, isa.ClassMem, isa.ClassNone)
+)
+
+// newSuper returns a 2-issue base superscalar with the given boosting
+// hardware.
+func newSuper(name string, b BoostConfig) *Model {
+	return &Model{
+		Name:              name,
+		IssueWidth:        2,
+		Slots:             []ClassSet{side0, side1},
+		Boost:             b,
+		ExceptionOverhead: 10,
+	}
+}
+
+// Scalar returns the single-issue MIPS R2000 base machine.
+func Scalar() *Model {
+	return &Model{Name: "R2000", IssueWidth: 1, Slots: []ClassSet{anySlot}}
+}
+
+// NoBoost returns the base superscalar with no speculation hardware.
+func NoBoost() *Model { return newSuper("NoBoost", BoostConfig{}) }
+
+// Squashing returns the superscalar whose only speculation support is a
+// squashing pipeline (Option 3).
+func Squashing() *Model {
+	return newSuper("Squashing", BoostConfig{
+		MaxLevel: 1, StoreBuffer: true, SquashOnly: true,
+	})
+}
+
+// Boost1 returns the superscalar with a single shadow register file and a
+// shadow store buffer supporting one level of boosting.
+func Boost1() *Model {
+	return newSuper("Boost1", BoostConfig{MaxLevel: 1, StoreBuffer: true})
+}
+
+// MinBoost3 returns the superscalar with a single multi-level shadow
+// register file (3 levels) and no shadow store buffer (Options 1+2).
+func MinBoost3() *Model {
+	return newSuper("MinBoost3", BoostConfig{MaxLevel: 3})
+}
+
+// Boost7 returns the superscalar with full shadow structures for 7 levels.
+func Boost7() *Model {
+	return newSuper("Boost7", BoostConfig{
+		MaxLevel: 7, StoreBuffer: true, MultiShadow: true,
+	})
+}
+
+// Wide4 returns a 4-issue machine (two copies of each side of the base
+// superscalar) with the given boosting hardware — an extension beyond the
+// paper's 2-issue evaluation, used to study how boosting gains scale with
+// issue width.
+func Wide4(b BoostConfig) *Model {
+	return &Model{
+		Name:              "Wide4",
+		IssueWidth:        4,
+		Slots:             []ClassSet{side0, side1, side0, side1},
+		Boost:             b,
+		ExceptionOverhead: 10,
+	}
+}
+
+// BoostN returns a superscalar with full (multi-shadow, store-buffered)
+// boosting to an arbitrary level; used by ablation studies.
+func BoostN(n int) *Model {
+	return newSuper(fmt.Sprintf("Boost%d", n), BoostConfig{
+		MaxLevel: n, StoreBuffer: true, MultiShadow: true,
+	})
+}
+
+// AllEvaluated returns the boosting models of Table 2 in paper order.
+func AllEvaluated() []*Model {
+	return []*Model{Squashing(), Boost1(), MinBoost3(), Boost7()}
+}

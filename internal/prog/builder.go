@@ -1,0 +1,175 @@
+package prog
+
+import (
+	"fmt"
+
+	"boosting/internal/isa"
+)
+
+// Builder constructs a procedure block by block. Typical use:
+//
+//	f := prog.NewBuilder(program, "main")
+//	loop := f.Block("loop")
+//	done := f.Block("done")
+//	f.Enter(f.EntryBlock())
+//	f.Imm(isa.ADDI, r, isa.R0, 10)
+//	f.Jump(loop)
+//	f.Enter(loop)
+//	...
+//	f.Branch(isa.BGTZ, r, 0, loop, done) // taken → loop, fall → done
+//	f.Enter(done)
+//	f.Halt()
+//	f.Finish()
+type Builder struct {
+	Prog *Program
+	P    *Proc
+	cur  *Block
+}
+
+// NewBuilder creates a procedure named name in pr and returns its builder.
+// The entry block is created automatically and is current.
+func NewBuilder(pr *Program, name string) *Builder {
+	p := &Proc{Name: name}
+	entry := p.NewBlockAfter("entry")
+	p.Entry = entry
+	pr.AddProc(p)
+	return &Builder{Prog: pr, P: p, cur: entry}
+}
+
+// EntryBlock returns the procedure's entry block.
+func (f *Builder) EntryBlock() *Block { return f.P.Entry }
+
+// Block creates (but does not enter) a new labeled block.
+func (f *Builder) Block(label string) *Block { return f.P.NewBlockAfter(label) }
+
+// Enter makes b the current block; subsequent emissions append to it.
+// Entering a block that already has a terminator panics.
+func (f *Builder) Enter(b *Block) {
+	if b.Terminator() != nil {
+		panic(fmt.Sprintf("prog: block %s already terminated", b))
+	}
+	f.cur = b
+}
+
+// Cur returns the current block.
+func (f *Builder) Cur() *Block { return f.cur }
+
+// Reg returns a fresh virtual register.
+func (f *Builder) Reg() isa.Reg { return f.Prog.FreshReg() }
+
+func (f *Builder) emit(in isa.Inst) {
+	if f.cur == nil {
+		panic("prog: no current block")
+	}
+	if f.cur.Terminator() != nil {
+		panic(fmt.Sprintf("prog: emit into terminated block %s", f.cur))
+	}
+	in.ID = f.Prog.NextInstID()
+	f.cur.Insts = append(f.cur.Insts, in)
+}
+
+// ALU emits a three-register operation rd = rs op rt.
+func (f *Builder) ALU(op isa.Op, rd, rs, rt isa.Reg) {
+	f.emit(isa.Inst{Op: op, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Imm emits an immediate operation rd = rs op imm (or rd = imm<<16 for LUI).
+func (f *Builder) Imm(op isa.Op, rd, rs isa.Reg, imm int32) {
+	f.emit(isa.Inst{Op: op, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Li loads a 32-bit constant into rd (LUI+ORI, or a single ADDI/ORI when it
+// fits in 16 bits).
+func (f *Builder) Li(rd isa.Reg, v int32) {
+	if v >= -32768 && v < 32768 {
+		f.Imm(isa.ADDI, rd, isa.R0, v)
+		return
+	}
+	u := uint32(v)
+	f.Imm(isa.LUI, rd, isa.R0, int32(u>>16))
+	if low := u & 0xFFFF; low != 0 {
+		f.Imm(isa.ORI, rd, rd, int32(low))
+	}
+}
+
+// La loads the address addr into rd.
+func (f *Builder) La(rd isa.Reg, addr uint32) { f.Li(rd, int32(addr)) }
+
+// Load emits rd = Mem[base+off].
+func (f *Builder) Load(op isa.Op, rd, base isa.Reg, off int32) {
+	f.emit(isa.Inst{Op: op, Rd: rd, Rs: base, Imm: off})
+}
+
+// Store emits Mem[base+off] = rt.
+func (f *Builder) Store(op isa.Op, rt, base isa.Reg, off int32) {
+	f.emit(isa.Inst{Op: op, Rt: rt, Rs: base, Imm: off})
+}
+
+// Move emits rd = rs.
+func (f *Builder) Move(rd, rs isa.Reg) { f.ALU(isa.OR, rd, rs, isa.R0) }
+
+// Out emits the observable-output instruction for rs.
+func (f *Builder) Out(rs isa.Reg) { f.emit(isa.Inst{Op: isa.OUT, Rs: rs}) }
+
+// Branch terminates the current block with a conditional branch comparing
+// rs (and rt for BEQ/BNE), wiring taken and fall as successors. For the
+// single-operand branch forms pass isa.R0 for rt. The prediction bit is
+// set later by profiling; it defaults to not-taken. The current block
+// becomes nil; Enter the next block explicitly.
+func (f *Builder) Branch(op isa.Op, rs, rt isa.Reg, taken, fall *Block) {
+	if !isa.IsCondBranch(op) {
+		panic("prog: Branch requires a conditional branch op")
+	}
+	f.emit(isa.Inst{Op: op, Rs: rs, Rt: rt})
+	f.cur.Succs = []*Block{fall, taken}
+	f.cur = nil
+}
+
+// Jump terminates the current block with an unconditional jump to target.
+func (f *Builder) Jump(target *Block) {
+	f.emit(isa.Inst{Op: isa.J})
+	f.cur.Succs = []*Block{target}
+	f.cur = nil
+}
+
+// Goto wires the current block to fall through into target without a jump
+// instruction (used when target is laid out next).
+func (f *Builder) Goto(target *Block) {
+	f.cur.Succs = []*Block{target}
+	f.cur = nil
+}
+
+// Call terminates the current block with a JAL to the named procedure and
+// continues in a fresh block, which it returns. RA receives the return
+// address.
+func (f *Builder) Call(name string) *Block {
+	f.emit(isa.Inst{Op: isa.JAL, Rd: isa.RA, Sym: name})
+	cont := f.Block(f.cur.Label + ".ret")
+	f.cur.Succs = []*Block{cont}
+	f.cur = cont
+	return cont
+}
+
+// Ret terminates the current block with a return (JR RA).
+func (f *Builder) Ret() {
+	f.emit(isa.Inst{Op: isa.JR, Rs: isa.RA})
+	f.cur.Succs = nil
+	f.cur = nil
+}
+
+// Halt terminates the current block (and the program).
+func (f *Builder) Halt() {
+	f.emit(isa.Inst{Op: isa.HALT})
+	f.cur.Succs = nil
+	f.cur = nil
+}
+
+// Finish recomputes predecessor lists and verifies the procedure.
+// It panics if the procedure is malformed (builder misuse).
+func (f *Builder) Finish() *Proc {
+	f.P.RecomputePreds()
+	if err := Verify(f.P); err != nil {
+		panic("prog: " + err.Error())
+	}
+	return f.P
+}

@@ -1,0 +1,46 @@
+package prog
+
+import "boosting/internal/isa"
+
+// CloneProc deep-copies a procedure: new Block and instruction storage,
+// edges rewired to the copies. Instruction IDs and profile counts are
+// preserved so schedulers can be run on a copy without disturbing the
+// original.
+func CloneProc(p *Proc) *Proc {
+	np := &Proc{Name: p.Name}
+	m := make(map[*Block]*Block, len(p.Blocks))
+	for _, b := range p.Blocks {
+		nb := &Block{
+			ID:         b.ID,
+			Label:      b.Label,
+			Insts:      append([]isa.Inst(nil), b.Insts...),
+			Count:      b.Count,
+			TakenCount: b.TakenCount,
+			Recovery:   b.Recovery,
+		}
+		m[b] = nb
+		np.Blocks = append(np.Blocks, nb)
+	}
+	for _, b := range p.Blocks {
+		nb := m[b]
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, m[s])
+		}
+	}
+	np.Entry = m[p.Entry]
+	np.RecomputePreds()
+	return np
+}
+
+// Clone deep-copies a whole program (procedures and data image).
+func Clone(pr *Program) *Program {
+	np := New()
+	for _, p := range pr.ProcList() {
+		np.AddProc(CloneProc(p))
+	}
+	np.Data = append([]byte(nil), pr.Data...)
+	np.BSS = pr.BSS
+	np.nextInstID = pr.nextInstID
+	np.numVirtual = pr.numVirtual
+	return np
+}

@@ -1,0 +1,72 @@
+package prog
+
+import (
+	"testing"
+
+	"boosting/internal/isa"
+)
+
+// FuzzParse checks the assembly parser never panics and that anything it
+// accepts passes the structural verifier.
+func FuzzParse(f *testing.F) {
+	f.Add(handWritten)
+	f.Add(".proc main\n\thalt\n")
+	f.Add(".word 1\n.byte 2 3\n.ascii \"hi\"\n.align 4\n.reserve 8\n.proc main\n\thalt\n")
+	f.Add(".proc main\nl:\n\taddi v0, r0, 1\n\tbgtz v0, l, e\ne:\n\thalt\n")
+	f.Add(".proc main\n\tlw r5, -4(r29)\n\tjal main -> x\nx:\n\thalt\n")
+	f.Add(".proc main\n\tbeq r1, r2 ;taken ;taken->a fall->b\na:\n\thalt\nb:\n\thalt\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		pr, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := VerifyProgram(pr); err != nil {
+			t.Fatalf("Parse accepted a program the verifier rejects: %v\nsource:\n%s", err, src)
+		}
+		// Formatting the accepted program must not panic either.
+		_ = FormatProgram(pr)
+	})
+}
+
+// FuzzFormatRoundTrip: programs built from fuzzed small parameters must
+// survive format→parse→format.
+func FuzzFormatRoundTrip(f *testing.F) {
+	f.Add(int8(3), int8(2), false)
+	f.Add(int8(1), int8(7), true)
+	f.Fuzz(func(t *testing.T, n, m int8, call bool) {
+		pr := New()
+		if call {
+			leaf := NewBuilder(pr, "leaf")
+			leaf.Imm(isa.ADDI, isa.RV, isa.A0, int32(m))
+			leaf.Ret()
+			leaf.Finish()
+		}
+		fb := NewBuilder(pr, "main")
+		loop := fb.Block("loop")
+		done := fb.Block("done")
+		r := fb.Reg()
+		fb.Li(r, int32(n)%8+1)
+		fb.Goto(loop)
+		fb.Enter(loop)
+		fb.Imm(isa.ADDI, r, r, -1)
+		if call {
+			fb.Move(isa.A0, r)
+			fb.Call("leaf")
+		}
+		fb.Branch(isa.BGTZ, r, isa.R0, loop, done)
+		fb.Enter(done)
+		fb.Out(r)
+		fb.Halt()
+		fb.Finish()
+
+		text := FormatProgram(pr)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, text)
+		}
+		if again := FormatProgram(back); again != text {
+			t.Fatalf("unstable round trip:\n%s\nvs\n%s", text, again)
+		}
+	})
+}

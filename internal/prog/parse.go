@@ -1,0 +1,635 @@
+package prog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"boosting/internal/isa"
+)
+
+// Parse reads the textual assembly form produced by FormatProgram (and a
+// slightly friendlier hand-written dialect) back into a Program.
+//
+// Accepted syntax, line by line:
+//
+//	.word N              append a data word
+//	.byte N N N ...      append data bytes
+//	.ascii "text"        append string bytes
+//	.align N             align the data segment
+//	.reserve N           reserve N zeroed bytes (BSS)
+//	.proc NAME           start a procedure (first block is the entry)
+//	LABEL:               start a basic block
+//	op operands          an instruction (MIPS-like mnemonics)
+//
+// Branch targets may be written either as explicit operands
+// (`beq r1, r2, takenLabel, fallLabel`) or using the annotation comments
+// FormatProgram emits (`beq r1, r2 ;taken ;taken->L1 fall->L2`). Jumps
+// accept `j label` or `j -> label`; a block without a terminator needs a
+// `;fallthrough -> label` annotation or falls through to the next block
+// in the file. Comments start with `;` or `#` (annotation comments are
+// interpreted, others ignored).
+func Parse(text string) (*Program, error) {
+	p := &parser{pr: New()}
+	for i, line := range strings.Split(text, "\n") {
+		if err := p.line(strings.TrimSpace(line)); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	if err := p.finishProc(); err != nil {
+		return nil, err
+	}
+	if p.pr.Main() == nil {
+		return nil, fmt.Errorf("prog: no .proc main")
+	}
+	if err := VerifyProgram(p.pr); err != nil {
+		return nil, err
+	}
+	return p.pr, nil
+}
+
+type pendingEdge struct {
+	block *Block
+	slot  int
+	label string
+	line  string
+}
+
+type parser struct {
+	pr     *Program
+	proc   *Proc
+	cur    *Block
+	blocks map[string]*Block
+	edges  []pendingEdge
+	// fallPrev is a block awaiting an implicit fall-through to the next
+	// label.
+	fallPrev *Block
+}
+
+func (p *parser) line(s string) error {
+	if s == "" {
+		return nil
+	}
+	// Annotation-only lines: ";fallthrough -> L".
+	if strings.HasPrefix(s, ";fallthrough") {
+		rest := strings.TrimSpace(strings.TrimPrefix(s, ";fallthrough"))
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, "->"))
+		if p.cur == nil {
+			return fmt.Errorf("fallthrough outside a block")
+		}
+		p.addEdge(p.cur, 0, rest, s)
+		p.cur.Succs = []*Block{nil}
+		p.cur = nil
+		return nil
+	}
+	if strings.HasPrefix(s, ";") || strings.HasPrefix(s, "#") {
+		return nil
+	}
+
+	switch {
+	case strings.HasPrefix(s, ".proc "):
+		if err := p.finishProc(); err != nil {
+			return err
+		}
+		name := strings.TrimSpace(strings.TrimPrefix(s, ".proc "))
+		if name == "" {
+			return fmt.Errorf("empty procedure name")
+		}
+		if _, dup := p.pr.Procs[name]; dup {
+			return fmt.Errorf("duplicate procedure %q", name)
+		}
+		p.proc = &Proc{Name: name}
+		p.pr.AddProc(p.proc)
+		p.blocks = map[string]*Block{}
+		p.cur = nil
+		return nil
+	case strings.HasPrefix(s, ".word "):
+		v, err := parseInt(strings.TrimSpace(strings.TrimPrefix(s, ".word ")))
+		if err != nil {
+			return err
+		}
+		p.pr.Word(int32(v))
+		return nil
+	case strings.HasPrefix(s, ".byte "):
+		for _, f := range strings.Fields(strings.TrimPrefix(s, ".byte ")) {
+			v, err := parseInt(f)
+			if err != nil {
+				return err
+			}
+			p.pr.Bytes([]byte{byte(v)})
+		}
+		return nil
+	case strings.HasPrefix(s, ".ascii "):
+		q := strings.TrimSpace(strings.TrimPrefix(s, ".ascii "))
+		str, err := strconv.Unquote(q)
+		if err != nil {
+			return fmt.Errorf("bad .ascii string: %w", err)
+		}
+		p.pr.Bytes([]byte(str))
+		return nil
+	case strings.HasPrefix(s, ".align "):
+		v, err := parseInt(strings.TrimSpace(strings.TrimPrefix(s, ".align ")))
+		if err != nil {
+			return err
+		}
+		if v < 1 || v > 4096 {
+			return fmt.Errorf("bad alignment %d", v)
+		}
+		p.pr.Align(int(v))
+		return nil
+	case strings.HasPrefix(s, ".reserve "):
+		v, err := parseInt(strings.TrimSpace(strings.TrimPrefix(s, ".reserve ")))
+		if err != nil {
+			return err
+		}
+		if v < 0 || v > 1<<26 {
+			return fmt.Errorf("bad reserve size %d", v)
+		}
+		p.pr.Reserve(int(v))
+		return nil
+	}
+
+	// Block label?
+	if body, ok := cutLabel(s); ok {
+		if p.proc == nil {
+			return fmt.Errorf("label outside .proc")
+		}
+		b := p.block(body)
+		if len(b.Insts) > 0 || b == p.cur {
+			return fmt.Errorf("duplicate block label %q", body)
+		}
+		if p.fallPrev != nil {
+			p.fallPrev.Succs = []*Block{b}
+			p.fallPrev = nil
+		}
+		if p.proc.Entry == nil {
+			p.proc.Entry = b
+		}
+		p.cur = b
+		return nil
+	}
+
+	if p.cur == nil {
+		if p.proc == nil {
+			return fmt.Errorf("instruction outside .proc: %q", s)
+		}
+		if p.fallPrev != nil {
+			return fmt.Errorf("block %s has no terminator or fall-through target", p.fallPrev)
+		}
+		// Instructions before any label go into an implicit entry block,
+		// created at most once: reaching here again means the previous
+		// block ended without a new label.
+		if _, used := p.blocks["entry"]; used {
+			return fmt.Errorf("instruction after block end without a label: %q", s)
+		}
+		b := p.block("entry")
+		if p.proc.Entry == nil {
+			p.proc.Entry = b
+		}
+		p.cur = b
+	}
+	return p.inst(s)
+}
+
+// cutLabel recognizes "LABEL:" with optional trailing comment.
+func cutLabel(s string) (string, bool) {
+	if i := strings.IndexByte(s, ';'); i >= 0 {
+		s = strings.TrimSpace(s[:i])
+	}
+	if strings.HasSuffix(s, ":") && !strings.ContainsAny(s[:len(s)-1], " \t,()") {
+		return s[:len(s)-1], true
+	}
+	return "", false
+}
+
+func (p *parser) block(label string) *Block {
+	if b, ok := p.blocks[label]; ok {
+		return b
+	}
+	b := p.proc.NewBlockAfter(displayLabel(label))
+	p.blocks[label] = b
+	return b
+}
+
+// displayLabel strips the "B<id>." prefix FormatProgram adds, so labels
+// stay stable across format/parse round trips.
+func displayLabel(label string) string {
+	if len(label) > 1 && label[0] == 'B' {
+		i := 1
+		for i < len(label) && label[i] >= '0' && label[i] <= '9' {
+			i++
+		}
+		if i > 1 && i < len(label) && label[i] == '.' {
+			return label[i+1:]
+		}
+	}
+	return label
+}
+
+func (p *parser) addEdge(b *Block, slot int, label, line string) {
+	p.edges = append(p.edges, pendingEdge{b, slot, label, line})
+}
+
+// finishProc resolves pending edges and verifies the procedure.
+func (p *parser) finishProc() error {
+	if p.proc == nil {
+		return nil
+	}
+	if p.fallPrev != nil {
+		return fmt.Errorf("block %s has no terminator or fall-through target", p.fallPrev)
+	}
+	for _, e := range p.edges {
+		t, ok := p.blocks[e.label]
+		if !ok {
+			return fmt.Errorf("undefined label %q in %q", e.label, e.line)
+		}
+		e.block.Succs[e.slot] = t
+	}
+	p.edges = nil
+	p.proc.RecomputePreds()
+	if err := Verify(p.proc); err != nil {
+		return err
+	}
+	p.proc = nil
+	return nil
+}
+
+// emit appends an instruction to the current block.
+func (p *parser) emit(in isa.Inst) {
+	in.ID = p.pr.NextInstID()
+	p.cur.Insts = append(p.cur.Insts, in)
+}
+
+// annotations extracts ";taken->L fall->L", "-> L" and ";taken" markers.
+type annot struct {
+	taken, fall, next string
+	pred              bool
+}
+
+func splitAnnot(s string) (string, annot) {
+	var a annot
+	// "-> L" direct form before any comment.
+	semi := strings.IndexByte(s, ';')
+	if i := strings.Index(s, "->"); i >= 0 && (semi < 0 || i < semi) {
+		rest := s[i+2:]
+		if semi >= 0 {
+			rest = s[i+2 : semi]
+		}
+		a.next = strings.TrimSpace(rest)
+		if semi >= 0 {
+			s = strings.TrimSpace(s[:i]) + " ;" + s[semi+1:]
+			semi = strings.IndexByte(s, ';')
+		} else {
+			s = strings.TrimSpace(s[:i])
+			semi = -1
+		}
+	}
+	if semi < 0 {
+		return strings.TrimSpace(s), a
+	}
+	tags := strings.ReplaceAll(s[semi+1:], ";", " ")
+	s = strings.TrimSpace(s[:semi])
+	for _, f := range strings.Fields(tags) {
+		switch {
+		case strings.HasPrefix(f, "taken->"):
+			a.taken = strings.TrimPrefix(f, "taken->")
+		case strings.HasPrefix(f, "fall->"):
+			a.fall = strings.TrimPrefix(f, "fall->")
+		case f == "taken":
+			a.pred = true
+		case f == "not-taken":
+			a.pred = false
+		case strings.HasPrefix(f, "->"):
+			a.next = strings.TrimPrefix(f, "->")
+		}
+	}
+	return s, a
+}
+
+var opByName = func() map[string]isa.Op {
+	m := map[string]isa.Op{}
+	for op := isa.NOP; op < isa.Op(255); op++ {
+		name := op.String()
+		if strings.HasPrefix(name, "op(") {
+			break
+		}
+		m[name] = op
+	}
+	return m
+}()
+
+// inst parses one instruction line.
+func (p *parser) inst(s string) error {
+	s, a := splitAnnot(s)
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		if a.next != "" { // bare "-> L" after annotations stripped
+			p.addEdge(p.cur, 0, a.next, s)
+			p.cur.Succs = []*Block{nil}
+			p.cur = nil
+			return nil
+		}
+		return nil
+	}
+	mn := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(s[len(fields[0]):])
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions.
+	switch mn {
+	case "li", "la":
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs rd, imm", mn)
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseInt(ops[1])
+		if err != nil {
+			return err
+		}
+		u := uint32(int32(v))
+		if int32(v) >= -32768 && int32(v) < 32768 {
+			p.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs: isa.R0, Imm: int32(v)})
+		} else {
+			p.emit(isa.Inst{Op: isa.LUI, Rd: rd, Imm: int32(u >> 16)})
+			if low := u & 0xFFFF; low != 0 {
+				p.emit(isa.Inst{Op: isa.ORI, Rd: rd, Rs: rd, Imm: int32(low)})
+			}
+		}
+		return nil
+	case "move":
+		if len(ops) != 2 {
+			return fmt.Errorf("move needs rd, rs")
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		p.emit(isa.Inst{Op: isa.OR, Rd: rd, Rs: rs, Rt: isa.R0})
+		return nil
+	}
+
+	op, ok := opByName[mn]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+
+	switch {
+	case op == isa.NOP:
+		p.emit(isa.Inst{Op: isa.NOP})
+		return nil
+	case op == isa.HALT:
+		p.emit(isa.Inst{Op: isa.HALT})
+		p.cur.Succs = nil
+		p.cur = nil
+		return nil
+	case op == isa.OUT:
+		if len(ops) != 1 {
+			return fmt.Errorf("out needs a register")
+		}
+		rs, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		p.emit(isa.Inst{Op: isa.OUT, Rs: rs})
+		return nil
+	case op == isa.J:
+		target := a.next
+		if target == "" && len(ops) == 1 {
+			target = ops[0]
+		}
+		if target == "" {
+			return fmt.Errorf("jump needs a target")
+		}
+		p.emit(isa.Inst{Op: isa.J})
+		p.cur.Succs = []*Block{nil}
+		p.addEdge(p.cur, 0, target, s)
+		p.cur = nil
+		return nil
+	case op == isa.JAL:
+		if len(ops) != 1 {
+			return fmt.Errorf("jal needs a procedure name")
+		}
+		p.emit(isa.Inst{Op: isa.JAL, Rd: isa.RA, Sym: ops[0]})
+		cont := a.next
+		p.cur.Succs = []*Block{nil}
+		if cont != "" {
+			p.addEdge(p.cur, 0, cont, s)
+			p.cur = nil
+		} else {
+			p.fallPrev = p.cur
+			p.cur = nil
+			// Implicit continuation: next label.
+			p.fallPrev.Succs = []*Block{nil}
+			// fallPrev handling resolves on next label; mark via slot 0.
+			last := p.fallPrev
+			p.fallPrev = last
+		}
+		return nil
+	case op == isa.JR:
+		if len(ops) != 1 {
+			return fmt.Errorf("jr needs a register")
+		}
+		rs, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		p.emit(isa.Inst{Op: isa.JR, Rs: rs})
+		p.cur.Succs = nil
+		p.cur = nil
+		return nil
+	case isa.IsCondBranch(op):
+		var rs, rt isa.Reg
+		var taken, fall string
+		var err error
+		regOps := ops
+		if op == isa.BEQ || op == isa.BNE {
+			if len(regOps) < 2 {
+				return fmt.Errorf("%s needs two registers", mn)
+			}
+			if rs, err = p.reg(regOps[0]); err != nil {
+				return err
+			}
+			if rt, err = p.reg(regOps[1]); err != nil {
+				return err
+			}
+			regOps = regOps[2:]
+		} else {
+			if len(regOps) < 1 {
+				return fmt.Errorf("%s needs a register", mn)
+			}
+			if rs, err = p.reg(regOps[0]); err != nil {
+				return err
+			}
+			regOps = regOps[1:]
+		}
+		switch {
+		case a.taken != "" && a.fall != "":
+			taken, fall = a.taken, a.fall
+		case len(regOps) == 2:
+			taken, fall = regOps[0], regOps[1]
+		default:
+			return fmt.Errorf("branch needs taken and fall targets")
+		}
+		p.emit(isa.Inst{Op: op, Rs: rs, Rt: rt, Pred: a.pred})
+		p.cur.Succs = []*Block{nil, nil}
+		p.addEdge(p.cur, 0, fall, s)
+		p.addEdge(p.cur, 1, taken, s)
+		p.cur = nil
+		return nil
+	case isa.IsLoad(op):
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs rd, off(base)", mn)
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := p.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		p.emit(isa.Inst{Op: op, Rd: rd, Rs: base, Imm: off})
+		return nil
+	case isa.IsStore(op):
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs rt, off(base)", mn)
+		}
+		rt, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := p.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		p.emit(isa.Inst{Op: op, Rt: rt, Rs: base, Imm: off})
+		return nil
+	case op == isa.LUI:
+		if len(ops) < 2 {
+			return fmt.Errorf("lui needs rd, imm")
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseInt(ops[len(ops)-1])
+		if err != nil {
+			return err
+		}
+		p.emit(isa.Inst{Op: op, Rd: rd, Imm: int32(v)})
+		return nil
+	default:
+		// Three-operand ALU/shift forms: rd, rs, (rt | imm).
+		if len(ops) != 3 {
+			return fmt.Errorf("%s needs 3 operands", mn)
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		in := isa.Inst{Op: op, Rd: rd, Rs: rs}
+		if rt, err := p.reg(ops[2]); err == nil {
+			in.Rt = rt
+			// Immediate-form ops never take a third register.
+			if isImmOp(op) {
+				return fmt.Errorf("%s takes an immediate", mn)
+			}
+		} else {
+			v, err := parseInt(ops[2])
+			if err != nil {
+				return err
+			}
+			in.Imm = int32(v)
+			if !isImmOp(op) {
+				return fmt.Errorf("%s takes a register", mn)
+			}
+		}
+		p.emit(in)
+		return nil
+	}
+}
+
+func isImmOp(op isa.Op) bool {
+	switch op {
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLTI, isa.SLTIU,
+		isa.SLL, isa.SRL, isa.SRA:
+		return true
+	}
+	return false
+}
+
+// reg parses "r12", "v3", or a boost-suffixed form like "r4.B2" (the
+// suffix is rejected: parsed programs are pre-scheduling).
+func (p *parser) reg(s string) (isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	if strings.Contains(s, ".B") {
+		return 0, fmt.Errorf("boost suffix not allowed in source: %q", s)
+	}
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r':
+		if n >= isa.NumArchRegs {
+			return 0, fmt.Errorf("architectural register out of range: %q", s)
+		}
+		return isa.Reg(n), nil
+	case 'v':
+		p.pr.EnsureVirtual(int32(n) + 1)
+		return isa.FirstVirtual + isa.Reg(n), nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// memOperand parses "off(base)".
+func (p *parser) memOperand(s string) (isa.Reg, int32, error) {
+	i := strings.IndexByte(s, '(')
+	j := strings.IndexByte(s, ')')
+	if i < 0 || j < i {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int64(0)
+	if strings.TrimSpace(s[:i]) != "" {
+		var err error
+		off, err = parseInt(strings.TrimSpace(s[:i]))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err := p.reg(strings.TrimSpace(s[i+1 : j]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, int32(off), nil
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	return strconv.ParseInt(s, 0, 64)
+}

@@ -1,0 +1,180 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"boosting/internal/isa"
+)
+
+const handWritten = `
+; a hand-written source in the friendly dialect
+.word 7
+.word 35
+
+.proc double
+	add r2, r4, r4
+	jr r31
+
+.proc main
+start:
+	li v0, 0x10000
+	lw v1, 0(v0)
+	lw v2, 4(v0)
+	move r4, v1
+	jal double
+after:
+	add v3, r2, v2
+	out v3
+	blez v3, neg, pos
+neg:
+	out r0
+	j end
+pos:
+	out v3
+	; implicit fallthrough is not allowed; use the annotation
+	;fallthrough -> end
+end:
+	halt
+`
+
+func TestParseHandWritten(t *testing.T) {
+	pr, err := Parse(handWritten)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyProgram(pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Data) != 8 {
+		t.Fatalf("data length %d", len(pr.Data))
+	}
+	main := pr.Main()
+	if main == nil || len(main.Blocks) != 5 {
+		t.Fatalf("main blocks: %v", main)
+	}
+	// Branch wiring: taken→neg, fall→pos (the branch lives in "after").
+	var after *Block
+	for _, b := range main.Blocks {
+		if b.Label == "after" {
+			after = b
+		}
+	}
+	if after == nil {
+		t.Fatal("block 'after' missing")
+	}
+	if after.TakenSucc() == nil || after.TakenSucc().Label != "neg" {
+		t.Errorf("taken successor wrong: %v", after.TakenSucc())
+	}
+	if after.FallSucc().Label != "pos" {
+		t.Errorf("fall successor wrong: %v", after.FallSucc())
+	}
+	// The call block falls through to its continuation.
+	if main.Entry.FallSucc() != after {
+		t.Errorf("call continuation wrong: %v", main.Entry.FallSucc())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no main", ".proc foo\n\thalt\n"},
+		{"bad mnemonic", ".proc main\n\tfrobnicate r1, r2, r3\n\thalt\n"},
+		{"bad register", ".proc main\n\tadd r99, r1, r2\n\thalt\n"},
+		{"undefined label", ".proc main\n\tj nowhere\n"},
+		{"boost suffix", ".proc main\n\tadd r1.B2, r2, r3\n\thalt\n"},
+		{"imm on reg op", ".proc main\n\tadd r1, r2, 5\n\thalt\n"},
+		{"reg on imm op", ".proc main\n\taddi r1, r2, r3\n\thalt\n"},
+		{"branch without targets", ".proc main\n\tbeq r1, r2\n\thalt\n"},
+		{"dangling fallthrough", ".proc main\nstart:\n\tadd r1, r1, r1\n"},
+		{"duplicate label", ".proc main\nx:\n\tadd r1, r1, r1\nx:\n\thalt\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseMemOperands(t *testing.T) {
+	pr, err := Parse(".proc main\n\tlw r5, -8(r29)\n\tsw r5, (r29)\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := pr.Main().Entry.Insts
+	if insts[0].Imm != -8 || insts[0].Rs != isa.SP {
+		t.Errorf("lw parsed as %+v", insts[0])
+	}
+	if insts[1].Imm != 0 || insts[1].Rt != isa.Reg(5) {
+		t.Errorf("sw parsed as %+v", insts[1])
+	}
+}
+
+// TestFormatParseRoundTrip: FormatProgram output re-parses into a program
+// with identical observable behavior.
+func TestFormatParseRoundTrip(t *testing.T) {
+	pr := New()
+	arr := pr.Words(5, 10, 15)
+	pr.Reserve(8)
+	f := NewBuilder(pr, "main")
+	loop := f.Block("loop")
+	done := f.Block("done")
+	i, sum, base, v := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	f.Li(i, 3)
+	f.Li(sum, 0)
+	f.La(base, arr)
+	f.Goto(loop)
+	f.Enter(loop)
+	f.Load(isa.LW, v, base, 0)
+	f.ALU(isa.ADD, sum, sum, v)
+	f.Imm(isa.ADDI, base, base, 4)
+	f.Imm(isa.ADDI, i, i, -1)
+	f.Branch(isa.BGTZ, i, isa.R0, loop, done)
+	f.Enter(done)
+	f.Out(sum)
+	f.Halt()
+	f.Finish()
+
+	text := FormatProgram(pr)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("round trip parse failed: %v\nsource:\n%s", err, text)
+	}
+	if err := VerifyProgram(back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Data) != len(pr.Data) || back.BSS != pr.BSS {
+		t.Errorf("data segment differs: %d/%d vs %d/%d",
+			len(back.Data), back.BSS, len(pr.Data), pr.BSS)
+	}
+	if back.Main().NumInsts() != pr.Main().NumInsts() {
+		t.Errorf("instruction count differs: %d vs %d",
+			back.Main().NumInsts(), pr.Main().NumInsts())
+	}
+	// Re-format should be stable (idempotent after one round).
+	if again := FormatProgram(back); again != text {
+		t.Errorf("re-format not stable:\n--- first\n%s\n--- second\n%s", text, again)
+	}
+}
+
+func TestParsePredictionAnnotations(t *testing.T) {
+	src := `.proc main
+a:
+	addi v0, r0, 1
+	bgtz v0 ;taken ;taken->a fall->b
+b:
+	halt
+`
+	pr, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term := pr.Main().Entry.Terminator()
+	if term == nil || !term.Pred {
+		t.Error("prediction bit not parsed")
+	}
+	if !strings.Contains(Format(pr.Main()), ";taken") {
+		t.Error("prediction bit not printed")
+	}
+}

@@ -1,0 +1,90 @@
+package prog
+
+import (
+	"fmt"
+	"strings"
+
+	"boosting/internal/isa"
+)
+
+// Format renders the procedure as readable assembly with block labels,
+// successor annotations and profile counts. It is the inverse-ish of the
+// parser in parse.go (Format output round-trips through Parse).
+func Format(p *Proc) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".proc %s\n", p.Name)
+	for _, b := range p.Blocks {
+		tag := ""
+		if b == p.Entry {
+			tag = " ;entry"
+		}
+		if b.Recovery {
+			tag += " ;recovery"
+		}
+		fmt.Fprintf(&sb, "%s:%s\n", blockName(b), tag)
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			fmt.Fprintf(&sb, "\t%s", in.String())
+			if i == len(b.Insts)-1 {
+				sb.WriteString(succAnnotation(b))
+			}
+			sb.WriteByte('\n')
+		}
+		if b.Terminator() == nil {
+			fmt.Fprintf(&sb, "\t;fallthrough -> %s\n", blockName(b.Succs[0]))
+		}
+	}
+	return sb.String()
+}
+
+func blockName(b *Block) string {
+	if b.Label != "" {
+		return fmt.Sprintf("B%d.%s", b.ID, sanitize(b.Label))
+	}
+	return fmt.Sprintf("B%d", b.ID)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+func succAnnotation(b *Block) string {
+	t := b.Terminator()
+	switch {
+	case t == nil:
+		return "" // the ";fallthrough -> L" line carries the edge
+	case isa.IsCondBranch(t.Op):
+		return fmt.Sprintf(" ;taken->%s fall->%s", blockName(b.Succs[1]), blockName(b.Succs[0]))
+	case len(b.Succs) == 1:
+		return fmt.Sprintf(" -> %s", blockName(b.Succs[0]))
+	}
+	return ""
+}
+
+// FormatProgram renders the data segment and every procedure. The output
+// parses back with Parse (round trip), except that scheduled programs with
+// boosting labels are not re-parseable sources.
+func FormatProgram(pr *Program) string {
+	var sb strings.Builder
+	for i := 0; i < len(pr.Data); i += 16 {
+		sb.WriteString(".byte")
+		for j := i; j < i+16 && j < len(pr.Data); j++ {
+			fmt.Fprintf(&sb, " %d", pr.Data[j])
+		}
+		sb.WriteByte('\n')
+	}
+	if pr.BSS > 0 {
+		fmt.Fprintf(&sb, ".reserve %d\n", pr.BSS)
+	}
+	for _, p := range pr.ProcList() {
+		sb.WriteString(Format(p))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,318 @@
+// Package prog defines the compiler's program representation: procedures
+// made of basic blocks connected into a control-flow graph, plus a builder
+// API used by the workloads, a verifier, a printer and a deep-clone.
+//
+// Design rules:
+//
+//   - A basic block contains straight-line instructions and ends with at
+//     most one control-transfer instruction (its terminator). Conditional
+//     branches have exactly two successors: Succs[0] is the fall-through
+//     (not-taken) target and Succs[1] is the taken target.
+//   - Calls (JAL) and returns (JR) terminate blocks; a call's single
+//     successor is its continuation block. Trace construction stops at
+//     them, as in the paper ("the next block is not in the current
+//     region (e.g. a call)").
+//   - Architectural delay slots are not represented here; they are a
+//     property of machine schedules (package machine).
+package prog
+
+import (
+	"fmt"
+
+	"boosting/internal/isa"
+)
+
+// Memory-layout constants shared by the builder, simulator and workloads.
+const (
+	// DataBase is the virtual address of the first byte of the data
+	// segment. Pages below it (in particular page zero) are unmapped, so
+	// nil-pointer loads fault.
+	DataBase uint32 = 0x0001_0000
+	// StackTop is the initial stack pointer. The simulator maps a region
+	// of StackSize bytes below it.
+	StackTop uint32 = 0x0080_0000
+	// StackSize is the size of the mapped stack region.
+	StackSize uint32 = 64 * 1024
+)
+
+// Block is a basic block.
+type Block struct {
+	// ID is unique within the procedure and stable across scheduling.
+	ID int
+	// Label is a human-readable name for listings.
+	Label string
+	// Insts holds the block's instructions. If the block has a
+	// terminator it is the last instruction.
+	Insts []isa.Inst
+	// Succs lists successor blocks. Layout depends on the terminator:
+	// conditional branch → [fallthrough, taken]; J/JAL → [target];
+	// no terminator → [fallthrough]; JR/HALT → empty.
+	Succs []*Block
+	// Preds lists predecessor blocks (maintained by the builder and by
+	// CFG edits; RecomputePreds rebuilds them).
+	Preds []*Block
+
+	// Profile data filled in by package profile: how many times the block
+	// executed and, if it ends in a conditional branch, how many times the
+	// branch was taken.
+	Count      int64
+	TakenCount int64
+
+	// Recovery marks compiler-generated boosted-exception recovery blocks.
+	// They are reachable only through the exception mechanism, never
+	// through normal CFG edges, and are excluded from scheduling.
+	Recovery bool
+}
+
+// Terminator returns the block's control-transfer instruction, or nil if
+// the block falls through.
+func (b *Block) Terminator() *isa.Inst {
+	if len(b.Insts) == 0 {
+		return nil
+	}
+	last := &b.Insts[len(b.Insts)-1]
+	if isa.IsControl(last.Op) {
+		return last
+	}
+	return nil
+}
+
+// Body returns the block's instructions excluding any terminator.
+func (b *Block) Body() []isa.Inst {
+	if b.Terminator() != nil {
+		return b.Insts[:len(b.Insts)-1]
+	}
+	return b.Insts
+}
+
+// FallSucc returns the fall-through successor (nil if none).
+func (b *Block) FallSucc() *Block {
+	if len(b.Succs) > 0 {
+		return b.Succs[0]
+	}
+	return nil
+}
+
+// TakenSucc returns the taken successor of a conditional branch (nil if the
+// block does not end in one).
+func (b *Block) TakenSucc() *Block {
+	if t := b.Terminator(); t != nil && isa.IsCondBranch(t.Op) && len(b.Succs) == 2 {
+		return b.Succs[1]
+	}
+	return nil
+}
+
+// PredictedSucc returns the successor the terminating branch predicts, or
+// the unique successor for unconditional flow, or nil for JR/HALT.
+func (b *Block) PredictedSucc() *Block {
+	t := b.Terminator()
+	if t != nil && isa.IsCondBranch(t.Op) {
+		if t.Pred {
+			return b.TakenSucc()
+		}
+		return b.FallSucc()
+	}
+	return b.FallSucc()
+}
+
+// TakenProb returns the profile-derived probability that the terminating
+// conditional branch is taken. Without profile data it returns 0.5.
+func (b *Block) TakenProb() float64 {
+	if b.Count <= 0 {
+		return 0.5
+	}
+	return float64(b.TakenCount) / float64(b.Count)
+}
+
+// String returns "Bid(label)".
+func (b *Block) String() string {
+	if b.Label != "" {
+		return fmt.Sprintf("B%d(%s)", b.ID, b.Label)
+	}
+	return fmt.Sprintf("B%d", b.ID)
+}
+
+// Proc is a procedure: an entry block and the set of blocks reachable from
+// it (plus any recovery blocks).
+type Proc struct {
+	Name   string
+	Blocks []*Block
+	Entry  *Block
+}
+
+// NewBlockAfter creates an empty block owned by the procedure, appended to
+// Blocks. The caller wires up edges.
+func (p *Proc) NewBlockAfter(label string) *Block {
+	b := &Block{ID: p.nextBlockID(), Label: label}
+	p.Blocks = append(p.Blocks, b)
+	return b
+}
+
+func (p *Proc) nextBlockID() int {
+	max := -1
+	for _, b := range p.Blocks {
+		if b.ID > max {
+			max = b.ID
+		}
+	}
+	return max + 1
+}
+
+// NumInsts returns the static instruction count of the procedure.
+func (p *Proc) NumInsts() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Insts)
+	}
+	return n
+}
+
+// RecomputePreds rebuilds every block's Preds list from the Succs lists.
+// The order of Preds is deterministic (by block ID then successor slot).
+func (p *Proc) RecomputePreds() {
+	for _, b := range p.Blocks {
+		b.Preds = b.Preds[:0]
+	}
+	for _, b := range p.Blocks {
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// MaxReg returns the highest register number mentioned in the procedure
+// (at least NumArchRegs-1).
+func (p *Proc) MaxReg() isa.Reg {
+	max := isa.Reg(isa.NumArchRegs - 1)
+	var tmp []isa.Reg
+	for _, b := range p.Blocks {
+		for i := range b.Insts {
+			tmp = b.Insts[i].Defs(tmp[:0])
+			tmp = b.Insts[i].Uses(tmp)
+			for _, r := range tmp {
+				if r > max {
+					max = r
+				}
+			}
+		}
+	}
+	return max
+}
+
+// Program is a whole program: procedures plus an initial data image.
+type Program struct {
+	Procs map[string]*Proc
+	// Order preserves insertion order of procedures for deterministic
+	// iteration and printing.
+	Order []string
+	// Data is the initial content of the data segment, loaded at DataBase.
+	Data []byte
+	// BSS is the number of zeroed bytes mapped immediately after Data.
+	BSS int
+	// nextInstID assigns stable instruction identities.
+	nextInstID int
+	// numVirtual counts virtual registers handed out. Virtual registers
+	// are unique across the whole program so that procedures do not alias
+	// each other's temporaries in the (single, flat) register file.
+	numVirtual int32
+}
+
+// FreshReg returns a new program-unique virtual register.
+func (pr *Program) FreshReg() isa.Reg {
+	r := isa.FirstVirtual + isa.Reg(pr.numVirtual)
+	pr.numVirtual++
+	return r
+}
+
+// EnsureVirtual advances the fresh-register counter past n virtual
+// registers, so that sources mentioning v0..v(n-1) (the assembly parser)
+// never collide with later FreshReg allocations.
+func (pr *Program) EnsureVirtual(n int32) {
+	if n > pr.numVirtual {
+		pr.numVirtual = n
+	}
+}
+
+// New returns an empty program.
+func New() *Program {
+	return &Program{Procs: map[string]*Proc{}}
+}
+
+// Main returns the entry procedure ("main"), or nil.
+func (pr *Program) Main() *Proc { return pr.Procs["main"] }
+
+// AddProc registers a procedure. It panics on duplicate names (programs are
+// constructed by code, so this is a programming error).
+func (pr *Program) AddProc(p *Proc) {
+	if _, dup := pr.Procs[p.Name]; dup {
+		panic("prog: duplicate procedure " + p.Name)
+	}
+	pr.Procs[p.Name] = p
+	pr.Order = append(pr.Order, p.Name)
+}
+
+// ProcList returns the procedures in insertion order.
+func (pr *Program) ProcList() []*Proc {
+	out := make([]*Proc, 0, len(pr.Order))
+	for _, name := range pr.Order {
+		out = append(out, pr.Procs[name])
+	}
+	return out
+}
+
+// NumInsts returns the static instruction count of the whole program.
+func (pr *Program) NumInsts() int {
+	n := 0
+	for _, p := range pr.ProcList() {
+		n += p.NumInsts()
+	}
+	return n
+}
+
+// NextInstID returns a fresh instruction identity.
+func (pr *Program) NextInstID() int {
+	pr.nextInstID++
+	return pr.nextInstID
+}
+
+// Word appends a little-endian 32-bit word to the data segment and returns
+// its address.
+func (pr *Program) Word(v int32) uint32 {
+	addr := DataBase + uint32(len(pr.Data))
+	u := uint32(v)
+	pr.Data = append(pr.Data, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	return addr
+}
+
+// Words appends several words and returns the address of the first.
+func (pr *Program) Words(vs ...int32) uint32 {
+	addr := DataBase + uint32(len(pr.Data))
+	for _, v := range vs {
+		pr.Word(v)
+	}
+	return addr
+}
+
+// Bytes appends raw bytes to the data segment and returns the address of
+// the first.
+func (pr *Program) Bytes(bs []byte) uint32 {
+	addr := DataBase + uint32(len(pr.Data))
+	pr.Data = append(pr.Data, bs...)
+	return addr
+}
+
+// Align pads the data segment to a multiple of n bytes.
+func (pr *Program) Align(n int) {
+	for len(pr.Data)%n != 0 {
+		pr.Data = append(pr.Data, 0)
+	}
+}
+
+// Reserve maps sz zeroed bytes after the current data image (BSS) and
+// returns the address of the first byte.
+func (pr *Program) Reserve(sz int) uint32 {
+	pr.Align(4)
+	addr := DataBase + uint32(len(pr.Data)) + uint32(pr.BSS)
+	pr.BSS += sz
+	return addr
+}

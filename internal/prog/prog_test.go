@@ -1,0 +1,210 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"boosting/internal/isa"
+)
+
+// buildCountdown builds: main { r = n; loop: out r; r--; if r>0 goto loop; halt }
+func buildCountdown(n int32) *Program {
+	pr := New()
+	f := NewBuilder(pr, "main")
+	loop := f.Block("loop")
+	done := f.Block("done")
+	r := f.Reg()
+	f.Li(r, n)
+	f.Goto(loop)
+	f.Enter(loop)
+	f.Out(r)
+	f.Imm(isa.ADDI, r, r, -1)
+	f.Branch(isa.BGTZ, r, isa.R0, loop, done)
+	f.Enter(done)
+	f.Halt()
+	f.Finish()
+	return pr
+}
+
+func TestBuilderBasics(t *testing.T) {
+	pr := buildCountdown(3)
+	p := pr.Main()
+	if p == nil {
+		t.Fatal("no main")
+	}
+	if err := VerifyProgram(pr); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(p.Blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(p.Blocks))
+	}
+	loop := p.Blocks[1]
+	if loop.TakenSucc() != loop {
+		t.Error("loop taken successor should be itself")
+	}
+	if loop.FallSucc() != p.Blocks[2] {
+		t.Error("loop fall successor should be done")
+	}
+	if got := len(loop.Preds); got != 2 {
+		t.Errorf("loop has %d preds, want 2 (entry + itself)", got)
+	}
+}
+
+func TestTerminatorAndBody(t *testing.T) {
+	pr := buildCountdown(3)
+	loop := pr.Main().Blocks[1]
+	term := loop.Terminator()
+	if term == nil || term.Op != isa.BGTZ {
+		t.Fatalf("terminator = %v", term)
+	}
+	if len(loop.Body()) != len(loop.Insts)-1 {
+		t.Error("Body must exclude terminator")
+	}
+	entry := pr.Main().Entry
+	if entry.Terminator() != nil {
+		t.Error("fall-through entry block must have nil terminator")
+	}
+	if len(entry.Body()) != len(entry.Insts) {
+		t.Error("Body of fall-through block must include everything")
+	}
+}
+
+func TestPredictedSucc(t *testing.T) {
+	pr := buildCountdown(3)
+	loop := pr.Main().Blocks[1]
+	term := loop.Terminator()
+	term.Pred = true
+	if loop.PredictedSucc() != loop {
+		t.Error("predicted-taken successor wrong")
+	}
+	term.Pred = false
+	if loop.PredictedSucc() != pr.Main().Blocks[2] {
+		t.Error("predicted-not-taken successor wrong")
+	}
+}
+
+func TestInstIDsAssigned(t *testing.T) {
+	pr := buildCountdown(3)
+	seen := map[int]bool{}
+	for _, b := range pr.Main().Blocks {
+		for i := range b.Insts {
+			id := b.Insts[i].ID
+			if id == 0 {
+				t.Fatalf("instruction %s has no ID", b.Insts[i].String())
+			}
+			if seen[id] {
+				t.Fatalf("duplicate instruction ID %d", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestVerifyCatchesMidBlockControl(t *testing.T) {
+	pr := buildCountdown(3)
+	b := pr.Main().Entry
+	// Insert a HALT mid-block.
+	b.Insts = append([]isa.Inst{{Op: isa.HALT}}, b.Insts...)
+	if err := Verify(pr.Main()); err == nil {
+		t.Error("verifier must reject mid-block control op")
+	}
+}
+
+func TestVerifyCatchesBadSuccCount(t *testing.T) {
+	pr := buildCountdown(3)
+	loop := pr.Main().Blocks[1]
+	loop.Succs = loop.Succs[:1]
+	if err := Verify(pr.Main()); err == nil {
+		t.Error("verifier must reject branch with one successor")
+	}
+}
+
+func TestVerifyCatchesStalePreds(t *testing.T) {
+	pr := buildCountdown(3)
+	done := pr.Main().Blocks[2]
+	done.Preds = append(done.Preds, done) // bogus pred
+	if err := Verify(pr.Main()); err == nil {
+		t.Error("verifier must reject stale preds")
+	}
+}
+
+func TestVerifyProgramCatchesUndefinedCall(t *testing.T) {
+	pr := New()
+	f := NewBuilder(pr, "main")
+	f.Call("nonexistent")
+	f.Halt()
+	f.Finish()
+	if err := VerifyProgram(pr); err == nil {
+		t.Error("must reject call to undefined proc")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	pr := buildCountdown(3)
+	cl := Clone(pr)
+	if err := VerifyProgram(cl); err != nil {
+		t.Fatalf("clone verify: %v", err)
+	}
+	// Mutating the clone must not touch the original.
+	cl.Main().Blocks[0].Insts[0].Imm = 99
+	if pr.Main().Blocks[0].Insts[0].Imm == 99 {
+		t.Error("clone shares instruction storage with original")
+	}
+	if cl.Main().Blocks[1].Succs[1] == pr.Main().Blocks[1] {
+		t.Error("clone shares block pointers with original")
+	}
+	// IDs and structure preserved.
+	if cl.Main().Blocks[1].ID != pr.Main().Blocks[1].ID {
+		t.Error("clone changed block IDs")
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	pr := New()
+	a1 := pr.Word(42)
+	if a1 != DataBase {
+		t.Errorf("first word at %#x, want %#x", a1, DataBase)
+	}
+	a2 := pr.Words(1, 2, 3)
+	if a2 != DataBase+4 {
+		t.Errorf("second alloc at %#x", a2)
+	}
+	pr.Bytes([]byte{1, 2, 3})
+	pr.Align(4)
+	if len(pr.Data)%4 != 0 {
+		t.Error("align failed")
+	}
+	bss := pr.Reserve(100)
+	if bss < DataBase+uint32(len(pr.Data)) {
+		t.Error("BSS overlaps data")
+	}
+	if pr.BSS != 100 {
+		t.Errorf("BSS size %d", pr.BSS)
+	}
+}
+
+func TestFormatRendersSchedulesAndEdges(t *testing.T) {
+	pr := buildCountdown(3)
+	s := Format(pr.Main())
+	for _, want := range []string{".proc main", "taken->", "fall->", "halt", "out"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFreshRegMonotonic(t *testing.T) {
+	p := New()
+	r1 := p.FreshReg()
+	r2 := p.FreshReg()
+	if r1 == r2 || !r1.IsVirtual() || !r2.IsVirtual() {
+		t.Errorf("fresh regs %v %v", r1, r2)
+	}
+}
+
+func TestMaxReg(t *testing.T) {
+	pr := buildCountdown(3)
+	if got := pr.Main().MaxReg(); got != isa.FirstVirtual {
+		t.Errorf("MaxReg = %v, want %v", got, isa.FirstVirtual)
+	}
+}

@@ -1,0 +1,374 @@
+// Package regalloc implements the paper's register allocation scheme:
+// instruction scheduling is performed *after* register allocation, and the
+// allocator is round-robin "to minimize these [anti- and output-]
+// dependences" (paper §3.2.1).
+//
+// Workloads are written against unbounded virtual registers; Allocate maps
+// every virtual register onto the 32 architectural registers. Virtual
+// registers that do not fit (or that live across calls, which clobber the
+// caller's registers under our all-caller-saved convention) are spilled to
+// statically allocated memory slots. Static spill slots make spilled
+// procedures non-reentrant; the workloads use explicit memory stacks for
+// recursion, as non-numerical C codes of the era commonly compiled to
+// caller-managed frames anyway.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"boosting/internal/dataflow"
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// Pool is the set of architectural registers available for allocation.
+// It excludes R0 (zero), RV/A0..A3 (linkage values), SP and RA.
+var Pool = []isa.Reg{
+	1, 3, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21,
+	22, 23, 24, 25, 26, 27, 28, 30,
+}
+
+// Stats reports what the allocator did.
+type Stats struct {
+	// Assigned counts virtual registers given architectural registers.
+	Assigned int
+	// Spilled counts virtual registers demoted to memory slots.
+	Spilled int
+	// SpillBytes is the static memory consumed by spill slots.
+	SpillBytes int
+}
+
+// Allocate rewrites the program in place so that no virtual registers
+// remain. It returns per-procedure statistics keyed by name.
+func Allocate(pr *prog.Program) (map[string]*Stats, error) {
+	out := map[string]*Stats{}
+	for _, p := range pr.ProcList() {
+		st, err := allocateProc(pr, p)
+		if err != nil {
+			return nil, fmt.Errorf("regalloc %s: %w", p.Name, err)
+		}
+		out[p.Name] = st
+	}
+	return out, nil
+}
+
+type allocator struct {
+	pr *prog.Program
+	p  *prog.Proc
+	st *Stats
+	// spillSlot maps a spilled virtual register to its memory address.
+	spillSlot map[isa.Reg]uint32
+	// temp marks virtuals created by spilling; they are short-lived and
+	// must never themselves be chosen for spilling (that would not reduce
+	// register pressure and the allocation would not converge).
+	temp map[isa.Reg]bool
+}
+
+func allocateProc(pr *prog.Program, p *prog.Proc) (*Stats, error) {
+	a := &allocator{pr: pr, p: p, st: &Stats{}, spillSlot: map[isa.Reg]uint32{}, temp: map[isa.Reg]bool{}}
+
+	// Step 1: spill every virtual live across a call (our convention is
+	// all-caller-saved, and spilling is the caller's save).
+	a.spillCallCrossing()
+
+	// Step 2: iterate coloring; on failure spill the worst offender.
+	for round := 0; ; round++ {
+		if round > 256 {
+			return nil, fmt.Errorf("did not converge after %d spill rounds", round)
+		}
+		failed, err := a.color()
+		if err != nil {
+			return nil, err
+		}
+		if failed == 0 {
+			break
+		}
+		if a.temp[failed] {
+			return nil, fmt.Errorf("register pressure from spill temporaries alone exceeds the pool")
+		}
+		a.spill(failed)
+	}
+	return a.st, nil
+}
+
+// virtuals returns the virtual registers mentioned in the proc, in first-
+// appearance order.
+func (a *allocator) virtuals() []isa.Reg {
+	var order []isa.Reg
+	seen := map[isa.Reg]bool{}
+	var tmp []isa.Reg
+	for _, b := range a.p.Blocks {
+		for i := range b.Insts {
+			tmp = b.Insts[i].Defs(tmp[:0])
+			tmp = b.Insts[i].Uses(tmp)
+			for _, r := range tmp {
+				if r.IsVirtual() && !seen[r] {
+					seen[r] = true
+					order = append(order, r)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// spillCallCrossing finds virtuals live across JAL instructions and spills
+// them.
+func (a *allocator) spillCallCrossing() {
+	lv := dataflow.ComputeLiveness(a.p)
+	crossing := map[isa.Reg]bool{}
+	for _, b := range a.p.Blocks {
+		for i := range b.Insts {
+			if b.Insts[i].Op != isa.JAL {
+				continue
+			}
+			// JAL terminates the block; everything live out of the block
+			// except values produced by the call itself crosses the call.
+			live := lv.Out[b.ID]
+			live.ForEach(func(r int) {
+				if isa.Reg(r).IsVirtual() {
+					crossing[isa.Reg(r)] = true
+				}
+			})
+		}
+	}
+	var list []isa.Reg
+	for r := range crossing {
+		list = append(list, r)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	for _, r := range list {
+		a.spill(r)
+	}
+}
+
+// spill rewrites every def of v into a store to a static slot and every
+// use into a load through a fresh short-lived virtual.
+func (a *allocator) spill(v isa.Reg) {
+	slot, ok := a.spillSlot[v]
+	if !ok {
+		slot = a.pr.Reserve(4)
+		a.spillSlot[v] = slot
+		a.st.Spilled++
+		a.st.SpillBytes += 4
+	}
+	for _, b := range a.p.Blocks {
+		var out []isa.Inst
+		var tmp []isa.Reg
+		for i := range b.Insts {
+			in := b.Insts[i]
+			usesV := false
+			tmp = in.Uses(tmp[:0])
+			for _, r := range tmp {
+				if r == v {
+					usesV = true
+				}
+			}
+			defsV := false
+			tmp = in.Defs(tmp[:0])
+			for _, r := range tmp {
+				if r == v {
+					defsV = true
+				}
+			}
+			if !usesV && !defsV {
+				out = append(out, in)
+				continue
+			}
+			t := a.pr.FreshReg()
+			a.temp[t] = true
+			if usesV {
+				// addr = slot; load t, 0(addr) — use ADDI from R0 trick via
+				// LUI/ORI materialization would cost registers; instead
+				// address the slot directly through R0 when it fits, else
+				// through a second temp.
+				out = append(out, a.loadSlot(t, slot)...)
+			}
+			rewriteReg(&in, v, t)
+			if usesV && !defsV {
+				out = append(out, in)
+				continue
+			}
+			out = append(out, in)
+			out = append(out, a.storeSlot(t, slot)...)
+		}
+		b.Insts = out
+	}
+}
+
+// loadSlot emits instructions loading the slot into t.
+func (a *allocator) loadSlot(t isa.Reg, slot uint32) []isa.Inst {
+	if slot < 0x8000 {
+		return []isa.Inst{{Op: isa.LW, Rd: t, Rs: isa.R0, Imm: int32(slot), ID: a.pr.NextInstID()}}
+	}
+	addr := a.pr.FreshReg()
+	a.temp[addr] = true
+	return []isa.Inst{
+		{Op: isa.LUI, Rd: addr, Imm: int32(slot >> 16), ID: a.pr.NextInstID()},
+		{Op: isa.ORI, Rd: addr, Rs: addr, Imm: int32(slot & 0xFFFF), ID: a.pr.NextInstID()},
+		{Op: isa.LW, Rd: t, Rs: addr, Imm: 0, ID: a.pr.NextInstID()},
+	}
+}
+
+// storeSlot emits instructions storing t to the slot.
+func (a *allocator) storeSlot(t isa.Reg, slot uint32) []isa.Inst {
+	if slot < 0x8000 {
+		return []isa.Inst{{Op: isa.SW, Rt: t, Rs: isa.R0, Imm: int32(slot), ID: a.pr.NextInstID()}}
+	}
+	addr := a.pr.FreshReg()
+	a.temp[addr] = true
+	return []isa.Inst{
+		{Op: isa.LUI, Rd: addr, Imm: int32(slot >> 16), ID: a.pr.NextInstID()},
+		{Op: isa.ORI, Rd: addr, Rs: addr, Imm: int32(slot & 0xFFFF), ID: a.pr.NextInstID()},
+		{Op: isa.SW, Rt: t, Rs: addr, Imm: 0, ID: a.pr.NextInstID()},
+	}
+}
+
+// rewriteReg substitutes register old with new in the instruction's
+// operand fields.
+func rewriteReg(in *isa.Inst, old, new isa.Reg) {
+	if in.Rd == old {
+		in.Rd = new
+	}
+	if in.Rs == old {
+		in.Rs = new
+	}
+	if in.Rt == old {
+		in.Rt = new
+	}
+}
+
+// color attempts a full round-robin assignment. It returns 0 on success or
+// the virtual register chosen for spilling on failure.
+func (a *allocator) color() (isa.Reg, error) {
+	lv := dataflow.ComputeLiveness(a.p)
+	order := a.virtuals()
+	if len(order) == 0 {
+		return 0, nil
+	}
+
+	// Build the interference graph: at every definition point, the
+	// defined register interferes with everything live after it. Also
+	// interferes among simultaneously live-in registers at block entries
+	// (covers parameters and loop-carried values).
+	interf := map[isa.Reg]map[isa.Reg]bool{}
+	addI := func(x, y isa.Reg) {
+		if x == y || !x.IsVirtual() || !y.IsVirtual() {
+			return
+		}
+		if interf[x] == nil {
+			interf[x] = map[isa.Reg]bool{}
+		}
+		if interf[y] == nil {
+			interf[y] = map[isa.Reg]bool{}
+		}
+		interf[x][y] = true
+		interf[y][x] = true
+	}
+	var tmp []isa.Reg
+	for _, b := range a.p.Blocks {
+		live := lv.Out[b.ID].CloneSet()
+		for i := len(b.Insts) - 1; i >= 0; i-- {
+			in := &b.Insts[i]
+			tmp = in.Defs(tmp[:0])
+			for _, d := range tmp {
+				live.ForEach(func(r int) { addI(d, isa.Reg(r)) })
+				// Two defs in the same instruction would interfere, but
+				// our ISA has single defs.
+			}
+			for _, d := range tmp {
+				if d != isa.R0 {
+					live.Clear(int(d))
+				}
+			}
+			tmp = in.Uses(tmp[:0])
+			for _, u := range tmp {
+				live.Set(int(u))
+			}
+		}
+		// Mutual interference among block live-ins.
+		var ins []isa.Reg
+		live.ForEach(func(r int) {
+			if isa.Reg(r).IsVirtual() {
+				ins = append(ins, isa.Reg(r))
+			}
+		})
+		for i := 0; i < len(ins); i++ {
+			for j := i + 1; j < len(ins); j++ {
+				addI(ins[i], ins[j])
+			}
+		}
+	}
+
+	assign := map[isa.Reg]isa.Reg{}
+	rr := 0
+	for _, v := range order {
+		found := false
+		for k := 0; k < len(Pool); k++ {
+			cand := Pool[(rr+k)%len(Pool)]
+			ok := true
+			for n := range interf[v] {
+				if assign[n] == cand {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				assign[v] = cand
+				rr = (rr + k + 1) % len(Pool)
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Spill the non-temporary virtual with the most interference
+			// (temporaries are already minimal live ranges).
+			var worst isa.Reg
+			for _, w := range order {
+				if a.temp[w] || assign[w] != 0 {
+					continue
+				}
+				if worst == 0 || len(interf[w]) > len(interf[worst]) {
+					worst = w
+				}
+			}
+			if worst == 0 {
+				// Every remaining unassigned virtual is a temporary; the
+				// pool is exhausted by long-lived neighbors, so spill the
+				// heaviest non-temporary neighbor of the failing temp.
+				for n := range interf[v] {
+					if a.temp[n] {
+						continue
+					}
+					if worst == 0 || len(interf[n]) > len(interf[worst]) ||
+						(len(interf[n]) == len(interf[worst]) && n < worst) {
+						worst = n
+					}
+				}
+			}
+			if worst == 0 {
+				worst = v // only temporaries anywhere; caller reports the error
+			}
+			return worst, nil
+		}
+	}
+
+	// Apply the assignment.
+	for _, b := range a.p.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if phys, ok := assign[in.Rd]; ok {
+				in.Rd = phys
+			}
+			if phys, ok := assign[in.Rs]; ok {
+				in.Rs = phys
+			}
+			if phys, ok := assign[in.Rt]; ok {
+				in.Rt = phys
+			}
+		}
+	}
+	a.st.Assigned += len(assign)
+	return 0, nil
+}

@@ -1,0 +1,205 @@
+package regalloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+	"boosting/internal/sim"
+)
+
+// noVirtualsLeft asserts allocation is complete.
+func noVirtualsLeft(t *testing.T, pr *prog.Program) {
+	t.Helper()
+	var tmp []isa.Reg
+	for _, p := range pr.ProcList() {
+		for _, b := range p.Blocks {
+			for i := range b.Insts {
+				tmp = b.Insts[i].Defs(tmp[:0])
+				tmp = b.Insts[i].Uses(tmp)
+				for _, r := range tmp {
+					if r.IsVirtual() {
+						t.Fatalf("proc %s: virtual %s remains in %s",
+							p.Name, r, b.Insts[i].String())
+					}
+				}
+			}
+		}
+	}
+}
+
+// sameBehavior runs both programs and compares observable results.
+func sameBehavior(t *testing.T, orig, alloc *prog.Program) {
+	t.Helper()
+	r1, err := sim.Run(orig, sim.RefConfig{})
+	if err != nil {
+		t.Fatalf("original: %v", err)
+	}
+	r2, err := sim.Run(alloc, sim.RefConfig{})
+	if err != nil {
+		t.Fatalf("allocated: %v", err)
+	}
+	if len(r1.Out) != len(r2.Out) {
+		t.Fatalf("output length differs: %d vs %d", len(r1.Out), len(r2.Out))
+	}
+	for i := range r1.Out {
+		if r1.Out[i] != r2.Out[i] {
+			t.Fatalf("out[%d]: %d vs %d", i, r1.Out[i], r2.Out[i])
+		}
+	}
+}
+
+func TestAllocateSimpleLoop(t *testing.T) {
+	build := func() *prog.Program {
+		pr := prog.New()
+		f := prog.NewBuilder(pr, "main")
+		loop := f.Block("loop")
+		done := f.Block("done")
+		i, sum := f.Reg(), f.Reg()
+		f.Li(i, 10)
+		f.Li(sum, 0)
+		f.Goto(loop)
+		f.Enter(loop)
+		f.ALU(isa.ADD, sum, sum, i)
+		f.Imm(isa.ADDI, i, i, -1)
+		f.Branch(isa.BGTZ, i, isa.R0, loop, done)
+		f.Enter(done)
+		f.Out(sum)
+		f.Halt()
+		f.Finish()
+		return pr
+	}
+	orig := build()
+	alloc := build()
+	stats, err := Allocate(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noVirtualsLeft(t, alloc)
+	sameBehavior(t, orig, alloc)
+	if stats["main"].Spilled != 0 {
+		t.Errorf("simple loop should not spill, spilled %d", stats["main"].Spilled)
+	}
+}
+
+func TestAllocateHighPressureSpills(t *testing.T) {
+	build := func() *prog.Program {
+		pr := prog.New()
+		f := prog.NewBuilder(pr, "main")
+		// More simultaneously live values than the pool holds.
+		n := len(Pool) + 8
+		regs := make([]isa.Reg, n)
+		for i := range regs {
+			regs[i] = f.Reg()
+			f.Li(regs[i], int32(i+1))
+		}
+		sum := f.Reg()
+		f.Li(sum, 0)
+		for i := range regs {
+			f.ALU(isa.ADD, sum, sum, regs[i])
+		}
+		f.Out(sum)
+		f.Halt()
+		f.Finish()
+		return pr
+	}
+	orig := build()
+	alloc := build()
+	stats, err := Allocate(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noVirtualsLeft(t, alloc)
+	sameBehavior(t, orig, alloc)
+	if stats["main"].Spilled == 0 {
+		t.Error("high-pressure program must spill")
+	}
+}
+
+func TestAllocateCallCrossing(t *testing.T) {
+	build := func() *prog.Program {
+		pr := prog.New()
+		leaf := prog.NewBuilder(pr, "leaf")
+		// The leaf clobbers a pool register deliberately.
+		tv := leaf.Reg()
+		leaf.Li(tv, 1234)
+		leaf.Imm(isa.ADDI, isa.RV, isa.A0, 1)
+		leaf.Ret()
+		leaf.Finish()
+
+		f := prog.NewBuilder(pr, "main")
+		x := f.Reg()
+		f.Li(x, 41) // x must survive the call
+		f.Li(isa.A0, 1)
+		f.Call("leaf")
+		f.ALU(isa.ADD, x, x, isa.RV)
+		f.Out(x) // 43
+		f.Halt()
+		f.Finish()
+		return pr
+	}
+	orig := build()
+	alloc := build()
+	stats, err := Allocate(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noVirtualsLeft(t, alloc)
+	sameBehavior(t, orig, alloc)
+	if stats["main"].Spilled == 0 {
+		t.Error("call-crossing virtual must be spilled")
+	}
+}
+
+// Random straight-line + branching programs must behave identically after
+// allocation (property test).
+func TestAllocatePropertyRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		seed := rng.Int63()
+		build := func() *prog.Program { return randomProgram(seed) }
+		orig := build()
+		alloc := build()
+		if _, err := Allocate(alloc); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		noVirtualsLeft(t, alloc)
+		sameBehavior(t, orig, alloc)
+	}
+}
+
+// randomProgram builds a deterministic random program from a seed: a few
+// blocks of arithmetic over a pool of virtuals with a bounded loop and a
+// conditional, ending by printing everything.
+func randomProgram(seed int64) *prog.Program {
+	rng := rand.New(rand.NewSource(seed))
+	pr := prog.New()
+	f := prog.NewBuilder(pr, "main")
+	n := 4 + rng.Intn(12)
+	regs := make([]isa.Reg, n)
+	for i := range regs {
+		regs[i] = f.Reg()
+		f.Li(regs[i], int32(rng.Intn(100)))
+	}
+	ops := []isa.Op{isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SLT, isa.MUL}
+	body := f.Block("body")
+	done := f.Block("done")
+	ctr := f.Reg()
+	f.Li(ctr, int32(2+rng.Intn(5)))
+	f.Goto(body)
+	f.Enter(body)
+	for k := 0; k < 8+rng.Intn(16); k++ {
+		op := ops[rng.Intn(len(ops))]
+		f.ALU(op, regs[rng.Intn(n)], regs[rng.Intn(n)], regs[rng.Intn(n)])
+	}
+	f.Imm(isa.ADDI, ctr, ctr, -1)
+	f.Branch(isa.BGTZ, ctr, isa.R0, body, done)
+	f.Enter(done)
+	for i := range regs {
+		f.Out(regs[i])
+	}
+	f.Halt()
+	f.Finish()
+	return pr
+}

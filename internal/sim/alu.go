@@ -1,0 +1,144 @@
+package sim
+
+import "boosting/internal/isa"
+
+// evalALU computes the result of a non-memory, non-control operation.
+// a and b are the values of Rs and Rt; imm is the sign-extended immediate.
+// Divide-by-zero is reported via ok=false.
+func evalALU(op isa.Op, a, b uint32, imm int32) (v uint32, ok bool) {
+	ui := uint32(imm)
+	switch op {
+	case isa.ADD:
+		return a + b, true
+	case isa.SUB:
+		return a - b, true
+	case isa.AND:
+		return a & b, true
+	case isa.OR:
+		return a | b, true
+	case isa.XOR:
+		return a ^ b, true
+	case isa.NOR:
+		return ^(a | b), true
+	case isa.SLT:
+		if int32(a) < int32(b) {
+			return 1, true
+		}
+		return 0, true
+	case isa.SLTU:
+		if a < b {
+			return 1, true
+		}
+		return 0, true
+	case isa.ADDI:
+		return a + ui, true
+	case isa.ANDI:
+		return a & (ui & 0xFFFF), true
+	case isa.ORI:
+		return a | (ui & 0xFFFF), true
+	case isa.XORI:
+		return a ^ (ui & 0xFFFF), true
+	case isa.SLTI:
+		if int32(a) < imm {
+			return 1, true
+		}
+		return 0, true
+	case isa.SLTIU:
+		if a < ui {
+			return 1, true
+		}
+		return 0, true
+	case isa.LUI:
+		return ui << 16, true
+	case isa.SLL:
+		return a << (uint(imm) & 31), true
+	case isa.SRL:
+		return a >> (uint(imm) & 31), true
+	case isa.SRA:
+		return uint32(int32(a) >> (uint(imm) & 31)), true
+	case isa.SLLV:
+		return a << (b & 31), true
+	case isa.SRLV:
+		return a >> (b & 31), true
+	case isa.SRAV:
+		return uint32(int32(a) >> (b & 31)), true
+	case isa.MUL:
+		return uint32(int32(a) * int32(b)), true
+	case isa.DIV:
+		if b == 0 {
+			return 0, false
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return a, true // wraparound, no trap (documented deviation)
+		}
+		return uint32(int32(a) / int32(b)), true
+	case isa.REM:
+		if b == 0 {
+			return 0, false
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return 0, true
+		}
+		return uint32(int32(a) % int32(b)), true
+	case isa.DIVU:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	}
+	return 0, true
+}
+
+// branchTaken evaluates a conditional branch.
+func branchTaken(op isa.Op, a, b uint32) bool {
+	switch op {
+	case isa.BEQ:
+		return a == b
+	case isa.BNE:
+		return a != b
+	case isa.BLEZ:
+		return int32(a) <= 0
+	case isa.BGTZ:
+		return int32(a) > 0
+	case isa.BLTZ:
+		return int32(a) < 0
+	case isa.BGEZ:
+		return int32(a) >= 0
+	}
+	return false
+}
+
+// memAccess returns the access size in bytes and whether a load
+// sign-extends.
+func memAccess(op isa.Op) (size int, signExt bool) {
+	switch op {
+	case isa.LW, isa.SW:
+		return 4, false
+	case isa.LH:
+		return 2, true
+	case isa.LHU, isa.SH:
+		return 2, false
+	case isa.LB:
+		return 1, true
+	case isa.LBU, isa.SB:
+		return 1, false
+	}
+	return 4, false
+}
+
+// extend sign- or zero-extends a loaded value of the given size.
+func extend(v uint32, size int, signExt bool) uint32 {
+	switch size {
+	case 1:
+		if signExt {
+			return uint32(int32(int8(v)))
+		}
+		return v & 0xFF
+	case 2:
+		if signExt {
+			return uint32(int32(int16(v)))
+		}
+		return v & 0xFFFF
+	}
+	return v
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"boosting/internal/isa"
+)
+
+func TestEvalALUExhaustive(t *testing.T) {
+	minI32 := int32(-1 << 31)
+	cases := []struct {
+		op      isa.Op
+		a, b    uint32
+		imm     int32
+		want    uint32
+		wantErr bool
+	}{
+		{op: isa.ADD, a: 7, b: 5, want: 12},
+		{op: isa.ADD, a: 0xFFFFFFFF, b: 1, want: 0}, // wraps, no trap
+		{op: isa.SUB, a: 5, b: 7, want: uint32(-2 & 0xFFFFFFFF)},
+		{op: isa.AND, a: 0b1100, b: 0b1010, want: 0b1000},
+		{op: isa.OR, a: 0b1100, b: 0b1010, want: 0b1110},
+		{op: isa.XOR, a: 0b1100, b: 0b1010, want: 0b0110},
+		{op: isa.NOR, a: 0, b: 0, want: 0xFFFFFFFF},
+		{op: isa.SLT, a: uint32(minI32), b: 1, want: 1},
+		{op: isa.SLTU, a: uint32(minI32), b: 1, want: 0},
+		{op: isa.ADDI, a: 10, imm: -3, want: 7},
+		{op: isa.ANDI, a: 0xFFFF_FFFF, imm: 0x0F0F, want: 0x0F0F},
+		{op: isa.ORI, a: 0xF000_0000, imm: 0x00FF, want: 0xF000_00FF},
+		{op: isa.XORI, a: 1, imm: 1, want: 0},
+		{op: isa.SLTI, a: uint32(minI32), imm: 0, want: 1},
+		{op: isa.SLTIU, a: 1, imm: 2, want: 1},
+		{op: isa.LUI, imm: 0x1234, want: 0x1234_0000},
+		{op: isa.SLL, a: 1, imm: 4, want: 16},
+		{op: isa.SRL, a: 0x8000_0000, imm: 31, want: 1},
+		{op: isa.SRA, a: 0x8000_0000, imm: 31, want: 0xFFFF_FFFF},
+		{op: isa.SLLV, a: 1, b: 35, want: 8}, // shift amount masked to 5 bits
+		{op: isa.SRLV, a: 16, b: 4, want: 1},
+		{op: isa.SRAV, a: uint32(-16 & 0xFFFFFFFF), b: 2, want: uint32(-4 & 0xFFFFFFFF)},
+		{op: isa.MUL, a: uint32(-3 & 0xFFFFFFFF), b: 7, want: uint32(-21 & 0xFFFFFFFF)},
+		{op: isa.DIV, a: uint32(-7 & 0xFFFFFFFF), b: 2, want: uint32(-3 & 0xFFFFFFFF)},
+		{op: isa.DIV, a: 1, b: 0, wantErr: true},
+		{op: isa.DIV, a: uint32(minI32), b: uint32(-1 & 0xFFFFFFFF), want: uint32(minI32)},
+		{op: isa.REM, a: uint32(-7 & 0xFFFFFFFF), b: 2, want: uint32(-1 & 0xFFFFFFFF)},
+		{op: isa.REM, a: 1, b: 0, wantErr: true},
+		{op: isa.REM, a: uint32(minI32), b: uint32(-1 & 0xFFFFFFFF), want: 0},
+		{op: isa.DIVU, a: 0xFFFF_FFFF, b: 2, want: 0x7FFF_FFFF},
+		{op: isa.DIVU, a: 1, b: 0, wantErr: true},
+	}
+	for _, c := range cases {
+		got, ok := evalALU(c.op, c.a, c.b, c.imm)
+		if c.wantErr {
+			if ok {
+				t.Errorf("%s(%#x,%#x,%d): expected trap", c.op, c.a, c.b, c.imm)
+			}
+			continue
+		}
+		if !ok || got != c.want {
+			t.Errorf("%s(%#x,%#x,%d) = %#x,%v; want %#x", c.op, c.a, c.b, c.imm, got, ok, c.want)
+		}
+	}
+}
+
+func TestBranchTakenExhaustive(t *testing.T) {
+	neg := uint32(-5 & 0xFFFFFFFF)
+	cases := []struct {
+		op   isa.Op
+		a, b uint32
+		want bool
+	}{
+		{isa.BEQ, 3, 3, true}, {isa.BEQ, 3, 4, false},
+		{isa.BNE, 3, 4, true}, {isa.BNE, 3, 3, false},
+		{isa.BLEZ, 0, 0, true}, {isa.BLEZ, neg, 0, true}, {isa.BLEZ, 1, 0, false},
+		{isa.BGTZ, 1, 0, true}, {isa.BGTZ, 0, 0, false}, {isa.BGTZ, neg, 0, false},
+		{isa.BLTZ, neg, 0, true}, {isa.BLTZ, 0, 0, false},
+		{isa.BGEZ, 0, 0, true}, {isa.BGEZ, neg, 0, false},
+	}
+	for _, c := range cases {
+		if got := branchTaken(c.op, c.a, c.b); got != c.want {
+			t.Errorf("%s(%d,%d) = %v", c.op, int32(c.a), int32(c.b), got)
+		}
+	}
+}
+
+// Property: SLT agrees with native signed comparison, SLTU with unsigned.
+func TestComparisonProperties(t *testing.T) {
+	f := func(a, b uint32) bool {
+		slt, _ := evalALU(isa.SLT, a, b, 0)
+		sltu, _ := evalALU(isa.SLTU, a, b, 0)
+		return (slt == 1) == (int32(a) < int32(b)) && (sltu == 1) == (a < b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: extend round-trips low bytes for every size/signedness.
+func TestExtendProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		if extend(v, 1, false) != v&0xFF {
+			return false
+		}
+		if extend(v, 2, false) != v&0xFFFF {
+			return false
+		}
+		if int32(extend(v, 1, true)) != int32(int8(v)) {
+			return false
+		}
+		if int32(extend(v, 2, true)) != int32(int16(v)) {
+			return false
+		}
+		return extend(v, 4, false) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	for _, k := range []FaultKind{FaultNone, FaultLoad, FaultStore, FaultAlign, FaultDivZero} {
+		if k.String() == "?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	f := &Fault{Kind: FaultLoad, Addr: 0x1234, Proc: "main", Block: 3, InstID: 7, Boosted: true}
+	msg := f.Error()
+	for _, want := range []string{"load-fault", "0x1234", "main", "boosted=true"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("fault message %q missing %q", msg, want)
+		}
+	}
+}

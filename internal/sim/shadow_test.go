@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"boosting/internal/isa"
+	"boosting/internal/machine"
+)
+
+func multiCfg() machine.BoostConfig {
+	return machine.BoostConfig{MaxLevel: 7, MultiShadow: true, StoreBuffer: true}
+}
+
+func singleCfg() machine.BoostConfig {
+	return machine.BoostConfig{MaxLevel: 3}
+}
+
+func TestShadowReadLevels(t *testing.T) {
+	s := newShadowFile(multiCfg())
+	r := isa.Reg(5)
+	if err := s.write(r, 2, 22); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.write(r, 1, 11); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential readers never see shadow state.
+	if _, ok := s.read(r, 0); ok {
+		t.Error("level-0 read must not see shadow state")
+	}
+	// A level-1 reader sees the level-1 value.
+	if v, ok := s.read(r, 1); !ok || v != 11 {
+		t.Errorf("level-1 read = %d,%v", v, ok)
+	}
+	// A level-2 reader sees the newest entry with level ≤ 2.
+	if v, ok := s.read(r, 2); !ok || v != 22 {
+		t.Errorf("level-2 read = %d,%v", v, ok)
+	}
+	// A level-3 reader also sees the level-2 entry.
+	if v, ok := s.read(r, 3); !ok || v != 22 {
+		t.Errorf("level-3 read = %d,%v", v, ok)
+	}
+}
+
+func TestShadowCommitCascade(t *testing.T) {
+	s := newShadowFile(multiCfg())
+	r := isa.Reg(7)
+	seq := uint32(99)
+	apply := func(reg isa.Reg, v uint32) {
+		if reg == r {
+			seq = v
+		}
+	}
+	s.write(r, 1, 1)
+	s.write(r, 2, 2)
+	s.write(r, 3, 3)
+	s.commit(apply)
+	if seq != 1 {
+		t.Errorf("after first commit seq = %d, want 1", seq)
+	}
+	s.commit(apply)
+	if seq != 2 {
+		t.Errorf("after second commit seq = %d, want 2", seq)
+	}
+	s.commit(apply)
+	if seq != 3 || s.outstanding() {
+		t.Errorf("after third commit seq = %d outstanding=%v", seq, s.outstanding())
+	}
+}
+
+func TestShadowSquash(t *testing.T) {
+	s := newShadowFile(multiCfg())
+	s.write(3, 1, 10)
+	s.write(4, 2, 20)
+	s.squash()
+	if s.outstanding() {
+		t.Error("squash must clear all entries")
+	}
+	if _, ok := s.read(3, 7); ok {
+		t.Error("squashed value still readable")
+	}
+}
+
+func TestShadowSingleConflict(t *testing.T) {
+	s := newShadowFile(singleCfg())
+	r := isa.Reg(9)
+	if err := s.write(r, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Same level: overwrite is fine (same commit point).
+	if err := s.write(r, 2, 2); err != nil {
+		t.Errorf("same-level overwrite must be allowed: %v", err)
+	}
+	// Different level: hardware conflict.
+	if err := s.write(r, 1, 3); err == nil {
+		t.Error("single-shadow hardware must reject a second level for the same register")
+	}
+	// A different register is independent.
+	if err := s.write(r+1, 1, 4); err != nil {
+		t.Errorf("different register rejected: %v", err)
+	}
+}
+
+func TestShadowWriteLevelBounds(t *testing.T) {
+	s := newShadowFile(singleCfg())
+	if err := s.write(3, 0, 1); err == nil {
+		t.Error("level 0 write must be rejected")
+	}
+	if err := s.write(3, 4, 1); err == nil {
+		t.Error("write beyond MaxLevel must be rejected")
+	}
+	if err := s.write(isa.R0, 1, 1); err != nil {
+		t.Error("R0 writes are discarded, not errors")
+	}
+}
+
+// Property: after n commits, the sequential value equals the last write at
+// level ≤ n, for random write sequences.
+func TestShadowCommitProperty(t *testing.T) {
+	f := func(levels []uint8, vals []uint8) bool {
+		s := newShadowFile(multiCfg())
+		r := isa.Reg(4)
+		want := map[int]uint32{} // level → last value written
+		for i, lv := range levels {
+			if i >= len(vals) {
+				break
+			}
+			level := int(lv%7) + 1
+			v := uint32(vals[i])
+			if s.write(r, level, v) == nil {
+				want[level] = v
+			}
+		}
+		seq := uint32(0xFFFF)
+		for step := 1; step <= 7; step++ {
+			s.commit(func(reg isa.Reg, v uint32) { seq = v })
+			if w, ok := want[step]; ok && seq != w {
+				return false
+			}
+		}
+		return !s.outstanding()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreBufferForwarding(t *testing.T) {
+	mem := NewMemory()
+	mem.Map(0x1000, 64)
+	mem.Store(0x1000, 4, 0xAABBCCDD)
+	sb := &storeBuffer{}
+	sb.write(1, 0x1000, 4, 0x11223344)
+
+	// Sequential loads (level 0) see memory only.
+	if v, _ := sb.read(0, 0x1000, 4, mem); v != 0xAABBCCDD {
+		t.Errorf("level-0 load = %#x", v)
+	}
+	// Speculative loads at level ≥ 1 see the buffered store.
+	if v, _ := sb.read(1, 0x1000, 4, mem); v != 0x11223344 {
+		t.Errorf("level-1 load = %#x", v)
+	}
+	// Byte-wise partial overlap: a byte store over the buffered word.
+	sb.write(1, 0x1001, 1, 0xEE)
+	if v, _ := sb.read(1, 0x1000, 4, mem); v != 0x1122EE44 {
+		t.Errorf("partial overlap load = %#x", v)
+	}
+	// Commit applies in order.
+	if f := sb.commit(mem, nil); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := mem.Load(0x1000, 4); v != 0x1122EE44 {
+		t.Errorf("memory after commit = %#x", v)
+	}
+	if sb.outstanding() {
+		t.Error("buffer should be empty after commit")
+	}
+}
+
+func TestStoreBufferLevelsAndSquash(t *testing.T) {
+	mem := NewMemory()
+	mem.Map(0x2000, 16)
+	sb := &storeBuffer{}
+	sb.write(2, 0x2000, 4, 7)
+	// First commit only decrements.
+	if f := sb.commit(mem, nil); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := mem.Load(0x2000, 4); v != 0 {
+		t.Error("level-2 store committed too early")
+	}
+	// A level-1 reader now sees it (entry decremented to 1).
+	if v, _ := sb.read(1, 0x2000, 4, mem); v != 7 {
+		t.Error("decremented entry not visible at level 1")
+	}
+	sb.squash()
+	if f := sb.commit(mem, nil); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := mem.Load(0x2000, 4); v != 0 {
+		t.Error("squashed store reached memory")
+	}
+}
+
+func TestStoreBufferCommitFault(t *testing.T) {
+	mem := NewMemory()
+	sb := &storeBuffer{}
+	sb.write(1, 0xDEAD0000, 4, 1) // unmapped
+	if f := sb.commit(mem, nil); f == nil || f.Kind != FaultStore {
+		t.Errorf("commit to unmapped memory must fault, got %v", f)
+	}
+}
+
+func TestExceptionBufferShift(t *testing.T) {
+	e := newExceptionBuffer(3)
+	e.set(2)
+	if e.shift() {
+		t.Error("first shift must not expose the level-2 bit")
+	}
+	if !e.shift() {
+		t.Error("second shift must expose the bit")
+	}
+	if e.shift() {
+		t.Error("bit must shift out once")
+	}
+	e.set(1)
+	e.clear()
+	if e.shift() {
+		t.Error("cleared buffer must be empty")
+	}
+}

@@ -1,0 +1,211 @@
+// Package testgen generates random, deterministic, halting, fault-free
+// programs for property testing. The generated CFGs mix straight-line
+// arithmetic, if/else diamonds, nested bounded loops, in-bounds memory
+// traffic and observable output, which exercises every scheduler path:
+// speculation legality, boosting at multiple levels, join duplication,
+// equivalence moves and store buffering.
+package testgen
+
+import (
+	"math/rand"
+
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// Config bounds program generation.
+type Config struct {
+	// Segments is the number of top-level code segments (default 6).
+	Segments int
+	// MaxDepth bounds nested control structure (default 2).
+	MaxDepth int
+	// Regs is the size of the virtual register working set (default 8).
+	Regs int
+	// WithCalls adds a small callee and call segments.
+	WithCalls bool
+}
+
+type gen struct {
+	rng  *rand.Rand
+	pr   *prog.Program
+	f    *prog.Builder
+	regs []isa.Reg
+	base isa.Reg // pointer to a scratch array
+	cfg  Config
+}
+
+// arrayWords is the scratch array length in words; addresses are masked
+// into range so memory ops never fault.
+const arrayWords = 64
+
+// Random builds a random program from the seed.
+func Random(seed int64, cfg Config) *prog.Program {
+	if cfg.Segments == 0 {
+		cfg.Segments = 6
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 2
+	}
+	if cfg.Regs == 0 {
+		cfg.Regs = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pr := prog.New()
+
+	var arr uint32
+	for i := 0; i < arrayWords; i++ {
+		a := pr.Word(int32(rng.Intn(1000) - 500))
+		if i == 0 {
+			arr = a
+		}
+	}
+
+	if cfg.WithCalls {
+		buildCallee(pr, arr)
+	}
+
+	f := prog.NewBuilder(pr, "main")
+	g := &gen{rng: rng, pr: pr, f: f, cfg: cfg}
+	g.regs = make([]isa.Reg, cfg.Regs)
+	for i := range g.regs {
+		g.regs[i] = f.Reg()
+		f.Li(g.regs[i], int32(rng.Intn(200)-100))
+	}
+	g.base = f.Reg()
+	f.La(g.base, arr)
+
+	for i := 0; i < cfg.Segments; i++ {
+		g.segment(cfg.MaxDepth)
+	}
+	for _, r := range g.regs {
+		f.Out(r)
+	}
+	f.Halt()
+	f.Finish()
+	return pr
+}
+
+// buildCallee adds a leaf procedure: RV = A0*2 + mem[arr] + 3.
+func buildCallee(pr *prog.Program, arr uint32) {
+	f := prog.NewBuilder(pr, "leaf")
+	t := f.Reg()
+	f.La(t, arr)
+	f.Load(isa.LW, t, t, 0)
+	f.ALU(isa.ADD, isa.RV, isa.A0, isa.A0)
+	f.ALU(isa.ADD, isa.RV, isa.RV, t)
+	f.Imm(isa.ADDI, isa.RV, isa.RV, 3)
+	f.Ret()
+	f.Finish()
+}
+
+func (g *gen) reg() isa.Reg { return g.regs[g.rng.Intn(len(g.regs))] }
+
+// segment emits one random construct.
+func (g *gen) segment(depth int) {
+	choice := g.rng.Intn(10)
+	switch {
+	case choice < 3:
+		g.straightLine()
+	case choice < 5 && depth > 0:
+		g.diamond(depth)
+	case choice < 7 && depth > 0:
+		g.loop(depth)
+	case choice < 8:
+		g.memoryOps()
+	case choice < 9 && g.cfg.WithCalls:
+		g.call()
+	default:
+		g.straightLine()
+	}
+}
+
+var arithOps = []isa.Op{
+	isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.NOR,
+	isa.SLT, isa.SLTU, isa.MUL,
+}
+var immOps = []isa.Op{isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLTI}
+var shiftOps = []isa.Op{isa.SLL, isa.SRL, isa.SRA}
+
+func (g *gen) straightLine() {
+	for i := 0; i < 2+g.rng.Intn(6); i++ {
+		switch g.rng.Intn(4) {
+		case 0:
+			g.f.ALU(arithOps[g.rng.Intn(len(arithOps))], g.reg(), g.reg(), g.reg())
+		case 1:
+			g.f.Imm(immOps[g.rng.Intn(len(immOps))], g.reg(), g.reg(), int32(g.rng.Intn(64)))
+		case 2:
+			g.f.Imm(shiftOps[g.rng.Intn(len(shiftOps))], g.reg(), g.reg(), int32(g.rng.Intn(31)))
+		case 3:
+			if g.rng.Intn(3) == 0 {
+				g.f.Out(g.reg())
+			} else {
+				g.f.ALU(arithOps[g.rng.Intn(len(arithOps))], g.reg(), g.reg(), g.reg())
+			}
+		}
+	}
+}
+
+// memoryOps emits loads and stores at in-bounds masked addresses.
+func (g *gen) memoryOps() {
+	idx := g.f.Reg()
+	addr := g.f.Reg()
+	for i := 0; i < 1+g.rng.Intn(3); i++ {
+		// addr = base + (reg & (arrayWords-1))*4
+		g.f.Imm(isa.ANDI, idx, g.reg(), arrayWords-1)
+		g.f.Imm(isa.SLL, idx, idx, 2)
+		g.f.ALU(isa.ADD, addr, g.base, idx)
+		if g.rng.Intn(2) == 0 {
+			g.f.Load(isa.LW, g.reg(), addr, 0)
+		} else {
+			g.f.Store(isa.SW, g.reg(), addr, 0)
+		}
+	}
+}
+
+// diamond emits if/else with random bodies; occasionally if-without-else.
+func (g *gen) diamond(depth int) {
+	thenB := g.f.Block("then")
+	elseB := g.f.Block("else")
+	join := g.f.Block("join")
+	cond := g.reg()
+	ops := []isa.Op{isa.BGTZ, isa.BLEZ, isa.BLTZ, isa.BGEZ, isa.BNE, isa.BEQ}
+	op := ops[g.rng.Intn(len(ops))]
+	rt := isa.R0
+	if op == isa.BNE || op == isa.BEQ {
+		rt = g.reg()
+	}
+	g.f.Branch(op, cond, rt, thenB, elseB)
+
+	g.f.Enter(elseB)
+	if g.rng.Intn(3) > 0 {
+		g.segment(depth - 1)
+	}
+	g.f.Jump(join)
+
+	g.f.Enter(thenB)
+	g.segment(depth - 1)
+	g.f.Goto(join)
+
+	g.f.Enter(join)
+}
+
+// loop emits a bounded countdown loop with a random body.
+func (g *gen) loop(depth int) {
+	body := g.f.Block("loop")
+	exit := g.f.Block("exit")
+	ctr := g.f.Reg()
+	g.f.Li(ctr, int32(1+g.rng.Intn(6)))
+	g.f.Goto(body)
+	g.f.Enter(body)
+	g.segment(depth - 1)
+	g.f.Imm(isa.ADDI, ctr, ctr, -1)
+	g.f.Branch(isa.BGTZ, ctr, isa.R0, body, exit)
+	g.f.Enter(exit)
+}
+
+// call emits a call to the leaf with a random argument.
+func (g *gen) call() {
+	g.f.Move(isa.A0, g.reg())
+	g.f.Call("leaf")
+	g.f.Move(g.reg(), isa.RV)
+}

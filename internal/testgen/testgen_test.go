@@ -1,0 +1,58 @@
+package testgen
+
+import (
+	"testing"
+
+	"boosting/internal/prog"
+	"boosting/internal/sim"
+)
+
+func TestDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, err := sim.Run(Random(seed, Config{}), sim.RefConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := sim.Run(Random(seed, Config{}), sim.RefConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.MemHash != b.MemHash || len(a.Out) != len(b.Out) {
+			t.Fatalf("seed %d: generator not deterministic", seed)
+		}
+	}
+}
+
+func TestHaltingAndFaultFree(t *testing.T) {
+	for seed := int64(100); seed <= 200; seed++ {
+		pr := Random(seed, Config{WithCalls: seed%2 == 0, MaxDepth: 3, Segments: 8})
+		if err := prog.VerifyProgram(pr); err != nil {
+			t.Fatalf("seed %d: invalid program: %v", seed, err)
+		}
+		res, err := sim.Run(pr, sim.RefConfig{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Fault != nil {
+			t.Fatalf("seed %d: generated program faults: %v", seed, res.Fault)
+		}
+		if len(res.Out) == 0 {
+			t.Fatalf("seed %d: no observable output", seed)
+		}
+	}
+}
+
+func TestConfigKnobs(t *testing.T) {
+	small := Random(1, Config{Segments: 2, Regs: 4})
+	big := Random(1, Config{Segments: 14, Regs: 16})
+	if big.Main().NumInsts() <= small.Main().NumInsts() {
+		t.Error("more segments should generate more code")
+	}
+	withCalls := Random(3, Config{WithCalls: true})
+	if _, ok := withCalls.Procs["leaf"]; !ok {
+		t.Error("WithCalls must add the leaf procedure")
+	}
+	if _, ok := Random(3, Config{}).Procs["leaf"]; ok {
+		t.Error("leaf must be absent without WithCalls")
+	}
+}

@@ -1,0 +1,159 @@
+// Package unroll implements a natural-loop unroller, the paper's §4.3.2
+// extension experiment: "We have performed some preliminary experiments
+// with a loop unroller which unrolls all the loops in a program module.
+// Though performance did increase slightly, the improvement was well
+// below what we expected."
+//
+// Unrolling duplicates a loop body and redirects the original body's back
+// edges into the copy (and the copy's back edges to the original header),
+// so one trip around the rotated structure executes two iterations. Exits
+// are preserved exactly: each copy's exit edges target the original exit
+// blocks, so iteration counts that are odd simply leave from the middle.
+// The transformation is purely structural — no conditions change — and
+// therefore preserves semantics by construction.
+package unroll
+
+import (
+	"boosting/internal/dataflow"
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// Options bounds the transformation.
+type Options struct {
+	// Factor is the unroll factor (total copies of the body, ≥ 2).
+	// Only 2 is currently supported.
+	Factor int
+	// MaxBodyBlocks skips loops with larger bodies (0 = default 12).
+	MaxBodyBlocks int
+	// MaxBodyInsts skips loops with more instructions (0 = default 64).
+	MaxBodyInsts int
+}
+
+// Stats reports what was unrolled.
+type Stats struct {
+	// LoopsUnrolled counts loops transformed across all procedures.
+	LoopsUnrolled int
+	// LoopsSkipped counts loops left alone (too big, calls inside,
+	// or not innermost).
+	LoopsSkipped int
+}
+
+// Program unrolls the innermost loops of every procedure in place.
+func Program(pr *prog.Program, opts Options) (*Stats, error) {
+	if opts.Factor == 0 {
+		opts.Factor = 2
+	}
+	if opts.MaxBodyBlocks == 0 {
+		opts.MaxBodyBlocks = 12
+	}
+	if opts.MaxBodyInsts == 0 {
+		opts.MaxBodyInsts = 64
+	}
+	st := &Stats{}
+	for _, p := range pr.ProcList() {
+		if err := proc(pr, p, opts, st); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func proc(pr *prog.Program, p *prog.Proc, opts Options, st *Stats) error {
+	info := dataflow.Analyze(p)
+	loops := dataflow.FindLoops(info)
+
+	// Innermost loops only: loops that contain no other loop's header.
+	headers := map[*prog.Block]bool{}
+	for _, l := range loops {
+		headers[l.Header] = true
+	}
+	for _, l := range loops {
+		if !innermost(l, headers) || !unrollable(l, opts) {
+			st.LoopsSkipped++
+			continue
+		}
+		unrollOnce(pr, p, l)
+		st.LoopsUnrolled++
+	}
+	p.RecomputePreds()
+	return prog.Verify(p)
+}
+
+func innermost(l *dataflow.Loop, headers map[*prog.Block]bool) bool {
+	for b := range l.Blocks {
+		if b != l.Header && headers[b] {
+			return false
+		}
+	}
+	return true
+}
+
+func unrollable(l *dataflow.Loop, opts Options) bool {
+	if len(l.Blocks) > opts.MaxBodyBlocks {
+		return false
+	}
+	insts := 0
+	for b := range l.Blocks {
+		insts += len(b.Insts)
+		if t := b.Terminator(); t != nil && (t.Op == isa.JAL || t.Op == isa.JR) {
+			return false // calls and returns stay un-unrolled
+		}
+	}
+	return insts <= opts.MaxBodyInsts
+}
+
+// unrollOnce duplicates the loop body once (factor 2).
+func unrollOnce(pr *prog.Program, p *prog.Proc, l *dataflow.Loop) {
+	clone := map[*prog.Block]*prog.Block{}
+	// Deterministic body order: by block ID.
+	var body []*prog.Block
+	for b := range l.Blocks {
+		body = append(body, b)
+	}
+	sortByID(body)
+
+	for _, b := range body {
+		nb := p.NewBlockAfter(b.Label + ".u2")
+		nb.Insts = make([]isa.Inst, len(b.Insts))
+		for i := range b.Insts {
+			nb.Insts[i] = b.Insts[i]
+			// Fresh identities: recovery code and the BTB key on
+			// instruction IDs, which must stay unique.
+			nb.Insts[i].ID = pr.NextInstID()
+		}
+		clone[b] = nb
+	}
+
+	header := l.Header
+	for _, b := range body {
+		nb := clone[b]
+		nb.Succs = make([]*prog.Block, len(b.Succs))
+		for i, s := range b.Succs {
+			switch {
+			case s == header:
+				nb.Succs[i] = header // copy's back edge → original header
+			case l.Blocks[s]:
+				nb.Succs[i] = clone[s]
+			default:
+				nb.Succs[i] = s // loop exit
+			}
+		}
+	}
+	// Original body's back edges now enter the copy's header.
+	for _, b := range body {
+		for i, s := range b.Succs {
+			if s == header && b != clone[b] {
+				b.Succs[i] = clone[header]
+			}
+		}
+	}
+}
+
+func sortByID(bs []*prog.Block) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].ID < bs[j-1].ID; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package unroll
+
+import (
+	"testing"
+
+	"boosting/internal/core"
+	"boosting/internal/machine"
+	"boosting/internal/profile"
+	"boosting/internal/prog"
+	"boosting/internal/sim"
+	"boosting/internal/testgen"
+	"boosting/internal/workloads"
+)
+
+func sameOut(t *testing.T, a, b *sim.Result, label string) {
+	t.Helper()
+	if len(a.Out) != len(b.Out) || a.MemHash != b.MemHash {
+		t.Fatalf("%s: behavior differs (lens %d/%d, memhash eq=%v)",
+			label, len(a.Out), len(b.Out), a.MemHash == b.MemHash)
+	}
+	for i := range a.Out {
+		if a.Out[i] != b.Out[i] {
+			t.Fatalf("%s: out[%d] %d vs %d", label, i, a.Out[i], b.Out[i])
+		}
+	}
+}
+
+func TestUnrollPreservesSemanticsWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		orig, err := sim.Run(w.BuildTest(), sim.RefConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := w.BuildTest()
+		st, err := Program(pr, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		got, err := sim.Run(pr, sim.RefConfig{})
+		if err != nil {
+			t.Fatalf("%s after unroll: %v", w.Name, err)
+		}
+		sameOut(t, orig, got, w.Name)
+		if w.Name == "grep" && st.LoopsUnrolled == 0 {
+			t.Error("grep's scan loop should be unrollable")
+		}
+	}
+}
+
+func TestUnrollPreservesSemanticsRandom(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		build := func() *prog.Program { return testgen.Random(seed, testgen.Config{}) }
+		orig, err := sim.Run(build(), sim.RefConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := build()
+		if _, err := Program(pr, Options{}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := sim.Run(pr, sim.RefConfig{})
+		if err != nil {
+			t.Fatalf("seed %d after unroll: %v", seed, err)
+		}
+		sameOut(t, orig, got, "random")
+	}
+}
+
+func TestUnrollGrowsTheCFG(t *testing.T) {
+	w, _ := workloads.ByName("grep")
+	pr := w.BuildTest()
+	before := len(pr.Main().Blocks)
+	st, err := Program(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LoopsUnrolled == 0 {
+		t.Fatal("nothing unrolled")
+	}
+	if after := len(pr.Main().Blocks); after <= before {
+		t.Errorf("blocks %d → %d; expected growth", before, after)
+	}
+}
+
+func TestUnrollSkipsCallLoops(t *testing.T) {
+	w, _ := workloads.ByName("awk") // per-line loop contains a call
+	pr := w.BuildTest()
+	st, err := Program(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LoopsSkipped == 0 {
+		t.Error("awk's call-bearing loop should be skipped")
+	}
+	// Still correct.
+	orig, _ := sim.Run(w.BuildTest(), sim.RefConfig{})
+	got, err := sim.Run(pr, sim.RefConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOut(t, orig, got, "awk")
+}
+
+// TestUnrolledSchedulesStayCorrect: the full pipeline (unroll → profile →
+// schedule → boosted execution) remains semantically equivalent on every
+// machine model.
+func TestUnrolledSchedulesStayCorrect(t *testing.T) {
+	models := []*machine.Model{
+		machine.Scalar(), machine.NoBoost(), machine.Squashing(),
+		machine.Boost1(), machine.MinBoost3(), machine.Boost7(),
+	}
+	for _, w := range []string{"grep", "espresso", "xlisp"} {
+		wl, _ := workloads.ByName(w)
+		ref, err := sim.Run(wl.BuildTest(), sim.RefConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range models {
+			train := wl.BuildTrain()
+			test := wl.BuildTest()
+			if _, err := Program(train, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Program(test, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			if err := profile.Annotate(train); err != nil {
+				t.Fatal(err)
+			}
+			if err := profile.Transfer(train, test); err != nil {
+				t.Fatalf("%s: unroll must be deterministic for profile transfer: %v", w, err)
+			}
+			sp, err := core.Schedule(test, m, core.Options{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", w, m, err)
+			}
+			res, err := sim.Exec(sp, sim.ExecConfig{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", w, m, err)
+			}
+			if len(res.Out) != len(ref.Out) || res.MemHash != ref.MemHash {
+				t.Fatalf("%s on %s: unrolled schedule diverges", w, m)
+			}
+		}
+	}
+}

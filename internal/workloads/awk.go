@@ -1,0 +1,159 @@
+package workloads
+
+import (
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// AWK returns the field-splitting/aggregation workload. Like awk running a
+// typical "sum field 2 by field 1" program, it scans text lines, splits
+// fields on whitespace, converts digit strings to integers, and
+// accumulates per-key totals through a hashing helper procedure (awk's
+// interpreter is call-heavy; the paper reports 82.0% accuracy).
+//
+// Input lines look like "<key-letter> <digits>\n".
+func AWK() *Workload {
+	return &Workload{
+		Name:  "awk",
+		Build: buildAWK,
+		Train: Input{Seed: 3, Size: 700},
+		Test:  Input{Seed: 59, Size: 1000},
+	}
+}
+
+const awkBuckets = 8
+
+func buildAWK(in Input) *prog.Program {
+	pr := prog.New()
+	rng := newLCG(in.Seed)
+
+	// Text: Size lines of "k nnn\n".
+	var text []byte
+	for i := 0; i < in.Size; i++ {
+		text = append(text, byte('a'+rng.intn(awkBuckets)))
+		text = append(text, ' ')
+		v := 1 + rng.intn(997)
+		var digits []byte
+		for v > 0 {
+			digits = append([]byte{byte('0' + v%10)}, digits...)
+			v /= 10
+		}
+		text = append(text, digits...)
+		text = append(text, '\n')
+	}
+	text = append(text, 0) // NUL terminator
+	textAddr := pr.Bytes(text)
+	pr.Align(4)
+	tableAddr := pr.Reserve(awkBuckets * 4)
+	// ctype table, as awk's lexer uses: bit 0 = digit.
+	ctype := make([]byte, 256)
+	for c := '0'; c <= '9'; c++ {
+		ctype[c] = 1
+	}
+	ctypeAddr := pr.Bytes(ctype)
+	pr.Align(4)
+
+	// hash(A0) = (A0*7 + 3) mod awkBuckets — the call-heavy helper.
+	h := prog.NewBuilder(pr, "hash")
+	t := h.Reg()
+	h.Imm(isa.SLL, t, isa.A0, 3)
+	h.ALU(isa.SUB, t, t, isa.A0)
+	h.Imm(isa.ADDI, t, t, 3)
+	h.Imm(isa.ANDI, isa.RV, t, awkBuckets-1)
+	h.Ret()
+	h.Finish()
+
+	f := prog.NewBuilder(pr, "main")
+	line := f.Block("line")
+	keyed := f.Block("keyed")
+	digits := f.Block("digits")
+	dbody := f.Block("dbody")
+	store := f.Block("store")
+	skipNL := f.Block("skipNL")
+	report := f.Block("report")
+	rloop := f.Block("rloop")
+	done := f.Block("done")
+
+	pos, base, table, cbase := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	f.La(base, textAddr)
+	f.La(table, tableAddr)
+	f.La(cbase, ctypeAddr)
+	f.Li(pos, 0)
+	f.Goto(line)
+
+	// line: ch = text[pos]; if ch == 0 goto report
+	f.Enter(line)
+	a, ch := f.Reg(), f.Reg()
+	f.ALU(isa.ADD, a, base, pos)
+	f.Load(isa.LBU, ch, a, 0)
+	f.Branch(isa.BEQ, ch, isa.R0, report, keyed)
+
+	// keyed: bucket = hash(ch - 'a'); skip "k "
+	f.Enter(keyed)
+	f.Imm(isa.ADDI, isa.A0, ch, -'a')
+	f.Call("hash")
+	// After the call: RV holds the bucket. pos += 2 (key char + space).
+	bslot := f.Reg()
+	f.Imm(isa.SLL, bslot, isa.RV, 2)
+	f.ALU(isa.ADD, bslot, table, bslot)
+	f.Imm(isa.ADDI, pos, pos, 2)
+	val := f.Reg()
+	f.Li(val, 0)
+	f.Goto(digits)
+
+	// digits: ch = text[pos]; if !isdigit(ch) (ctype lookup) goto store
+	f.Enter(digits)
+	da, dch, cta, ctv := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	f.ALU(isa.ADD, da, base, pos)
+	f.Load(isa.LBU, dch, da, 0)
+	f.ALU(isa.ADD, cta, cbase, dch)
+	f.Load(isa.LBU, ctv, cta, 0)
+	f.Branch(isa.BEQ, ctv, isa.R0, store, dbody)
+
+	// dbody: val = val*10 + (ch - '0'); pos++
+	f.Enter(dbody)
+	v8, v2 := f.Reg(), f.Reg()
+	f.Imm(isa.SLL, v8, val, 3)
+	f.Imm(isa.SLL, v2, val, 1)
+	f.ALU(isa.ADD, val, v8, v2)
+	f.Imm(isa.ADDI, val, val, -'0')
+	f.ALU(isa.ADD, val, val, dch)
+	f.Imm(isa.ADDI, pos, pos, 1)
+	f.Jump(digits)
+
+	// store: table[bucket] += val
+	f.Enter(store)
+	cur := f.Reg()
+	f.Load(isa.LW, cur, bslot, 0)
+	f.ALU(isa.ADD, cur, cur, val)
+	f.Store(isa.SW, cur, bslot, 0)
+	f.Goto(skipNL)
+
+	// skipNL: pos++ (past '\n'); next line
+	f.Enter(skipNL)
+	f.Imm(isa.ADDI, pos, pos, 1)
+	f.Jump(line)
+
+	// report: output the 8 bucket totals.
+	f.Enter(report)
+	k := f.Reg()
+	f.Li(k, 0)
+	f.Goto(rloop)
+	f.Enter(rloop)
+	ra, rv, rc := f.Reg(), f.Reg(), f.Reg()
+	f.Imm(isa.SLTI, rc, k, awkBuckets)
+	rbody := f.Block("rbody")
+	f.Branch(isa.BEQ, rc, isa.R0, done, rbody)
+	f.Enter(rbody)
+	f.Imm(isa.SLL, ra, k, 2)
+	f.ALU(isa.ADD, ra, table, ra)
+	f.Load(isa.LW, rv, ra, 0)
+	f.Out(rv)
+	f.Imm(isa.ADDI, k, k, 1)
+	f.Jump(rloop)
+
+	f.Enter(done)
+	f.Halt()
+	f.Finish()
+	return pr
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// Compress returns the LZW-style compression workload. Like the UNIX
+// compress utility, its hot loop hashes a (previous-code, next-byte) pair
+// into an open-addressed table, probing until it finds the pair or a free
+// slot — a mix of data-dependent hit/miss branches and hash-table memory
+// traffic (the paper measures 82.7% prediction accuracy for compress).
+//
+// The kernel compresses a synthetic byte stream and outputs the number of
+// codes emitted and a rolling checksum of the code stream.
+func Compress() *Workload {
+	return &Workload{
+		Name:  "compress",
+		Build: buildCompress,
+		Train: Input{Seed: 5, Size: 6000},
+		Test:  Input{Seed: 93, Size: 9000},
+	}
+}
+
+const (
+	czTableSize = 1 << 12 // hash table entries (power of two)
+	czMaxCode   = 4096
+)
+
+func buildCompress(in Input) *prog.Program {
+	pr := prog.New()
+	rng := newLCG(in.Seed)
+
+	// Input stream: skewed byte distribution with repeated phrases, so
+	// the dictionary actually gets hits.
+	data := make([]byte, in.Size)
+	phrase := []byte("the boosted superscalar ")
+	for i := 0; i < len(data); {
+		if rng.intn(4) == 0 && i+len(phrase) < len(data) {
+			copy(data[i:], phrase)
+			i += len(phrase)
+		} else {
+			data[i] = byte('a' + rng.intn(8))
+			i++
+		}
+	}
+	dataAddr := pr.Bytes(data)
+	pr.Align(4)
+	// Hash table: keys and codes, zero-initialized (0 = empty; keys are
+	// biased by +1 so key 0 never collides with "empty").
+	keysAddr := pr.Reserve(czTableSize * 4)
+	codesAddr := pr.Reserve(czTableSize * 4)
+
+	f := prog.NewBuilder(pr, "main")
+	loop := f.Block("loop")
+	probe := f.Block("probe")
+	slotCheck := f.Block("slotCheck")
+	hit := f.Block("hit")
+	miss := f.Block("miss")
+	reprobe := f.Block("reprobe")
+	emit := f.Block("emit")
+	done := f.Block("done")
+
+	pos, size := f.Reg(), f.Reg()
+	base, keys, codes := f.Reg(), f.Reg(), f.Reg()
+	prev := f.Reg()     // previous code
+	nextCode := f.Reg() // next code to assign
+	emitted := f.Reg()  // codes emitted
+	chk := f.Reg()      // checksum
+	mask := f.Reg()
+
+	f.La(base, dataAddr)
+	f.La(keys, keysAddr)
+	f.La(codes, codesAddr)
+	f.Li(pos, 0)
+	f.Li(size, int32(in.Size))
+	f.Li(prev, 0)
+	f.Li(nextCode, 256)
+	f.Li(emitted, 0)
+	f.Li(chk, 0)
+	f.Li(mask, czTableSize-1)
+	f.Goto(loop)
+
+	// loop: if pos >= size goto done; ch = data[pos]; key = (prev<<8|ch)+1
+	f.Enter(loop)
+	cmp, ch, key, h := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	addr := f.Reg()
+	f.ALU(isa.SLT, cmp, pos, size)
+	f.Branch(isa.BEQ, cmp, isa.R0, done, probe)
+
+	f.Enter(probe)
+	f.ALU(isa.ADD, addr, base, pos)
+	f.Load(isa.LBU, ch, addr, 0)
+	f.Imm(isa.SLL, key, prev, 8)
+	f.ALU(isa.OR, key, key, ch)
+	f.Imm(isa.ADDI, key, key, 1)
+	// h = (key*31) & mask
+	t := f.Reg()
+	f.Imm(isa.SLL, t, key, 5)
+	f.ALU(isa.SUB, t, t, key)
+	f.ALU(isa.AND, h, t, mask)
+	f.Goto(slotCheck)
+
+	// slotCheck: k = keys[h]; if k == key goto hit; if k == 0 goto miss;
+	// else reprobe
+	f.Enter(slotCheck)
+	slotK, slotA := f.Reg(), f.Reg()
+	f.Imm(isa.SLL, slotA, h, 2)
+	f.ALU(isa.ADD, slotA, keys, slotA)
+	f.Load(isa.LW, slotK, slotA, 0)
+	inner := f.Block("probeHitCheck")
+	f.Branch(isa.BEQ, slotK, key, hit, inner)
+	f.Enter(inner)
+	f.Branch(isa.BEQ, slotK, isa.R0, miss, reprobe)
+
+	// reprobe: h = (h+1) & mask
+	f.Enter(reprobe)
+	f.Imm(isa.ADDI, h, h, 1)
+	f.ALU(isa.AND, h, h, mask)
+	f.Jump(slotCheck)
+
+	// hit: prev = codes[h]; pos++
+	f.Enter(hit)
+	ca := f.Reg()
+	f.Imm(isa.SLL, ca, h, 2)
+	f.ALU(isa.ADD, ca, codes, ca)
+	f.Load(isa.LW, prev, ca, 0)
+	f.Imm(isa.ADDI, pos, pos, 1)
+	f.Jump(loop)
+
+	// miss: keys[h] = key; codes[h] = nextCode++ (if room); emit prev
+	f.Enter(miss)
+	ca2 := f.Reg()
+	full := f.Reg()
+	f.Store(isa.SW, key, slotA, 0)
+	f.Imm(isa.SLL, ca2, h, 2)
+	f.ALU(isa.ADD, ca2, codes, ca2)
+	f.Store(isa.SW, nextCode, ca2, 0)
+	f.Imm(isa.SLTI, full, nextCode, czMaxCode)
+	nc := f.Block("bumpCode")
+	f.Branch(isa.BEQ, full, isa.R0, emit, nc)
+	f.Enter(nc)
+	f.Imm(isa.ADDI, nextCode, nextCode, 1)
+	f.Goto(emit)
+
+	// emit: chk = chk*33 + prev (mod 2^32); emitted++; prev = ch; pos++
+	f.Enter(emit)
+	c33 := f.Reg()
+	f.Imm(isa.SLL, c33, chk, 5)
+	f.ALU(isa.ADD, chk, c33, chk)
+	f.ALU(isa.ADD, chk, chk, prev)
+	f.Imm(isa.ADDI, emitted, emitted, 1)
+	f.Move(prev, ch)
+	f.Imm(isa.ADDI, pos, pos, 1)
+	f.Jump(loop)
+
+	f.Enter(done)
+	f.Out(emitted)
+	f.Out(chk)
+	f.Out(nextCode)
+	f.Halt()
+	f.Finish()
+	return pr
+}

@@ -1,0 +1,240 @@
+package workloads
+
+import (
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// Eqntott returns the truth-table sorting workload. SPEC eqntott spends
+// most of its time in cmppt(), a word-by-word lexicographic comparison of
+// truth-table rows called from qsort; its data-dependent comparison
+// branches make eqntott the least predictable program in the paper's
+// Table 1 (72.1%).
+//
+// The kernel quicksorts an array of four-word rows with an explicit stack
+// (Lomuto partitioning). The comparison is the unrolled cmppt chain: the
+// leading words are drawn from a tiny alphabet so ties are common and the
+// chain regularly runs several words deep — each stage's loads are
+// boosting candidates above the previous stage's branches.
+func Eqntott() *Workload {
+	return &Workload{
+		Name:  "eqntott",
+		Build: buildEqntott,
+		Train: Input{Seed: 21, Size: 420},
+		Test:  Input{Seed: 77, Size: 600},
+	}
+}
+
+// eqRowWords is the row size in words (like a truth table over ~64
+// bit-pair inputs).
+const eqRowWords = 4
+
+func buildEqntott(in Input) *prog.Program {
+	pr := prog.New()
+	rng := newLCG(in.Seed)
+	n := in.Size
+
+	// Rows: leading words from a tiny alphabet (many ties), final word
+	// nearly unique.
+	var rowsAddr uint32
+	for i := 0; i < n; i++ {
+		for w := 0; w < eqRowWords; w++ {
+			var v int32
+			if w < eqRowWords-1 {
+				v = int32(rng.intn(3))
+			} else {
+				v = int32(rng.next() & 0x7FFFFFFF)
+			}
+			a := pr.Word(v)
+			if i == 0 && w == 0 {
+				rowsAddr = a
+			}
+		}
+	}
+	stackAddr := pr.Reserve((n + 16) * 8)
+
+	f := prog.NewBuilder(pr, "main")
+	pop := f.Block("pop")
+	partition := f.Block("partition")
+	pinit := f.Block("pinit")
+	ploop := f.Block("ploop")
+	pbody := f.Block("pbody")
+	doSwap := f.Block("doSwap")
+	pnext := f.Block("pnext")
+	pdone := f.Block("pdone")
+	push := f.Block("push")
+	pushL := f.Block("pushL")
+	skipRight := f.Block("skipRight")
+	pushR := f.Block("pushR")
+	sum := f.Block("sum")
+	sloop := f.Block("sloop")
+	sbody := f.Block("sbody")
+	done := f.Block("done")
+
+	rows, stack, sp := f.Reg(), f.Reg(), f.Reg()
+	lo, hi := f.Reg(), f.Reg()
+	f.La(rows, rowsAddr)
+	f.La(stack, stackAddr)
+	f.Li(sp, 8)
+	z := f.Reg()
+	f.Li(z, 0)
+	f.Store(isa.SW, z, stack, 0)
+	f.Li(z, int32(n-1))
+	f.Store(isa.SW, z, stack, 4)
+	f.Goto(pop)
+
+	// pop: if sp == 0 goto sum; sp -= 8; (lo, hi) = stack[sp]
+	f.Enter(pop)
+	sa := f.Reg()
+	f.Branch(isa.BLEZ, sp, isa.R0, sum, partition)
+	f.Enter(partition)
+	c := f.Reg()
+	f.Imm(isa.ADDI, sp, sp, -8)
+	f.ALU(isa.ADD, sa, stack, sp)
+	f.Load(isa.LW, lo, sa, 0)
+	f.Load(isa.LW, hi, sa, 4)
+	f.ALU(isa.SLT, c, lo, hi)
+	f.Branch(isa.BEQ, c, isa.R0, pop, pinit)
+
+	// pinit: load the pivot row (rows[hi]) into registers; i = lo-1; j = lo
+	f.Enter(pinit)
+	pa := f.Reg()
+	piv := make([]isa.Reg, eqRowWords)
+	i, j := f.Reg(), f.Reg()
+	f.Imm(isa.SLL, pa, hi, 4)
+	f.ALU(isa.ADD, pa, rows, pa)
+	for w := 0; w < eqRowWords; w++ {
+		piv[w] = f.Reg()
+		f.Load(isa.LW, piv[w], pa, int32(4*w))
+	}
+	f.Imm(isa.ADDI, i, lo, -1)
+	f.Move(j, lo)
+	f.Goto(ploop)
+
+	// ploop: if j >= hi goto pdone
+	f.Enter(ploop)
+	cl := f.Reg()
+	f.ALU(isa.SLT, cl, j, hi)
+	f.Branch(isa.BEQ, cl, isa.R0, pdone, pbody)
+
+	// pbody computes ja = &rows[j]; the unrolled cmppt chain follows:
+	// per word: less → doSwap, greater → pnext, equal → next word. A row
+	// equal to the pivot on every word counts as "less or equal" and is
+	// swapped into the left side.
+	f.Enter(pbody)
+	ja := f.Reg()
+	f.Imm(isa.SLL, ja, j, 4)
+	f.ALU(isa.ADD, ja, rows, ja)
+	stage0 := f.Block("cmp0")
+	f.Goto(stage0)
+	stages := []*prog.Block{stage0}
+	for w := 1; w < eqRowWords; w++ {
+		stages = append(stages, f.Block("cmp"+string(rune('0'+w))))
+	}
+	for w := 0; w < eqRowWords; w++ {
+		f.Enter(stages[w])
+		kv, lt := f.Reg(), f.Reg()
+		f.Load(isa.LW, kv, ja, int32(4*w))
+		f.ALU(isa.SLT, lt, kv, piv[w])
+		ge := f.Block("ge" + string(rune('0'+w)))
+		f.Branch(isa.BGTZ, lt, isa.R0, doSwap, ge)
+		f.Enter(ge)
+		gt := f.Reg()
+		f.ALU(isa.SLT, gt, piv[w], kv)
+		if w < eqRowWords-1 {
+			f.Branch(isa.BGTZ, gt, isa.R0, pnext, stages[w+1])
+		} else {
+			f.Branch(isa.BGTZ, gt, isa.R0, pnext, doSwap)
+		}
+	}
+
+	// doSwap: i++; swap the four-word rows rows[i] and rows[j]
+	f.Enter(doSwap)
+	ia := f.Reg()
+	f.Imm(isa.ADDI, i, i, 1)
+	f.Imm(isa.SLL, ia, i, 4)
+	f.ALU(isa.ADD, ia, rows, ia)
+	for w := 0; w < eqRowWords; w++ {
+		t1, t2 := f.Reg(), f.Reg()
+		f.Load(isa.LW, t1, ia, int32(4*w))
+		f.Load(isa.LW, t2, ja, int32(4*w))
+		f.Store(isa.SW, t2, ia, int32(4*w))
+		f.Store(isa.SW, t1, ja, int32(4*w))
+	}
+	f.Goto(pnext)
+
+	// pnext: j++
+	f.Enter(pnext)
+	f.Imm(isa.ADDI, j, j, 1)
+	f.Jump(ploop)
+
+	// pdone: swap pivot into place at i+1
+	f.Enter(pdone)
+	p1 := f.Reg()
+	f.Imm(isa.ADDI, i, i, 1)
+	f.Imm(isa.SLL, p1, i, 4)
+	f.ALU(isa.ADD, p1, rows, p1)
+	for w := 0; w < eqRowWords; w++ {
+		q1, q2 := f.Reg(), f.Reg()
+		f.Load(isa.LW, q1, p1, int32(4*w))
+		f.Load(isa.LW, q2, pa, int32(4*w))
+		f.Store(isa.SW, q2, p1, int32(4*w))
+		f.Store(isa.SW, q1, pa, int32(4*w))
+	}
+	f.Goto(push)
+
+	// push: push (lo, i-1) and (i+1, hi) when non-trivial
+	f.Enter(push)
+	e1, sb := f.Reg(), f.Reg()
+	f.Imm(isa.ADDI, e1, i, -1)
+	f.ALU(isa.SLT, c, lo, e1)
+	f.Branch(isa.BEQ, c, isa.R0, skipRight, pushL)
+	f.Enter(pushL)
+	f.ALU(isa.ADD, sb, stack, sp)
+	f.Store(isa.SW, lo, sb, 0)
+	f.Store(isa.SW, e1, sb, 4)
+	f.Imm(isa.ADDI, sp, sp, 8)
+	f.Goto(skipRight)
+
+	f.Enter(skipRight)
+	e2 := f.Reg()
+	f.Imm(isa.ADDI, e2, i, 1)
+	f.ALU(isa.SLT, c, e2, hi)
+	f.Branch(isa.BEQ, c, isa.R0, pop, pushR)
+	f.Enter(pushR)
+	f.ALU(isa.ADD, sb, stack, sp)
+	f.Store(isa.SW, e2, sb, 0)
+	f.Store(isa.SW, hi, sb, 4)
+	f.Imm(isa.ADDI, sp, sp, 8)
+	f.Jump(pop)
+
+	// sum: verify order with a checksum walk over the leading words.
+	f.Enter(sum)
+	k, acc, tot := f.Reg(), f.Reg(), f.Reg()
+	f.Li(k, 0)
+	f.Li(acc, 0)
+	f.Li(tot, 0)
+	f.Goto(sloop)
+	f.Enter(sloop)
+	cs := f.Reg()
+	f.Imm(isa.SLTI, cs, k, int32(n))
+	f.Branch(isa.BEQ, cs, isa.R0, done, sbody)
+	f.Enter(sbody)
+	ca2, va, vb := f.Reg(), f.Reg(), f.Reg()
+	f.Imm(isa.SLL, ca2, k, 4)
+	f.ALU(isa.ADD, ca2, rows, ca2)
+	f.Load(isa.LW, va, ca2, 0)
+	f.Load(isa.LW, vb, ca2, 12)
+	f.Imm(isa.SLL, acc, acc, 1)
+	f.ALU(isa.ADD, acc, acc, va)
+	f.ALU(isa.XOR, tot, tot, vb)
+	f.Imm(isa.ADDI, k, k, 1)
+	f.Jump(sloop)
+
+	f.Enter(done)
+	f.Out(acc)
+	f.Out(tot)
+	f.Halt()
+	f.Finish()
+	return pr
+}

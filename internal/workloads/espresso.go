@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// Espresso returns the two-level logic-minimization workload. SPEC
+// espresso manipulates cubes (product terms) represented as bit vectors;
+// its hot loops are macro-expanded per-word set operations — AND/compare
+// chains with data-dependent early exits (the paper reports 75.7%
+// prediction accuracy for espresso).
+//
+// The kernel performs a containment census: for every ordered pair of
+// cubes it tests whether cube j is contained in cube i (i AND j == j),
+// with the word-by-word test fully unrolled the way espresso's set.h
+// macros unroll set operations. Word densities are tuned so each guard
+// passes roughly three times in four, so the unrolled chain is the hot
+// path and its loads are prime boosting candidates. It outputs the census
+// and a signature.
+func Espresso() *Workload {
+	return &Workload{
+		Name:  "espresso",
+		Build: buildEspresso,
+		Train: Input{Seed: 31, Size: 120},
+		Test:  Input{Seed: 131, Size: 160},
+	}
+}
+
+const cubeWords = 4
+
+func buildEspresso(in Input) *prog.Program {
+	pr := prog.New()
+	rng := newLCG(in.Seed)
+	n := in.Size
+
+	// Container cubes (even i) are dense — about one zero bit per word;
+	// candidate cubes (odd i) carry ~8 one-bits per word. A word guard
+	// (i AND j == j) then passes with probability ≈ (1-8/32)^1 ≈ 0.75.
+	var cubesAddr uint32
+	for i := 0; i < n; i++ {
+		for w := 0; w < cubeWords; w++ {
+			var v uint32
+			if i%2 == 0 {
+				v = ^uint32(0)
+				zeros := rng.intn(3) // 0..2 zero bits
+				for z := 0; z < zeros; z++ {
+					v &^= 1 << uint(rng.intn(32))
+				}
+			} else {
+				for b := 0; b < 8+rng.intn(3); b++ {
+					v |= 1 << uint(rng.intn(32))
+				}
+			}
+			a := pr.Word(int32(v))
+			if i == 0 && w == 0 {
+				cubesAddr = a
+			}
+		}
+	}
+
+	f := prog.NewBuilder(pr, "main")
+	iloop := f.Block("iloop")
+	jloop := f.Block("jloop")
+	jbody := f.Block("jbody")
+	w0 := f.Block("w0")
+	contained := f.Block("contained")
+	jnext := f.Block("jnext")
+	inext := f.Block("inext")
+	done := f.Block("done")
+
+	cubes := f.Reg()
+	i, j, nn := f.Reg(), f.Reg(), f.Reg()
+	total, sig := f.Reg(), f.Reg()
+	f.La(cubes, cubesAddr)
+	f.Li(i, 0)
+	f.Li(nn, int32(n))
+	f.Li(total, 0)
+	f.Li(sig, 0)
+	f.Goto(iloop)
+
+	// iloop: if i >= n goto done; j = 0
+	f.Enter(iloop)
+	c := f.Reg()
+	f.ALU(isa.SLT, c, i, nn)
+	f.Li(j, 0)
+	f.Branch(isa.BEQ, c, isa.R0, done, jloop)
+
+	// jloop: if j >= n goto inext; if j == i goto jnext
+	f.Enter(jloop)
+	cj := f.Reg()
+	f.ALU(isa.SLT, cj, j, nn)
+	f.Branch(isa.BEQ, cj, isa.R0, inext, jbody)
+	f.Enter(jbody)
+	ia, ja := f.Reg(), f.Reg()
+	f.Imm(isa.SLL, ia, i, 4) // cubeWords*4 bytes per cube
+	f.ALU(isa.ADD, ia, cubes, ia)
+	f.Imm(isa.SLL, ja, j, 4)
+	f.ALU(isa.ADD, ja, cubes, ja)
+	f.Branch(isa.BEQ, i, j, jnext, w0)
+
+	// The unrolled word-guard chain: stage w fails out to jnext when
+	// cube_j[w] is not contained in cube_i[w].
+	stages := []*prog.Block{w0}
+	for w := 1; w < cubeWords; w++ {
+		stages = append(stages, f.Block("w"+string(rune('0'+w))))
+	}
+	for w := 0; w < cubeWords; w++ {
+		f.Enter(stages[w])
+		vi, vj, anded := f.Reg(), f.Reg(), f.Reg()
+		f.Load(isa.LW, vi, ia, int32(4*w))
+		f.Load(isa.LW, vj, ja, int32(4*w))
+		f.ALU(isa.AND, anded, vi, vj)
+		succ := contained
+		if w < cubeWords-1 {
+			succ = stages[w+1]
+		}
+		f.Branch(isa.BNE, anded, vj, jnext, succ)
+	}
+
+	// contained: total++; sig = sig*2 ^ (i ^ j)
+	f.Enter(contained)
+	x := f.Reg()
+	f.Imm(isa.ADDI, total, total, 1)
+	f.ALU(isa.XOR, x, i, j)
+	f.Imm(isa.SLL, sig, sig, 1)
+	f.ALU(isa.XOR, sig, sig, x)
+	f.Goto(jnext)
+
+	// jnext: j++
+	f.Enter(jnext)
+	f.Imm(isa.ADDI, j, j, 1)
+	f.Jump(jloop)
+
+	// inext: i++
+	f.Enter(inext)
+	f.Imm(isa.ADDI, i, i, 1)
+	f.Jump(iloop)
+
+	f.Enter(done)
+	f.Out(total)
+	f.Out(sig)
+	f.Halt()
+	f.Finish()
+	return pr
+}

@@ -1,0 +1,147 @@
+package workloads
+
+import (
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// Grep returns the pattern-scanning workload. Like the UNIX grep the paper
+// measures, the time goes into a per-character matcher loop: classify the
+// character through a ctype-style table, case-fold if needed, and advance
+// a KMP-style match state against the pattern. The loop body is a chain of
+// highly biased guards over table loads — grep is the most predictable
+// program in the paper's Table 1 (97.9%) — and those loads are exactly
+// what a boosting scheduler hoists above the guards.
+//
+// Outputs: match count and a checksum of match positions.
+func Grep() *Workload {
+	return &Workload{
+		Name:  "grep",
+		Build: buildGrep,
+		Train: Input{Seed: 11, Size: 9000},
+		Test:  Input{Seed: 47, Size: 12000},
+	}
+}
+
+var grepPattern = []byte("boost")
+
+func buildGrep(in Input) *prog.Program {
+	pr := prog.New()
+	rng := newLCG(in.Seed)
+
+	// Synthetic text: mostly lowercase letters, occasional uppercase
+	// (case-folded by the matcher) and spaces; the pattern is planted at
+	// random intervals.
+	text := make([]byte, in.Size)
+	for i := range text {
+		switch {
+		case rng.intn(28) < 2:
+			text[i] = ' '
+		case rng.intn(25) == 0:
+			text[i] = byte('A' + rng.intn(26)) // rare uppercase
+		default:
+			text[i] = byte('a' + rng.intn(26))
+		}
+	}
+	for i := 40; i+len(grepPattern) < len(text); i += 250 + rng.intn(250) {
+		copy(text[i:], grepPattern)
+	}
+	textAddr := pr.Bytes(text)
+	pr.Align(4)
+	patAddr := pr.Bytes(grepPattern)
+	pr.Align(4)
+	// ctype table: bit 0 = uppercase letter.
+	ctype := make([]byte, 256)
+	for c := 'A'; c <= 'Z'; c++ {
+		ctype[c] = 1
+	}
+	ctypeAddr := pr.Bytes(ctype)
+	pr.Align(4)
+
+	f := prog.NewBuilder(pr, "main")
+	loop := f.Block("loop")
+	classify := f.Block("classify")
+	fold := f.Block("fold")
+	step := f.Block("step")
+	jzero := f.Block("jzero")
+	reset := f.Block("reset")
+	adv := f.Block("adv")
+	found := f.Block("found")
+	next := f.Block("next")
+	done := f.Block("done")
+
+	pos, size := f.Reg(), f.Reg()
+	tbase, pbase, cbase := f.Reg(), f.Reg(), f.Reg()
+	j, m := f.Reg(), f.Reg()
+	count, chk := f.Reg(), f.Reg()
+	f.La(tbase, textAddr)
+	f.La(pbase, patAddr)
+	f.La(cbase, ctypeAddr)
+	f.Li(pos, 0)
+	f.Li(size, int32(in.Size))
+	f.Li(j, 0)
+	f.Li(m, int32(len(grepPattern)))
+	f.Li(count, 0)
+	f.Li(chk, 0)
+	f.Goto(loop)
+
+	// loop: c = text[pos]
+	f.Enter(loop)
+	ta, ch := f.Reg(), f.Reg()
+	f.ALU(isa.ADD, ta, tbase, pos)
+	f.Load(isa.LBU, ch, ta, 0)
+	f.Goto(classify)
+
+	// classify: w = ctype[c]; if w != 0 goto fold (rare)
+	f.Enter(classify)
+	ca, w := f.Reg(), f.Reg()
+	f.ALU(isa.ADD, ca, cbase, ch)
+	f.Load(isa.LBU, w, ca, 0)
+	f.Branch(isa.BNE, w, isa.R0, fold, step)
+
+	// fold: c += 'a'-'A'
+	f.Enter(fold)
+	f.Imm(isa.ADDI, ch, ch, 'a'-'A')
+	f.Goto(step)
+
+	// step: pc = pat[j]; if c == pc goto adv (uncommon)
+	f.Enter(step)
+	pa, pc := f.Reg(), f.Reg()
+	f.ALU(isa.ADD, pa, pbase, j)
+	f.Load(isa.LBU, pc, pa, 0)
+	f.Branch(isa.BEQ, ch, pc, adv, jzero)
+
+	// jzero: mismatch — if j > 0 restart the prefix (uncommon)
+	f.Enter(jzero)
+	f.Branch(isa.BGTZ, j, isa.R0, reset, next)
+
+	f.Enter(reset)
+	f.Li(j, 0)
+	f.Goto(next)
+
+	// adv: j++; if j == m goto found
+	f.Enter(adv)
+	f.Imm(isa.ADDI, j, j, 1)
+	f.Branch(isa.BEQ, j, m, found, next)
+
+	// found: count++; chk ^= pos; j = 0
+	f.Enter(found)
+	f.Imm(isa.ADDI, count, count, 1)
+	f.ALU(isa.XOR, chk, chk, pos)
+	f.Li(j, 0)
+	f.Goto(next)
+
+	// next: pos++; if pos < size goto loop
+	f.Enter(next)
+	lc := f.Reg()
+	f.Imm(isa.ADDI, pos, pos, 1)
+	f.ALU(isa.SLT, lc, pos, size)
+	f.Branch(isa.BGTZ, lc, isa.R0, loop, done)
+
+	f.Enter(done)
+	f.Out(count)
+	f.Out(chk)
+	f.Halt()
+	f.Finish()
+	return pr
+}

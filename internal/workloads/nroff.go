@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// Nroff returns the text-formatting workload. Like nroff filling and
+// justifying output lines, it measures words and greedily packs them into
+// 65-column lines; the character-scanning loops are extremely biased
+// (the paper reports 96.7% accuracy for nroff).
+//
+// It outputs the number of lines produced, the total padding inserted and
+// a checksum of line lengths.
+func Nroff() *Workload {
+	return &Workload{
+		Name:  "nroff",
+		Build: buildNroff,
+		Train: Input{Seed: 13, Size: 9000},
+		Test:  Input{Seed: 101, Size: 13000},
+	}
+}
+
+const nroffWidth = 65 * 9 // line width in machine units (~65 glyphs)
+
+func buildNroff(in Input) *prog.Program {
+	pr := prog.New()
+	rng := newLCG(in.Seed)
+
+	// Text: words of 2..16 letters separated by single spaces, NUL
+	// terminated. A rare 'q' plays the role of an nroff control
+	// character that needs special handling.
+	var text []byte
+	for len(text) < in.Size {
+		wl := 2 + rng.intn(15)
+		for k := 0; k < wl; k++ {
+			text = append(text, byte('a'+rng.intn(16))) // a..p, no q
+		}
+		if rng.intn(40) == 0 {
+			text = append(text, 'q')
+		}
+		text = append(text, ' ')
+	}
+	text = append(text, 0)
+	textAddr := pr.Bytes(text)
+	pr.Align(4)
+	// Per-character width table (nroff uses device width tables to fill
+	// lines in machine units; widths vary per glyph).
+	widths := make([]byte, 256)
+	for c := 0; c < 256; c++ {
+		widths[c] = byte(8 + (c*7)%5)
+	}
+	widthAddr := pr.Bytes(widths)
+	pr.Align(4)
+
+	f := prog.NewBuilder(pr, "main")
+	word := f.Block("word")
+	measure := f.Block("measure")
+	mbody := f.Block("mbody")
+	place := f.Block("place")
+	flush := f.Block("flush")
+	append_ := f.Block("append")
+	skipSpace := f.Block("skipSpace")
+	done := f.Block("done")
+
+	pos, base, wbase := f.Reg(), f.Reg(), f.Reg()
+	lineLen, lines, pad, chk := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	f.La(base, textAddr)
+	f.La(wbase, widthAddr)
+	f.Li(pos, 0)
+	f.Li(lineLen, 0)
+	f.Li(lines, 0)
+	f.Li(pad, 0)
+	f.Li(chk, 0)
+	f.Goto(word)
+
+	// word: ch = text[pos]; if ch == 0 goto done; wl = 0; wwidth = 0
+	f.Enter(word)
+	a, ch, wl, wwidth := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	f.ALU(isa.ADD, a, base, pos)
+	f.Load(isa.LBU, ch, a, 0)
+	f.Li(wl, 0)
+	f.Li(wwidth, 0)
+	f.Branch(isa.BEQ, ch, isa.R0, done, measure)
+
+	// measure: scan to the next space or NUL, counting letters.
+	f.Enter(measure)
+	ma, mc := f.Reg(), f.Reg()
+	f.ALU(isa.ADD, ma, base, pos)
+	f.ALU(isa.ADD, ma, ma, wl)
+	f.Load(isa.LBU, mc, ma, 0)
+	spc := f.Reg()
+	f.Imm(isa.SLTI, spc, mc, '!') // space or NUL (anything < '!')
+	f.Branch(isa.BGTZ, spc, isa.R0, place, mbody)
+	// mbody: accumulate the glyph width from the device table, then the
+	// rare control-character check ('q' plays nroff's escape character).
+	f.Enter(mbody)
+	esc, wa, wv := f.Reg(), f.Reg(), f.Reg()
+	mplain := f.Block("mplain")
+	mesc := f.Block("mesc")
+	f.ALU(isa.ADD, wa, wbase, mc)
+	f.Load(isa.LBU, wv, wa, 0)
+	f.ALU(isa.ADD, wwidth, wwidth, wv)
+	f.Imm(isa.XORI, esc, mc, 'q')
+	f.Branch(isa.BEQ, esc, isa.R0, mesc, mplain)
+	f.Enter(mesc)
+	f.ALU(isa.XOR, chk, chk, wl)
+	f.Goto(mplain)
+	f.Enter(mplain)
+	f.Imm(isa.ADDI, wl, wl, 1)
+	f.Jump(measure)
+
+	// place: if lineLen + wordWidth + spaceWidth > width: flush first.
+	f.Enter(place)
+	need, over := f.Reg(), f.Reg()
+	f.ALU(isa.ADD, need, lineLen, wwidth)
+	f.Imm(isa.ADDI, need, need, 8)
+	f.Imm(isa.SLTI, over, need, nroffWidth+1)
+	f.Branch(isa.BEQ, over, isa.R0, flush, append_)
+
+	// flush: justify — pad = width - lineLen; lines++; chk ^= lineLen.
+	f.Enter(flush)
+	gap := f.Reg()
+	f.Li(gap, nroffWidth)
+	f.ALU(isa.SUB, gap, gap, lineLen)
+	f.ALU(isa.ADD, pad, pad, gap)
+	f.Imm(isa.ADDI, lines, lines, 1)
+	f.ALU(isa.XOR, chk, chk, lineLen)
+	f.Li(lineLen, 0)
+	f.Goto(append_)
+
+	// append: lineLen += wordWidth + spaceWidth; pos += wl
+	f.Enter(append_)
+	f.ALU(isa.ADD, lineLen, lineLen, wwidth)
+	f.Imm(isa.ADDI, lineLen, lineLen, 8)
+	f.ALU(isa.ADD, pos, pos, wl)
+	f.Goto(skipSpace)
+
+	// skipSpace: pos++ past the separator
+	f.Enter(skipSpace)
+	f.Imm(isa.ADDI, pos, pos, 1)
+	f.Jump(word)
+
+	f.Enter(done)
+	f.Out(lines)
+	f.Out(pad)
+	f.Out(chk)
+	f.Halt()
+	f.Finish()
+	return pr
+}

@@ -1,0 +1,87 @@
+// Package workloads provides the benchmark programs of the reproduction.
+//
+// The paper evaluates seven non-numerical C programs — three SPEC
+// benchmarks (eqntott, espresso, xlisp) and four UNIX utilities (awk,
+// compress, grep, nroff) — compiled by the SUIF compiler and the MIPS
+// toolchain. Neither those binaries nor their inputs are available here,
+// so each workload is a hand-written IR kernel that reproduces the same
+// *kind* of computation and, crucially, the same kind of control and
+// memory behavior that drives the paper's experiments: basic blocks of a
+// few instructions, profile-predictable branches spanning a wide accuracy
+// range, and pointer/array traffic. Every workload has a training input
+// and a separate test input (paper §4.3: "This branch profile is generated
+// from a different input set than is used to determine performance").
+//
+// What each kernel computes:
+//
+//	awk      – field splitting and associative accumulation over text
+//	compress – LZW-style hash-table compression of a byte stream
+//	eqntott  – quicksort of truth-table rows with multi-key comparison
+//	espresso – cube containment/covering over bit-vector logic terms
+//	grep     – substring search over text
+//	nroff    – greedy line filling/justification of word streams
+//	xlisp    – evaluation of tagged expression trees (interpreter)
+package workloads
+
+import (
+	"fmt"
+
+	"boosting/internal/prog"
+)
+
+// Input selects a dataset for a workload build.
+type Input struct {
+	// Seed drives deterministic synthetic data generation.
+	Seed int64
+	// Size scales the dataset (workload-specific units).
+	Size int
+}
+
+// Workload couples a named builder with its train and test inputs.
+type Workload struct {
+	Name string
+	// Build constructs a fresh program for the input. Builds with
+	// different inputs have identical code structure (only the data
+	// segment differs), so profiles transfer between them.
+	Build func(in Input) *prog.Program
+	Train Input
+	Test  Input
+}
+
+// BuildTrain builds the training-input variant.
+func (w *Workload) BuildTrain() *prog.Program { return w.Build(w.Train) }
+
+// BuildTest builds the test-input variant.
+func (w *Workload) BuildTest() *prog.Program { return w.Build(w.Test) }
+
+// All returns the benchmark set in the paper's table order.
+func All() []*Workload {
+	return []*Workload{
+		AWK(), Compress(), Eqntott(), Espresso(), Grep(), Nroff(), XLisp(),
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// lcg is a deterministic 64-bit linear congruential generator used by all
+// data-set builders (host side only; the generated data lands in the
+// program's data segment).
+type lcg struct{ s uint64 }
+
+func newLCG(seed int64) *lcg { return &lcg{s: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 16
+}
+
+// intn returns a value in [0, n).
+func (l *lcg) intn(n int) int { return int(l.next() % uint64(n)) }

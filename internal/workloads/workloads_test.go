@@ -1,0 +1,145 @@
+package workloads
+
+import (
+	"testing"
+
+	"boosting/internal/profile"
+	"boosting/internal/sim"
+)
+
+func TestAllWorkloadsRun(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, in := range []Input{w.Train, w.Test} {
+				pr := w.Build(in)
+				res, err := sim.Run(pr, sim.RefConfig{})
+				if err != nil {
+					t.Fatalf("input %+v: %v", in, err)
+				}
+				if len(res.Out) == 0 {
+					t.Fatalf("input %+v: no output", in)
+				}
+				if res.Insts < 10_000 {
+					t.Errorf("input %+v: only %d instructions; workloads should be substantial", in, res.Insts)
+				}
+				if res.Insts > 20_000_000 {
+					t.Errorf("input %+v: %d instructions; too slow for the experiment suite", in, res.Insts)
+				}
+				if res.Branches == 0 {
+					t.Errorf("input %+v: no conditional branches executed", in)
+				}
+			}
+		})
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, w := range All() {
+		r1, err := sim.Run(w.BuildTest(), sim.RefConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := sim.Run(w.BuildTest(), sim.RefConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1.Out) != len(r2.Out) || r1.MemHash != r2.MemHash {
+			t.Errorf("%s: non-deterministic", w.Name)
+		}
+		for i := range r1.Out {
+			if r1.Out[i] != r2.Out[i] {
+				t.Errorf("%s: out[%d] differs across identical builds", w.Name, i)
+			}
+		}
+	}
+}
+
+func TestTrainAndTestInputsDiffer(t *testing.T) {
+	for _, w := range All() {
+		tr, err := sim.Run(w.BuildTrain(), sim.RefConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		te, err := sim.Run(w.BuildTest(), sim.RefConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := len(tr.Out) == len(te.Out)
+		if same {
+			for i := range tr.Out {
+				if tr.Out[i] != te.Out[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: train and test inputs produce identical output; they must differ", w.Name)
+		}
+	}
+}
+
+// TestProfileTransferAcrossInputs checks the paper's methodology is
+// mechanically possible: identical structure, transferable predictions.
+func TestProfileTransferAcrossInputs(t *testing.T) {
+	for _, w := range All() {
+		train := w.BuildTrain()
+		test := w.BuildTest()
+		if err := profile.Annotate(train); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if err := profile.Transfer(train, test); err != nil {
+			t.Fatalf("%s: structure differs between inputs: %v", w.Name, err)
+		}
+		acc, err := profile.Accuracy(test)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		// All the paper's benchmarks predict above 70%; sanity-check ours.
+		if acc < 0.60 {
+			t.Errorf("%s: prediction accuracy %.3f unrealistically low", w.Name, acc)
+		}
+	}
+}
+
+// TestAccuracyOrdering: the *shape* of Table 1 — grep and nroff are the
+// most predictable benchmarks, eqntott the least.
+func TestAccuracyOrdering(t *testing.T) {
+	acc := map[string]float64{}
+	for _, w := range All() {
+		train := w.BuildTrain()
+		test := w.BuildTest()
+		if err := profile.Annotate(train); err != nil {
+			t.Fatal(err)
+		}
+		if err := profile.Transfer(train, test); err != nil {
+			t.Fatal(err)
+		}
+		a, err := profile.Accuracy(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc[w.Name] = a
+		t.Logf("%-9s accuracy %.3f", w.Name, a)
+	}
+	if acc["eqntott"] >= acc["grep"] {
+		t.Errorf("eqntott (%.3f) should predict worse than grep (%.3f)", acc["eqntott"], acc["grep"])
+	}
+	if acc["eqntott"] >= acc["nroff"] {
+		t.Errorf("eqntott (%.3f) should predict worse than nroff (%.3f)", acc["eqntott"], acc["nroff"])
+	}
+	if acc["grep"] < 0.9 {
+		t.Errorf("grep accuracy %.3f; the scanning loop should be highly predictable", acc["grep"])
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("grep")
+	if err != nil || w.Name != "grep" {
+		t.Fatalf("ByName(grep) = %v, %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName must reject unknown names")
+	}
+}

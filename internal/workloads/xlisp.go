@@ -1,0 +1,219 @@
+package workloads
+
+import (
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// XLisp returns the interpreter workload. SPEC xlisp is a Lisp interpreter
+// whose eval loop dispatches on node tags and chases cons-cell pointers;
+// the kernel here evaluates a stream of expression trees compiled to
+// postfix (push/add/sub/and/max) over an explicit operand stack in memory,
+// which reproduces the dispatch-branch and stack-traffic behavior of an
+// interpreter inner loop (the paper reports 83.5% accuracy for xlisp).
+//
+// Each expression's value folds into a checksum that is printed at the
+// end together with the operation count.
+func XLisp() *Workload {
+	return &Workload{
+		Name:  "xlisp",
+		Build: buildXLisp,
+		Train: Input{Seed: 17, Size: 260},
+		Test:  Input{Seed: 139, Size: 380},
+	}
+}
+
+// xlisp opcodes.
+const (
+	xlPush = iota
+	xlAdd
+	xlSub
+	xlAnd
+	xlMax
+	xlEnd // end of one expression
+	xlHalt
+)
+
+// xlExpr emits a random expression in postfix form, returning the number
+// of stack slots it needs.
+func xlExpr(rng *lcg, depth int, emitOp func(op, val int32)) int {
+	if depth <= 0 || rng.intn(3) == 0 {
+		emitOp(xlPush, int32(rng.intn(2000)-1000))
+		return 1
+	}
+	l := xlExpr(rng, depth-1, emitOp)
+	r := xlExpr(rng, depth-1, emitOp)
+	// Real interpreters see heavily skewed opcode mixes; bias toward add.
+	ops := []int32{xlAdd, xlAdd, xlAdd, xlAdd, xlAdd, xlSub, xlSub, xlAnd, xlMax}
+	emitOp(ops[rng.intn(len(ops))], 0)
+	if r+1 > l {
+		return r + 1
+	}
+	return l
+}
+
+func buildXLisp(in Input) *prog.Program {
+	pr := prog.New()
+	rng := newLCG(in.Seed)
+
+	// Program: Size expressions of depth ≤ 6, each a sequence of
+	// (op, val) pairs terminated by xlEnd, the whole stream by xlHalt.
+	var codeAddr uint32
+	first := true
+	emit := func(op, val int32) {
+		a := pr.Words(op, val)
+		if first {
+			codeAddr = a
+			first = false
+		}
+	}
+	for e := 0; e < in.Size; e++ {
+		xlExpr(rng, 2+rng.intn(5), emit)
+		emit(xlEnd, 0)
+	}
+	emit(xlHalt, 0)
+	stackAddr := pr.Reserve(4 * 128)
+
+	f := prog.NewBuilder(pr, "main")
+	fetch := f.Block("fetch")
+	isPush := f.Block("isPush")
+	notPush := f.Block("notPush")
+	isAdd := f.Block("isAdd")
+	notAdd := f.Block("notAdd")
+	isSub := f.Block("isSub")
+	notSub := f.Block("notSub")
+	isAnd := f.Block("isAnd")
+	notAnd := f.Block("notAnd")
+	isMax := f.Block("isMax")
+	maxTake := f.Block("maxTake")
+	maxKeep := f.Block("maxKeep")
+	notMax := f.Block("notMax")
+	isEnd := f.Block("isEnd")
+	binCommon := f.Block("binCommon")
+	advance := f.Block("advance")
+	done := f.Block("done")
+
+	pc, code, stack, sp := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	chk, count := f.Reg(), f.Reg()
+	f.La(code, codeAddr)
+	f.La(stack, stackAddr)
+	f.Li(pc, 0)
+	f.Li(sp, 0)
+	f.Li(chk, 0)
+	f.Li(count, 0)
+	f.Goto(fetch)
+
+	// fetch: op = code[pc]; val = code[pc+4]; interpreter bookkeeping —
+	// a stack-overflow guard that, like xlisp's cons-space check, almost
+	// never fires.
+	f.Enter(fetch)
+	a, op, val := f.Reg(), f.Reg(), f.Reg()
+	guard := f.Reg()
+	ovfl := f.Block("stackOverflow")
+	fetch2 := f.Block("fetch2")
+	f.Imm(isa.SLTI, guard, sp, 4*120)
+	f.Branch(isa.BEQ, guard, isa.R0, ovfl, fetch2)
+	f.Enter(ovfl)
+	f.Li(guard, -1)
+	f.Out(guard)
+	f.Halt()
+	f.Enter(fetch2)
+	f.ALU(isa.ADD, a, code, pc)
+	f.Load(isa.LW, op, a, 0)
+	f.Load(isa.LW, val, a, 4)
+	f.Branch(isa.BEQ, op, isa.R0, isPush, notPush)
+
+	// isPush: stack[sp] = val; sp += 4
+	f.Enter(isPush)
+	sa := f.Reg()
+	f.ALU(isa.ADD, sa, stack, sp)
+	f.Store(isa.SW, val, sa, 0)
+	f.Imm(isa.ADDI, sp, sp, 4)
+	f.Goto(advance)
+
+	// Binary operators pop two (x=NOS, y=TOS) and push the result.
+	x, y, r := f.Reg(), f.Reg(), f.Reg()
+	tagger := func(b *prog.Block, tag int32, hit, miss *prog.Block) {
+		f.Enter(b)
+		t := f.Reg()
+		f.Imm(isa.XORI, t, op, tag)
+		f.Branch(isa.BEQ, t, isa.R0, hit, miss)
+	}
+	pop2 := func(b *prog.Block) {
+		f.Enter(b)
+		xa := f.Reg()
+		f.Imm(isa.ADDI, sp, sp, -8)
+		f.ALU(isa.ADD, xa, stack, sp)
+		f.Load(isa.LW, x, xa, 0)
+		f.Load(isa.LW, y, xa, 4)
+	}
+
+	tagger(notPush, xlAdd, isAdd, notAdd)
+	pop2(isAdd)
+	f.ALU(isa.ADD, r, x, y)
+	f.Goto(binCommon)
+
+	tagger(notAdd, xlSub, isSub, notSub)
+	pop2(isSub)
+	f.ALU(isa.SUB, r, x, y)
+	f.Goto(binCommon)
+
+	tagger(notSub, xlAnd, isAnd, notAnd)
+	pop2(isAnd)
+	f.ALU(isa.AND, r, x, y)
+	f.Goto(binCommon)
+
+	tagger(notAnd, xlMax, isMax, notMax)
+	pop2(isMax)
+	lt := f.Reg()
+	f.ALU(isa.SLT, lt, x, y)
+	f.Branch(isa.BGTZ, lt, isa.R0, maxTake, maxKeep)
+	f.Enter(maxTake)
+	f.Move(r, y)
+	f.Jump(binCommon)
+	f.Enter(maxKeep)
+	f.Move(r, x)
+	f.Goto(binCommon)
+
+	// binCommon: overflow-tag check (xlisp boxes fixnums; large results
+	// would need bignums — essentially never on this data), then push.
+	f.Enter(binCommon)
+	ba, big := f.Reg(), f.Reg()
+	bignum := f.Block("bignum")
+	binPush := f.Block("binPush")
+	f.Imm(isa.SRA, big, r, 24)
+	f.Branch(isa.BGTZ, big, isa.R0, bignum, binPush)
+	f.Enter(bignum)
+	f.Imm(isa.ANDI, r, r, 0xFFFF)
+	f.Goto(binPush)
+	f.Enter(binPush)
+	f.ALU(isa.ADD, ba, stack, sp)
+	f.Store(isa.SW, r, ba, 0)
+	f.Imm(isa.ADDI, sp, sp, 4)
+	f.Imm(isa.ADDI, count, count, 1)
+	f.Goto(advance)
+
+	// notMax: xlEnd pops the result into the checksum; anything else halts.
+	tagger(notMax, xlEnd, isEnd, done)
+	f.Enter(isEnd)
+	ea, ev := f.Reg(), f.Reg()
+	f.Imm(isa.ADDI, sp, sp, -4)
+	f.ALU(isa.ADD, ea, stack, sp)
+	f.Load(isa.LW, ev, ea, 0)
+	rot := f.Reg()
+	f.Imm(isa.SLL, rot, chk, 1)
+	f.ALU(isa.XOR, chk, rot, ev)
+	f.Goto(advance)
+
+	// advance: pc += 8
+	f.Enter(advance)
+	f.Imm(isa.ADDI, pc, pc, 8)
+	f.Jump(fetch)
+
+	f.Enter(done)
+	f.Out(chk)
+	f.Out(count)
+	f.Halt()
+	f.Finish()
+	return pr
+}
