@@ -2,15 +2,18 @@
 
 GO ?= go
 
-.PHONY: all test test-short bench experiments fuzz vet clean
+.PHONY: all test test-short test-race bench experiments fuzz vet clean
 
-all: vet test
+all: vet test test-race
 
 test:
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -7,6 +7,7 @@
 package boosting
 
 import (
+	"context"
 	"testing"
 
 	"boosting/internal/core"
@@ -26,7 +27,7 @@ import (
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite()
-		rows, err := s.Table1()
+		rows, err := s.Table1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,7 +46,7 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite()
-		_, gmBB, gmGl, err := s.Figure8()
+		_, gmBB, gmGl, err := s.Figure8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +61,7 @@ func BenchmarkFigure8(b *testing.B) {
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite()
-		_, geo, err := s.Table2()
+		_, geo, err := s.Table2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite()
-		_, gmMB3, gmDyn, err := s.Figure9()
+		_, gmMB3, gmDyn, err := s.Figure9(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +92,7 @@ func BenchmarkFigure9(b *testing.B) {
 func BenchmarkExceptionOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSuite()
-		ec, err := s.ExceptionCostsReport()
+		ec, err := s.ExceptionCostsReport(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -261,7 +262,7 @@ func BenchmarkExtensionUnrolling(b *testing.B) {
 		s := experiments.NewSuite()
 		var base, unrolled int64
 		for _, w := range s.Workloads {
-			c, err := s.UnrolledCycles(w)
+			c, err := s.UnrolledCycles(context.Background(), w)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -278,7 +279,7 @@ func BenchmarkExtensionUnrolling(b *testing.B) {
 
 // suiteMinBoost3 measures the standard MinBoost3 pipeline for a workload.
 func suiteMinBoost3(s *experiments.Suite, w *workloads.Workload) (int64, error) {
-	return s.MeasureModel(w, machine.MinBoost3())
+	return s.MeasureModel(context.Background(), w, machine.MinBoost3())
 }
 
 // BenchmarkExtensionPreschedule measures the dynamic scheduler fed
@@ -289,12 +290,12 @@ func BenchmarkExtensionPreschedule(b *testing.B) {
 		s := experiments.NewSuite()
 		var plain, pre int64
 		for _, w := range s.Workloads {
-			c, err := s.DynCycles(w, false)
+			c, err := s.DynCycles(context.Background(), w, false)
 			if err != nil {
 				b.Fatal(err)
 			}
 			plain += c
-			c2, err := s.DynPrescheduled(w, false)
+			c2, err := s.DynPrescheduled(context.Background(), w, false)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -313,7 +314,7 @@ func BenchmarkExtensionCache(b *testing.B) {
 		s := experiments.NewSuite()
 		var perf, cach []float64
 		for _, w := range s.Workloads {
-			p, c, err := s.CacheSpeedups(w)
+			p, c, err := s.CacheSpeedups(context.Background(), w)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -363,15 +364,15 @@ func BenchmarkExtensionIssueWidth(b *testing.B) {
 		s := experiments.NewSuite()
 		var two, four []float64
 		for _, w := range s.Workloads {
-			scalar, err := s.ScalarCycles(w)
+			scalar, err := s.ScalarCycles(context.Background(), w)
 			if err != nil {
 				b.Fatal(err)
 			}
-			c2, err := s.MeasureModel(w, machine.MinBoost3())
+			c2, err := s.MeasureModel(context.Background(), w, machine.MinBoost3())
 			if err != nil {
 				b.Fatal(err)
 			}
-			c4, err := s.MeasureModel(w, wide)
+			c4, err := s.MeasureModel(context.Background(), w, wide)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -21,30 +21,37 @@
 //	internal/dynsched   dynamically-scheduled (Tomasulo/ROB/BTB) baseline
 //	internal/workloads  the seven benchmark kernels
 //	internal/hwcost     shadow register file hardware cost model
-//	internal/experiments tables/figures harness
+//	internal/cache      singleflight memoization + data-cache model
+//	internal/experiments concurrent tables/figures harness
 //
 // # Quick start
 //
-//	cfg := boosting.Models().MinBoost3
-//	res, err := boosting.CompileAndRun(boosting.WorkloadGrep, cfg, boosting.Options{})
+// The staged Pipeline API compiles once and simulates many times, with
+// every shared artifact memoized and every stage cancellable:
+//
+//	p := boosting.NewPipeline()
+//	c, err := p.Compile(ctx, boosting.WorkloadGrep)
+//	res, err := p.Simulate(ctx, c, boosting.Models().MinBoost3)
 //	// res.Cycles, res.Speedup (vs scalar R2000), res.Out ...
+//
+// Ablations are functional options (boosting.WithLocalOnly,
+// boosting.WithInfiniteRegisters, ...), and Pipeline.Grid runs a whole
+// (workload × model × options) batch concurrently with deterministic
+// result order. For one-off runs the legacy CompileAndRun wrapper still
+// works.
 package boosting
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"boosting/internal/core"
-	"boosting/internal/dynsched"
 	"boosting/internal/machine"
-	"boosting/internal/profile"
-	"boosting/internal/prog"
-	"boosting/internal/regalloc"
-	"boosting/internal/sim"
 	"boosting/internal/workloads"
 )
 
-// Workload names accepted by CompileAndRun and Workloads().
+// Workload names accepted by Compile/CompileAndRun and Workloads().
 const (
 	WorkloadAWK      = "awk"
 	WorkloadCompress = "compress"
@@ -86,18 +93,6 @@ func Models() ModelSet {
 	}
 }
 
-// Options controls the compilation pipeline.
-type Options struct {
-	// LocalOnly restricts scheduling to basic blocks (no global motion).
-	LocalOnly bool
-	// InfiniteRegisters skips register allocation and schedules the
-	// virtual-register program directly (the paper's upper bars).
-	InfiniteRegisters bool
-	// DisableEquivalence and NoDisambiguation are scheduler ablations.
-	DisableEquivalence bool
-	NoDisambiguation   bool
-}
-
 // Result reports a compiled-and-simulated run.
 type Result struct {
 	// Cycles is the machine cycles consumed on the test input.
@@ -126,56 +121,15 @@ type Result struct {
 // the model, simulates the test input, verifies the run against the
 // reference interpreter, and reports cycle counts and speedup over the
 // scalar R2000 baseline.
+//
+// Deprecated: CompileAndRun rebuilds everything on every call and
+// cannot be cancelled. Use Pipeline, which stages Compile/Simulate,
+// memoizes shared artifacts and threads a context.Context:
+//
+//	p := NewPipeline()
+//	res, err := p.Run(ctx, workload, model, WithLocalOnly())
 func CompileAndRun(workload string, model *machine.Model, opts Options) (*Result, error) {
-	w, err := workloads.ByName(workload)
-	if err != nil {
-		return nil, err
-	}
-
-	test, err := preparePair(w, !opts.InfiniteRegisters)
-	if err != nil {
-		return nil, err
-	}
-	ref, err := sim.Run(w.BuildTest(), sim.RefConfig{})
-	if err != nil {
-		return nil, fmt.Errorf("boosting: reference run: %w", err)
-	}
-	acc, err := profile.Accuracy(test)
-	if err != nil {
-		return nil, err
-	}
-
-	sp, err := core.Schedule(test, model, core.Options{
-		LocalOnly:          opts.LocalOnly,
-		DisableEquivalence: opts.DisableEquivalence,
-		NoDisambiguation:   opts.NoDisambiguation,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.Exec(sp, sim.ExecConfig{})
-	if err != nil {
-		return nil, err
-	}
-	if err := compareOut(ref.Out, res.Out); err != nil {
-		return nil, fmt.Errorf("boosting: %s on %s: %w", workload, model, err)
-	}
-
-	scalar, err := scalarBaseline(w)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Cycles:             res.Cycles,
-		ScalarCycles:       scalar,
-		Speedup:            float64(scalar) / float64(res.Cycles),
-		Insts:              res.Insts,
-		BoostedExec:        res.BoostedExec,
-		Squashed:           res.Squashed,
-		PredictionAccuracy: acc,
-		ObjectGrowth:       sp.ObjectGrowth(),
-		Out:                res.Out,
-	}, nil
+	return NewPipeline().Run(context.Background(), workload, model, opts.asOpts()...)
 }
 
 // DynamicResult reports a run on the dynamically-scheduled machine.
@@ -190,83 +144,17 @@ type DynamicResult struct {
 // RunDynamic simulates the workload on the paper's dynamically-scheduled
 // superscalar (30 reservation stations, 16-entry reorder buffer, 2048×4
 // BTB), with or without register renaming.
+//
+// Deprecated: use Pipeline.Compile followed by Pipeline.SimulateDynamic,
+// which reuse the compiled artifact and accept a context.Context.
 func RunDynamic(workload string, renaming bool) (*DynamicResult, error) {
-	w, err := workloads.ByName(workload)
+	ctx := context.Background()
+	p := NewPipeline()
+	c, err := p.Compile(ctx, workload)
 	if err != nil {
 		return nil, err
 	}
-	test, err := preparePair(w, true)
-	if err != nil {
-		return nil, err
-	}
-	cfg := dynsched.Default()
-	cfg.Renaming = renaming
-	res, err := dynsched.Simulate(test, cfg)
-	if err != nil {
-		return nil, err
-	}
-	scalar, err := scalarBaseline(w)
-	if err != nil {
-		return nil, err
-	}
-	return &DynamicResult{
-		Cycles:       res.Cycles,
-		ScalarCycles: scalar,
-		Speedup:      float64(scalar) / float64(res.Cycles),
-		Mispredicts:  res.Mispredicts,
-		Out:          res.Out,
-	}, nil
-}
-
-// preparePair builds the test program with predictions transferred from a
-// training-input profile, optionally register-allocated first.
-func preparePair(w *workloads.Workload, alloc bool) (*prog.Program, error) {
-	train := w.BuildTrain()
-	test := w.BuildTest()
-	if alloc {
-		if _, err := regalloc.Allocate(train); err != nil {
-			return nil, err
-		}
-		if _, err := regalloc.Allocate(test); err != nil {
-			return nil, err
-		}
-	}
-	if err := profile.Annotate(train); err != nil {
-		return nil, err
-	}
-	if err := profile.Transfer(train, test); err != nil {
-		return nil, err
-	}
-	return test, nil
-}
-
-// scalarBaseline compiles and measures the R2000 baseline.
-func scalarBaseline(w *workloads.Workload) (int64, error) {
-	test, err := preparePair(w, true)
-	if err != nil {
-		return 0, err
-	}
-	sp, err := core.Schedule(test, machine.Scalar(), core.Options{LocalOnly: true})
-	if err != nil {
-		return 0, err
-	}
-	res, err := sim.Exec(sp, sim.ExecConfig{})
-	if err != nil {
-		return 0, err
-	}
-	return res.Cycles, nil
-}
-
-func compareOut(want, got []uint32) error {
-	if len(want) != len(got) {
-		return fmt.Errorf("output length %d, want %d", len(got), len(want))
-	}
-	for i := range want {
-		if want[i] != got[i] {
-			return fmt.Errorf("out[%d] = %d, want %d", i, got[i], want[i])
-		}
-	}
-	return nil
+	return p.SimulateDynamic(ctx, c, renaming)
 }
 
 // ModelByName resolves a machine-model name as used by the CLI tools:
@@ -294,20 +182,15 @@ func ModelByName(name string) (*machine.Model, error) {
 // ScheduleListing compiles the workload for the model and returns the
 // formatted machine schedule (cycles × issue slots, boosting labels,
 // recovery sites) for inspection.
-func ScheduleListing(workload string, model *machine.Model, opts Options) (string, error) {
-	w, err := workloads.ByName(workload)
+func ScheduleListing(ctx context.Context, workload string, model *machine.Model, opts ...Option) (string, error) {
+	p := NewPipeline()
+	c, err := p.Compile(ctx, workload, opts...)
 	if err != nil {
 		return "", err
 	}
-	test, err := preparePair(w, !opts.InfiniteRegisters)
-	if err != nil {
-		return "", err
-	}
-	sp, err := core.Schedule(test, model, core.Options{
-		LocalOnly:          opts.LocalOnly,
-		DisableEquivalence: opts.DisableEquivalence,
-		NoDisambiguation:   opts.NoDisambiguation,
-	})
+	cfg := p.base.apply(opts)
+	test := c.Program()
+	sp, err := core.Schedule(test, model, cfg.core)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,9 @@
 package boosting
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestCompileAndRunGrep(t *testing.T) {
 	models := Models()
@@ -87,7 +90,8 @@ func TestModelByName(t *testing.T) {
 }
 
 func TestScheduleListing(t *testing.T) {
-	out, err := ScheduleListing(WorkloadGrep, Models().MinBoost3, Options{})
+	ctx := context.Background()
+	out, err := ScheduleListing(ctx, WorkloadGrep, Models().MinBoost3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +100,7 @@ func TestScheduleListing(t *testing.T) {
 			t.Errorf("listing missing %q", want)
 		}
 	}
-	if _, err := ScheduleListing("nope", Models().Boost1, Options{}); err == nil {
+	if _, err := ScheduleListing(ctx, "nope", Models().Boost1); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"boosting"
@@ -21,7 +23,6 @@ import (
 	"boosting/internal/profile"
 	"boosting/internal/prog"
 	"boosting/internal/regalloc"
-	"boosting/internal/workloads"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "boostcc:", err)
 		os.Exit(1)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	m, err := boosting.ModelByName(*model)
 	if err != nil {
@@ -46,6 +49,8 @@ func main() {
 	var pr *prog.Program
 	switch {
 	case *asmFile != "":
+		// Assembly input bypasses the workload pipeline: parse, then run
+		// the same allocate/profile stages by hand.
 		text, err := os.ReadFile(*asmFile)
 		if err != nil {
 			fail(err)
@@ -63,26 +68,15 @@ func main() {
 			fail(err)
 		}
 	case *workload != "":
-		w, err := workloads.ByName(*workload)
+		var opts []boosting.Option
+		if *inf {
+			opts = append(opts, boosting.WithInfiniteRegisters())
+		}
+		c, err := boosting.NewPipeline().Compile(ctx, *workload, opts...)
 		if err != nil {
 			fail(err)
 		}
-		train := w.BuildTrain()
-		pr = w.BuildTest()
-		if !*inf {
-			if _, err := regalloc.Allocate(train); err != nil {
-				fail(err)
-			}
-			if _, err := regalloc.Allocate(pr); err != nil {
-				fail(err)
-			}
-		}
-		if err := profile.Annotate(train); err != nil {
-			fail(err)
-		}
-		if err := profile.Transfer(train, pr); err != nil {
-			fail(err)
-		}
+		pr = c.Program()
 	default:
 		fail(fmt.Errorf("pass -workload or -asm"))
 	}

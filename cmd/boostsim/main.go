@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"boosting"
@@ -27,11 +29,30 @@ func main() {
 	rename := flag.Bool("rename", false, "enable register renaming (dynamic machine only)")
 	flag.Parse()
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "boostsim:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var opts []boosting.Option
+	if *local {
+		opts = append(opts, boosting.WithLocalOnly())
+	}
+	if *inf {
+		opts = append(opts, boosting.WithInfiniteRegisters())
+	}
+	p := boosting.NewPipeline(opts...)
+
 	if *dynamic {
-		res, err := boosting.RunDynamic(*workload, *rename)
+		c, err := p.Compile(ctx, *workload)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "boostsim:", err)
-			os.Exit(1)
+			fail(err)
+		}
+		res, err := p.SimulateDynamic(ctx, c, *rename)
+		if err != nil {
+			fail(err)
 		}
 		fmt.Printf("workload   %s\n", *workload)
 		fmt.Printf("machine    dynamic scheduler (renaming=%v)\n", *rename)
@@ -44,16 +65,15 @@ func main() {
 
 	m, err := boosting.ModelByName(*model)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "boostsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	res, err := boosting.CompileAndRun(*workload, m, boosting.Options{
-		LocalOnly:         *local,
-		InfiniteRegisters: *inf,
-	})
+	c, err := p.Compile(ctx, *workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "boostsim:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	res, err := p.Simulate(ctx, c, m)
+	if err != nil {
+		fail(err)
 	}
 	fmt.Printf("workload     %s\n", *workload)
 	fmt.Printf("machine      %s (local=%v, infinite-regs=%v)\n", m, *local, *inf)

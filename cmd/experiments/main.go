@@ -1,17 +1,23 @@
 // Command experiments regenerates the paper's evaluation: Table 1,
 // Figure 8, Table 2, Figure 9, and the prose claims on exception-handling
-// cost and shadow register file hardware cost.
+// cost and shadow register file hardware cost. The grid behind each
+// table/figure runs on a concurrent worker pool with memoized artifacts;
+// output is identical at any parallelism.
 //
 // Usage:
 //
 //	experiments -all
-//	experiments -table2 -fig9
+//	experiments -table2 -fig9 -parallel 4
+//	experiments -all -metrics
+//	experiments -all -metrics-json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"boosting/internal/experiments"
 	"boosting/internal/hwcost"
@@ -26,19 +32,25 @@ func main() {
 	costs := flag.Bool("costs", false, "exception-handling costs (§2.3)")
 	hw := flag.Bool("hw", false, "shadow register file hardware costs (§4.3.2)")
 	csvPath := flag.String("csv", "", "also write all results as tidy CSV to this file")
+	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	metrics := flag.Bool("metrics", false, "print per-stage pipeline metrics after the experiments")
+	metricsJSON := flag.Bool("metrics-json", false, "print per-stage pipeline metrics as JSON")
 	flag.Parse()
 
 	if !(*all || *t1 || *f8 || *t2 || *f9 || *costs || *hw) {
 		*all = true
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	s := experiments.NewSuite()
+	s.Runner.Parallelism = *parallel
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 
 	if *all || *t1 {
-		rows, err := s.Table1()
+		rows, err := s.Table1(ctx)
 		if err != nil {
 			fail(err)
 		}
@@ -46,7 +58,7 @@ func main() {
 		fmt.Println(experiments.FormatTable1(rows))
 	}
 	if *all || *f8 {
-		rows, gmBB, gmGl, err := s.Figure8()
+		rows, gmBB, gmGl, err := s.Figure8(ctx)
 		if err != nil {
 			fail(err)
 		}
@@ -55,7 +67,7 @@ func main() {
 		fmt.Println(experiments.Figure8Chart(rows))
 	}
 	if *all || *t2 {
-		rows, geo, err := s.Table2()
+		rows, geo, err := s.Table2(ctx)
 		if err != nil {
 			fail(err)
 		}
@@ -63,7 +75,7 @@ func main() {
 		fmt.Println(experiments.FormatTable2(rows, geo))
 	}
 	if *all || *f9 {
-		rows, gmMB3, gmDyn, err := s.Figure9()
+		rows, gmMB3, gmDyn, err := s.Figure9(ctx)
 		if err != nil {
 			fail(err)
 		}
@@ -72,7 +84,7 @@ func main() {
 		fmt.Println(experiments.Figure9Chart(rows))
 	}
 	if *all || *costs {
-		ec, err := s.ExceptionCostsReport()
+		ec, err := s.ExceptionCostsReport(ctx)
 		if err != nil {
 			fail(err)
 		}
@@ -93,12 +105,22 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if err := s.WriteCSV(f); err != nil {
+		if err := s.WriteCSV(ctx, f); err != nil {
 			fail(err)
 		}
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
 		fmt.Println("wrote", *csvPath)
+	}
+	if *metricsJSON {
+		js, err := s.Metrics().JSON()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(js)
+	} else if *metrics {
+		fmt.Println("== Pipeline metrics ==")
+		fmt.Print(s.Metrics().String())
 	}
 }

@@ -1,10 +1,37 @@
 package boosting_test
 
 import (
+	"context"
 	"fmt"
 
 	"boosting"
 )
+
+// The staged Pipeline API compiles a workload once and simulates it on
+// any number of machine models; shared artifacts (the compiled pair,
+// the scalar baseline) are memoized across calls.
+func ExamplePipeline() {
+	ctx := context.Background()
+	p := boosting.NewPipeline()
+	c, err := p.Compile(ctx, boosting.WorkloadGrep)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range []string{"MinBoost3", "Boost7"} {
+		model, err := boosting.ModelByName(m)
+		if err != nil {
+			panic(err)
+		}
+		res, err := p.Simulate(ctx, c, model)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s beats scalar: %v\n", m, res.Speedup > 1)
+	}
+	// Output:
+	// MinBoost3 beats scalar: true
+	// Boost7 beats scalar: true
+}
 
 // Compile one of the benchmark workloads for the paper's minimal boosting
 // machine and inspect the outcome. Every run is verified against a

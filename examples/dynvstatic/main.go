@@ -2,12 +2,14 @@
 // minimal statically-scheduled boosting machine (MinBoost3) against a
 // much more complex dynamically-scheduled superscalar with reservation
 // stations, a reorder buffer and a branch target buffer — across the full
-// benchmark set.
+// benchmark set. The static grid runs concurrently through
+// Pipeline.Grid; the dynamic runs share the same compiled artifacts.
 //
 //	go run ./examples/dynvstatic
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -16,20 +18,35 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	p := boosting.NewPipeline()
+
+	// One grid cell per workload: MinBoost3, default options. Grid
+	// compiles and simulates the cells concurrently and returns them in
+	// order.
+	var cells []boosting.GridCell
+	for _, w := range boosting.Workloads() {
+		cells = append(cells, boosting.GridCell{Workload: w, Model: boosting.Models().MinBoost3})
+	}
+	static, err := p.Grid(ctx, cells)
+	die(err)
+
 	fmt.Println("Speedup over the scalar R2000 (higher is better):")
 	fmt.Printf("%-10s %12s %12s %14s\n", "workload", "MinBoost3", "dynamic", "dynamic+rename")
 
 	prodMB3, prodDyn := 1.0, 1.0
 	n := 0
-	for _, w := range boosting.Workloads() {
-		static, err := boosting.CompileAndRun(w, boosting.Models().MinBoost3, boosting.Options{})
+	for i, w := range boosting.Workloads() {
+		die(static[i].Err)
+		c, err := p.Compile(ctx, w) // cache hit: Grid already built it
 		die(err)
-		dyn, err := boosting.RunDynamic(w, false)
+		dyn, err := p.SimulateDynamic(ctx, c, false)
 		die(err)
-		ren, err := boosting.RunDynamic(w, true)
+		ren, err := p.SimulateDynamic(ctx, c, true)
 		die(err)
-		fmt.Printf("%-10s %11.2fx %11.2fx %13.2fx\n", w, static.Speedup, dyn.Speedup, ren.Speedup)
-		prodMB3 *= static.Speedup
+		fmt.Printf("%-10s %11.2fx %11.2fx %13.2fx\n",
+			w, static[i].Result.Speedup, dyn.Speedup, ren.Speedup)
+		prodMB3 *= static[i].Result.Speedup
 		prodDyn *= dyn.Speedup
 		n++
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -14,25 +15,19 @@ import (
 	"boosting"
 	"boosting/internal/core"
 	"boosting/internal/machine"
-	"boosting/internal/profile"
-	"boosting/internal/regalloc"
-	"boosting/internal/workloads"
 )
 
 func main() {
-	w, err := workloads.ByName(boosting.WorkloadXLisp)
+	ctx := context.Background()
+	p := boosting.NewPipeline()
+
+	// Compile once; Program() hands each schedule a private clone of the
+	// register-allocated, profile-annotated test program.
+	compiled, err := p.Compile(ctx, boosting.WorkloadXLisp)
 	die(err)
 
 	for _, m := range []*machine.Model{machine.NoBoost(), machine.MinBoost3()} {
-		train := w.BuildTrain()
-		test := w.BuildTest()
-		_, err := regalloc.Allocate(train)
-		die(err)
-		_, err = regalloc.Allocate(test)
-		die(err)
-		die(profile.Annotate(train))
-		die(profile.Transfer(train, test))
-		sp, err := core.Schedule(test, m, core.Options{})
+		sp, err := core.Schedule(compiled.Program(), m, core.Options{})
 		die(err)
 
 		fmt.Printf("== dispatch-loop schedule under %s ==\n", m)
@@ -59,7 +54,7 @@ func main() {
 		{"MinBoost3", ms.MinBoost3},
 		{"Boost7", ms.Boost7},
 	} {
-		res, err := boosting.CompileAndRun(boosting.WorkloadXLisp, cfg.model, boosting.Options{})
+		res, err := p.Simulate(ctx, compiled, cfg.model)
 		die(err)
 		fmt.Printf("%-10s %8d cycles  %5.2fx vs scalar  (%d boosted, %d squashed)\n",
 			cfg.name, res.Cycles, res.Speedup, res.BoostedExec, res.Squashed)

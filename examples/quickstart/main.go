@@ -1,10 +1,14 @@
-// Quickstart: compile one workload for every machine model of the paper
-// and print the cycle counts and speedups over the scalar R2000 baseline.
+// Quickstart: compile one workload once, then simulate it on every
+// machine model of the paper and print the cycle counts and speedups
+// over the scalar R2000 baseline. The staged Pipeline API builds the
+// workload a single time and reuses the compiled artifact for every
+// Simulate call.
 //
 //	go run ./examples/quickstart [workload]
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -17,26 +21,34 @@ func main() {
 	if len(os.Args) > 1 {
 		workload = os.Args[1]
 	}
+	ctx := context.Background()
 
 	ms := boosting.Models()
 	configs := []struct {
 		name  string
 		model *machine.Model
-		opts  boosting.Options
+		opts  []boosting.Option
 	}{
-		{"R2000 (scalar)", ms.Scalar, boosting.Options{LocalOnly: true}},
-		{"2-issue, basic block", ms.NoBoost, boosting.Options{LocalOnly: true}},
-		{"2-issue, global sched", ms.NoBoost, boosting.Options{}},
-		{"Squashing", ms.Squashing, boosting.Options{}},
-		{"Boost1", ms.Boost1, boosting.Options{}},
-		{"MinBoost3", ms.MinBoost3, boosting.Options{}},
-		{"Boost7", ms.Boost7, boosting.Options{}},
+		{"R2000 (scalar)", ms.Scalar, []boosting.Option{boosting.WithLocalOnly()}},
+		{"2-issue, basic block", ms.NoBoost, []boosting.Option{boosting.WithLocalOnly()}},
+		{"2-issue, global sched", ms.NoBoost, nil},
+		{"Squashing", ms.Squashing, nil},
+		{"Boost1", ms.Boost1, nil},
+		{"MinBoost3", ms.MinBoost3, nil},
+		{"Boost7", ms.Boost7, nil},
+	}
+
+	p := boosting.NewPipeline()
+	compiled, err := p.Compile(ctx, workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("workload: %s\n\n", workload)
 	fmt.Printf("%-24s %12s %9s %10s %10s\n", "configuration", "cycles", "speedup", "boosted", "squashed")
 	for _, c := range configs {
-		res, err := boosting.CompileAndRun(workload, c.model, c.opts)
+		res, err := p.Simulate(ctx, compiled, c.model, c.opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "quickstart:", err)
 			os.Exit(1)
@@ -45,7 +57,7 @@ func main() {
 			c.name, res.Cycles, res.Speedup, res.BoostedExec, res.Squashed)
 	}
 
-	dyn, err := boosting.RunDynamic(workload, false)
+	dyn, err := p.SimulateDynamic(ctx, compiled, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)

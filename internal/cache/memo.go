@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Memo is a concurrency-safe memoization table with singleflight
+// deduplication: however many goroutines ask for the same key
+// concurrently, the compute function runs exactly once and every caller
+// shares the result. It backs the experiment harness's artifact store,
+// where grid cells running in parallel must never rebuild the same
+// compiled program, reference run or measurement.
+//
+// Successful results (and non-context errors) are memoized forever.
+// Results that fail with context.Canceled or context.DeadlineExceeded are
+// forgotten so a later call under a live context can retry.
+type Memo[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry[V]
+
+	hits, misses atomic.Int64
+}
+
+type memoEntry[V any] struct {
+	done chan struct{} // closed when val/err are final
+	val  V
+	err  error
+}
+
+// NewMemo returns an empty memo table.
+func NewMemo[V any]() *Memo[V] {
+	return &Memo[V]{entries: map[string]*memoEntry[V]{}}
+}
+
+// Do returns the value for key, computing it with fn if no flight for the
+// key has completed yet. Concurrent callers for the same key block until
+// the single in-flight computation finishes (or until their own ctx is
+// cancelled, in which case they return ctx's error without disturbing the
+// flight). fn itself is responsible for honoring ctx.
+func (m *Memo[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V, error) {
+	var zero V
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		m.mu.Unlock()
+		m.hits.Add(1)
+		select {
+		case <-e.done:
+			return e.val, e.err
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+	e := &memoEntry[V]{done: make(chan struct{})}
+	m.entries[key] = e
+	m.mu.Unlock()
+	m.misses.Add(1)
+
+	e.val, e.err = fn()
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// Do not poison the key with a cancellation: drop the entry so a
+		// later call (under a fresh context) recomputes it.
+		m.mu.Lock()
+		delete(m.entries, key)
+		m.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Stats returns the number of lookups served from the table and the
+// number that ran the compute function.
+func (m *Memo[V]) Stats() (hits, misses int64) {
+	return m.hits.Load(), m.misses.Load()
+}
+
+// Len returns the number of memoized entries.
+func (m *Memo[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMemoSingleflight(t *testing.T) {
+	m := NewMemo[int]()
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	const goroutines = 32
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.Do(context.Background(), "k", func() (int, error) {
+				calls.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if c := calls.Load(); c != 1 {
+		t.Errorf("compute ran %d times, want 1", c)
+	}
+	hits, misses := m.Stats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Errorf("stats hits=%d misses=%d, want %d/1", hits, misses, goroutines-1)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestMemoDistinctKeys(t *testing.T) {
+	m := NewMemo[string]()
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, err := m.Do(context.Background(), key, func() (string, error) { return key + "!", nil })
+		if err != nil || v != key+"!" {
+			t.Fatalf("Do(%s) = %q, %v", key, v, err)
+		}
+	}
+	if m.Len() != 10 {
+		t.Errorf("Len = %d, want 10", m.Len())
+	}
+}
+
+func TestMemoErrorsAreMemoized(t *testing.T) {
+	m := NewMemo[int]()
+	boom := errors.New("boom")
+	var calls int
+	for i := 0; i < 3; i++ {
+		_, err := m.Do(context.Background(), "k", func() (int, error) {
+			calls++
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("failing compute ran %d times, want 1", calls)
+	}
+}
+
+func TestMemoCancellationNotMemoized(t *testing.T) {
+	m := NewMemo[int]()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Do(ctx, "k", func() (int, error) { return 0, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: err = %v", err)
+	}
+	// A flight that itself fails with Canceled must not poison the key.
+	if _, err := m.Do(context.Background(), "k", func() (int, error) {
+		return 0, fmt.Errorf("wrapped: %w", context.Canceled)
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := m.Do(context.Background(), "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after cancellation: %d, %v", v, err)
+	}
+}
+
+func TestMemoWaiterCancellation(t *testing.T) {
+	m := NewMemo[int]()
+	release := make(chan struct{})
+	go m.Do(context.Background(), "slow", func() (int, error) {
+		<-release
+		return 1, nil
+	})
+	// Give the flight time to take ownership of the key.
+	for i := 0; ; i++ {
+		if _, misses := m.Stats(); misses == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("flight never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Do(ctx, "slow", func() (int, error) { return 2, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter should observe its own cancellation, got %v", err)
+	}
+	close(release)
+	v, err := m.Do(context.Background(), "slow", func() (int, error) { return 3, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("flight result lost: %d, %v", v, err)
+	}
+}

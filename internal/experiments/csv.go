@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -11,7 +12,7 @@ import (
 // one record per (experiment, benchmark, series) triple with a numeric
 // value. The format is deliberately long/tidy so spreadsheet pivoting and
 // plotting tools can consume it directly.
-func (s *Suite) WriteCSV(w io.Writer) error {
+func (s *Suite) WriteCSV(ctx context.Context, w io.Writer) error {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
 	if err := cw.Write([]string{"experiment", "benchmark", "series", "value"}); err != nil {
@@ -21,7 +22,7 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 		return cw.Write([]string{exp, bench, series, strconv.FormatFloat(v, 'g', 8, 64)})
 	}
 
-	t1, err := s.Table1()
+	t1, err := s.Table1(ctx)
 	if err != nil {
 		return err
 	}
@@ -37,7 +38,7 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 		}
 	}
 
-	f8, _, _, err := s.Figure8()
+	f8, _, _, err := s.Figure8(ctx)
 	if err != nil {
 		return err
 	}
@@ -54,7 +55,7 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 		}
 	}
 
-	t2, _, err := s.Table2()
+	t2, _, err := s.Table2(ctx)
 	if err != nil {
 		return err
 	}
@@ -66,7 +67,7 @@ func (s *Suite) WriteCSV(w io.Writer) error {
 		}
 	}
 
-	f9, _, _, err := s.Figure9()
+	f9, _, _, err := s.Figure9(ctx)
 	if err != nil {
 		return err
 	}

@@ -18,113 +18,64 @@
 // machine under test. Every simulated run is verified against the
 // reference interpreter's output and final memory before its cycle count
 // is used.
+//
+// The harness is concurrent: a worker-pool Runner executes the
+// (workload, model, ablation) grid in parallel over a singleflight
+// artifact Store, so no two grid cells ever rebuild the same compiled
+// pair, reference run or measurement, and results are bit-identical to a
+// serial run regardless of parallelism. Every entry point takes a
+// context.Context and aborts promptly when it is cancelled.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"boosting/internal/core"
 	"boosting/internal/machine"
-	"boosting/internal/profile"
-	"boosting/internal/prog"
-	"boosting/internal/regalloc"
 	"boosting/internal/sim"
 	"boosting/internal/workloads"
 )
 
-// Suite runs experiments over the benchmark set, caching compiled
-// programs and cycle counts so the table/figure functions can share work.
+// Suite runs experiments over the benchmark set. All artifacts (compiled
+// programs, reference runs, cycle counts) are memoized in the Store and
+// shared between the table/figure functions; the Runner executes
+// measurement grids in parallel.
 type Suite struct {
 	Workloads []*workloads.Workload
-	// cycles caches measured cycle counts by cache key.
-	cycles map[string]int64
-	// refs caches reference results for verification, keyed by
-	// workload+regalloc mode.
-	refs map[string]*sim.Result
-	// accuracy and refInsts cache Table 1 inputs.
-	accuracy map[string]float64
+	// Store memoizes every pipeline artifact (concurrency-safe).
+	Store *Store
+	// Runner executes measurement grids; set Runner.Parallelism to bound
+	// concurrency (defaults to GOMAXPROCS).
+	Runner *Runner
 }
 
-// NewSuite returns a Suite over the full benchmark set.
+// NewSuite returns a Suite over the full benchmark set, running grids at
+// GOMAXPROCS parallelism.
 func NewSuite() *Suite {
+	st := NewStore()
 	return &Suite{
 		Workloads: workloads.All(),
-		cycles:    map[string]int64{},
-		refs:      map[string]*sim.Result{},
-		accuracy:  map[string]float64{},
+		Store:     st,
+		Runner:    &Runner{Store: st},
 	}
 }
 
-// buildPair builds (train, test) programs for a workload, optionally
-// register-allocated, with predictions transferred from the training
-// profile.
-func (s *Suite) buildPair(w *workloads.Workload, alloc bool) (*prog.Program, error) {
-	train := w.BuildTrain()
-	test := w.BuildTest()
-	if alloc {
-		if _, err := regalloc.Allocate(train); err != nil {
-			return nil, fmt.Errorf("%s: regalloc train: %w", w.Name, err)
-		}
-		if _, err := regalloc.Allocate(test); err != nil {
-			return nil, fmt.Errorf("%s: regalloc test: %w", w.Name, err)
-		}
-	}
-	if err := profile.Annotate(train); err != nil {
-		return nil, fmt.Errorf("%s: profile: %w", w.Name, err)
-	}
-	if err := profile.Transfer(train, test); err != nil {
-		return nil, fmt.Errorf("%s: transfer: %w", w.Name, err)
-	}
-	return test, nil
-}
+// Metrics returns the per-stage counters accumulated so far (build,
+// schedule and simulate wall time, simulated cycles, cache hits/misses,
+// speculation activity).
+func (s *Suite) Metrics() Snapshot { return s.Store.Metrics() }
 
 // reference returns (cached) reference results for the test input.
-func (s *Suite) reference(w *workloads.Workload, alloc bool) (*sim.Result, error) {
-	key := fmt.Sprintf("%s/alloc=%v", w.Name, alloc)
-	if r, ok := s.refs[key]; ok {
-		return r, nil
-	}
-	test, err := s.buildPair(w, alloc)
-	if err != nil {
-		return nil, err
-	}
-	r, err := sim.Run(test, sim.RefConfig{})
-	if err != nil {
-		return nil, fmt.Errorf("%s: reference: %w", w.Name, err)
-	}
-	s.refs[key] = r
-	return r, nil
+func (s *Suite) reference(ctx context.Context, w *workloads.Workload, alloc bool) (*sim.Result, error) {
+	return s.Store.reference(ctx, w, alloc)
 }
 
 // measure compiles the workload for the model/options and returns verified
 // cycle counts.
-func (s *Suite) measure(w *workloads.Workload, model *machine.Model, opts core.Options, alloc bool) (int64, error) {
-	key := fmt.Sprintf("%s/%s/local=%v/alloc=%v", w.Name, model.Name, opts.LocalOnly, alloc)
-	if c, ok := s.cycles[key]; ok {
-		return c, nil
-	}
-	ref, err := s.reference(w, alloc)
-	if err != nil {
-		return 0, err
-	}
-	test, err := s.buildPair(w, alloc)
-	if err != nil {
-		return 0, err
-	}
-	sp, err := core.Schedule(test, model, opts)
-	if err != nil {
-		return 0, fmt.Errorf("%s on %s: %w", w.Name, model.Name, err)
-	}
-	res, err := sim.Exec(sp, sim.ExecConfig{})
-	if err != nil {
-		return 0, fmt.Errorf("%s on %s: exec: %w", w.Name, model.Name, err)
-	}
-	if err := verify(ref, res.Out, res.MemHash); err != nil {
-		return 0, fmt.Errorf("%s on %s: %w", w.Name, model.Name, err)
-	}
-	s.cycles[key] = res.Cycles
-	return res.Cycles, nil
+func (s *Suite) measure(ctx context.Context, w *workloads.Workload, model *machine.Model, opts core.Options, alloc bool) (int64, error) {
+	return s.Store.measure(ctx, w, model, opts, alloc)
 }
 
 // verify compares observable behavior with the reference run.
@@ -145,8 +96,21 @@ func verify(ref *sim.Result, out []uint32, memHash uint64) error {
 
 // scalarCycles measures the R2000 baseline (locally scheduled, register
 // allocated — the "commercial MIPS assembler" role).
-func (s *Suite) scalarCycles(w *workloads.Workload) (int64, error) {
-	return s.measure(w, machine.Scalar(), core.Options{LocalOnly: true}, true)
+func (s *Suite) scalarCycles(ctx context.Context, w *workloads.Workload) (int64, error) {
+	return s.measure(ctx, w, machine.Scalar(), core.Options{LocalOnly: true}, true)
+}
+
+// scalarCell is the grid cell for the R2000 baseline measurement.
+func scalarCell(w *workloads.Workload) Cell {
+	return Cell{Workload: w, Model: machine.Scalar(), Opts: core.Options{LocalOnly: true}, Alloc: true}
+}
+
+// prefetch warms the store for the given cells in parallel. The
+// subsequent serial assembly loops then read memoized artifacts only,
+// keeping output byte-identical to a fully serial run.
+func (s *Suite) prefetch(ctx context.Context, cells []Cell) error {
+	_, err := s.Runner.Run(ctx, cells)
+	return err
 }
 
 // GeoMean returns the geometric mean of vs.

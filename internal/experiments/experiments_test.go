@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
@@ -8,9 +9,10 @@ import (
 // paper's qualitative findings (the "shape" criteria from DESIGN.md).
 func TestReproduceAll(t *testing.T) {
 	s := NewSuite()
+	ctx := context.Background()
 
 	// ---- Table 1 ----
-	t1, err := s.Table1()
+	t1, err := s.Table1(ctx)
 	if err != nil {
 		t.Fatalf("Table 1: %v", err)
 	}
@@ -25,7 +27,7 @@ func TestReproduceAll(t *testing.T) {
 	}
 
 	// ---- Figure 8 ----
-	f8, gmBB, gmGl, err := s.Figure8()
+	f8, gmBB, gmGl, err := s.Figure8(ctx)
 	if err != nil {
 		t.Fatalf("Figure 8: %v", err)
 	}
@@ -47,7 +49,7 @@ func TestReproduceAll(t *testing.T) {
 	infGain := GeoMean(infRatios) - 1
 
 	// ---- Table 2 ----
-	t2, geo, err := s.Table2()
+	t2, geo, err := s.Table2(ctx)
 	if err != nil {
 		t.Fatalf("Table 2: %v", err)
 	}
@@ -84,7 +86,7 @@ func TestReproduceAll(t *testing.T) {
 	}
 
 	// ---- Figure 9 ----
-	f9, gmMB3, gmDyn, err := s.Figure9()
+	f9, gmMB3, gmDyn, err := s.Figure9(ctx)
 	if err != nil {
 		t.Fatalf("Figure 9: %v", err)
 	}
@@ -97,7 +99,7 @@ func TestReproduceAll(t *testing.T) {
 	}
 
 	// ---- Exception costs (§2.3) ----
-	ec, err := s.ExceptionCostsReport()
+	ec, err := s.ExceptionCostsReport(ctx)
 	if err != nil {
 		t.Fatalf("exception costs: %v", err)
 	}

@@ -1,17 +1,11 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
 	"boosting/internal/cache"
 	"boosting/internal/core"
-	"boosting/internal/dynsched"
 	"boosting/internal/machine"
-	"boosting/internal/profile"
-	"boosting/internal/prog"
-	"boosting/internal/regalloc"
-	"boosting/internal/sim"
-	"boosting/internal/unroll"
 	"boosting/internal/workloads"
 )
 
@@ -21,157 +15,52 @@ import (
 // code." It feeds the dynamic machine the instruction order produced by
 // the NoBoost global scheduler (whose output is plain, sequentially
 // executable code) instead of the original program order.
-func (s *Suite) DynPrescheduled(w *workloads.Workload, renaming bool) (int64, error) {
-	key := fmt.Sprintf("%s/dynpre/ren=%v", w.Name, renaming)
-	if c, ok := s.cycles[key]; ok {
-		return c, nil
-	}
-	test, err := s.buildPair(w, true)
-	if err != nil {
-		return 0, err
-	}
-	// Global scheduling without boosting rewrites every block's
-	// instruction list into schedule order and adds compensation blocks;
-	// the result is an ordinary sequential program.
-	if _, err := core.Schedule(test, machine.NoBoost(), core.Options{}); err != nil {
-		return 0, err
-	}
-	cfg := dynsched.Default()
-	cfg.Renaming = renaming
-	res, err := dynsched.Simulate(test, cfg)
-	if err != nil {
-		return 0, err
-	}
-	ref, err := s.reference(w, true)
-	if err != nil {
-		return 0, err
-	}
-	if err := verify(ref, res.Out, res.MemHash); err != nil {
-		return 0, fmt.Errorf("%s prescheduled dynamic: %w", w.Name, err)
-	}
-	s.cycles[key] = res.Cycles
-	return res.Cycles, nil
+func (s *Suite) DynPrescheduled(ctx context.Context, w *workloads.Workload, renaming bool) (int64, error) {
+	return s.Store.dynMeasure(ctx, w, renaming, true)
 }
 
 // UnrolledCycles measures MinBoost3 on workloads whose innermost loops
 // were unrolled ×2 before compilation (the paper's loop-unroller
 // experiment).
-func (s *Suite) UnrolledCycles(w *workloads.Workload) (int64, error) {
-	key := w.Name + "/unrolled"
-	if c, ok := s.cycles[key]; ok {
-		return c, nil
-	}
-	train := w.BuildTrain()
-	test := w.BuildTest()
-	if _, err := unroll.Program(train, unroll.Options{}); err != nil {
-		return 0, err
-	}
-	if _, err := unroll.Program(test, unroll.Options{}); err != nil {
-		return 0, err
-	}
-	c, err := s.measurePrepared(w, train, test, machine.MinBoost3())
-	if err != nil {
-		return 0, err
-	}
-	s.cycles[key] = c
-	return c, nil
+func (s *Suite) UnrolledCycles(ctx context.Context, w *workloads.Workload) (int64, error) {
+	return s.Store.unrolled(ctx, w)
 }
 
 // MeasureModel runs the standard pipeline (register allocation before
 // scheduling) for one workload on one model and returns verified cycles.
-func (s *Suite) MeasureModel(w *workloads.Workload, model *machine.Model) (int64, error) {
-	return s.measure(w, model, core.Options{}, true)
+func (s *Suite) MeasureModel(ctx context.Context, w *workloads.Workload, model *machine.Model) (int64, error) {
+	return s.measure(ctx, w, model, core.Options{}, true)
 }
 
 // DynCycles exposes the dynamic-scheduler measurement used by Figure 9.
-func (s *Suite) DynCycles(w *workloads.Workload, renaming bool) (int64, error) {
-	return s.dynCycles(w, renaming)
+func (s *Suite) DynCycles(ctx context.Context, w *workloads.Workload, renaming bool) (int64, error) {
+	return s.dynCycles(ctx, w, renaming)
 }
 
 // ScalarCycles exposes the R2000 baseline measurement.
-func (s *Suite) ScalarCycles(w *workloads.Workload) (int64, error) {
-	return s.scalarCycles(w)
-}
-
-// measurePrepared finishes the pipeline (register allocation, profiling,
-// scheduling, verified execution) on already-transformed train/test
-// programs.
-func (s *Suite) measurePrepared(w *workloads.Workload, train, test *prog.Program, model *machine.Model) (int64, error) {
-	if _, err := regalloc.Allocate(train); err != nil {
-		return 0, err
-	}
-	if _, err := regalloc.Allocate(test); err != nil {
-		return 0, err
-	}
-	if err := profile.Annotate(train); err != nil {
-		return 0, err
-	}
-	if err := profile.Transfer(train, test); err != nil {
-		return 0, err
-	}
-	sp, err := core.Schedule(test, model, core.Options{})
-	if err != nil {
-		return 0, err
-	}
-	res, err := sim.Exec(sp, sim.ExecConfig{})
-	if err != nil {
-		return 0, err
-	}
-	ref, err := s.reference(w, true)
-	if err != nil {
-		return 0, err
-	}
-	if err := verify(ref, res.Out, res.MemHash); err != nil {
-		return 0, fmt.Errorf("%s unrolled: %w", w.Name, err)
-	}
-	return res.Cycles, nil
+func (s *Suite) ScalarCycles(ctx context.Context, w *workloads.Workload) (int64, error) {
+	return s.scalarCycles(ctx, w)
 }
 
 // CacheSpeedups measures the memory-system caveat the paper states in
 // §4.3 ("the true speedup ... is dependent upon the effectiveness of the
 // memory system"): speedups of MinBoost3 over the scalar machine with a
 // finite data cache on both, versus the paper's perfect memory.
-func (s *Suite) CacheSpeedups(w *workloads.Workload) (perfect, cached float64, err error) {
-	scalarPerfect, err := s.scalarCycles(w)
+func (s *Suite) CacheSpeedups(ctx context.Context, w *workloads.Workload) (perfect, cached float64, err error) {
+	scalarPerfect, err := s.scalarCycles(ctx, w)
 	if err != nil {
 		return 0, 0, err
 	}
-	boostPerfect, err := s.measure(w, machine.MinBoost3(), core.Options{}, true)
+	boostPerfect, err := s.measure(ctx, w, machine.MinBoost3(), core.Options{}, true)
 	if err != nil {
 		return 0, 0, err
 	}
-
-	run := func(model *machine.Model, opts core.Options) (int64, error) {
-		test, err := s.buildPair(w, true)
-		if err != nil {
-			return 0, err
-		}
-		sp, err := core.Schedule(test, model, opts)
-		if err != nil {
-			return 0, err
-		}
-		dc, err := cache.New(cache.DefaultData())
-		if err != nil {
-			return 0, err
-		}
-		res, err := sim.Exec(sp, sim.ExecConfig{DataCache: dc})
-		if err != nil {
-			return 0, err
-		}
-		ref, err := s.reference(w, true)
-		if err != nil {
-			return 0, err
-		}
-		if err := verify(ref, res.Out, res.MemHash); err != nil {
-			return 0, fmt.Errorf("%s with cache: %w", w.Name, err)
-		}
-		return res.Cycles, nil
-	}
-	scalarCached, err := run(machine.Scalar(), core.Options{LocalOnly: true})
+	dcfg := cache.DefaultData()
+	scalarCached, err := s.Store.measureCached(ctx, w, machine.Scalar(), core.Options{LocalOnly: true}, dcfg)
 	if err != nil {
 		return 0, 0, err
 	}
-	boostCached, err := run(machine.MinBoost3(), core.Options{})
+	boostCached, err := s.Store.measureCached(ctx, w, machine.MinBoost3(), core.Options{}, dcfg)
 	if err != nil {
 		return 0, 0, err
 	}

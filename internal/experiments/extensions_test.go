@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"boosting/internal/machine"
@@ -11,16 +12,17 @@ import (
 // one workload each (the full-set versions run as benchmarks).
 func TestExtensionsSmoke(t *testing.T) {
 	s := NewSuite()
+	ctx := context.Background()
 	grep := s.Workloads[4]
 	if grep.Name != "grep" {
 		t.Fatal("workload order changed")
 	}
 
-	plain, err := s.DynCycles(grep, false)
+	plain, err := s.DynCycles(ctx, grep, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pre, err := s.DynPrescheduled(grep, false)
+	pre, err := s.DynPrescheduled(ctx, grep, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,11 +35,11 @@ func TestExtensionsSmoke(t *testing.T) {
 		t.Errorf("prescheduled dynamic run implausibly slow: %d vs %d", pre, plain)
 	}
 
-	unrolled, err := s.UnrolledCycles(grep)
+	unrolled, err := s.UnrolledCycles(ctx, grep)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := s.MeasureModel(grep, machine.MinBoost3())
+	base, err := s.MeasureModel(ctx, grep, machine.MinBoost3())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func TestExtensionsSmoke(t *testing.T) {
 		t.Errorf("unrolling grep should not slow it down: %d vs %d", unrolled, base)
 	}
 
-	perfect, cached, err := s.CacheSpeedups(grep)
+	perfect, cached, err := s.CacheSpeedups(ctx, grep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +59,7 @@ func TestExtensionsSmoke(t *testing.T) {
 	}
 
 	// Cached results must be stable.
-	again, err := s.DynPrescheduled(grep, false)
+	again, err := s.DynPrescheduled(ctx, grep, false)
 	if err != nil || again != pre {
 		t.Errorf("cache instability: %d vs %d (%v)", again, pre, err)
 	}
@@ -78,13 +80,14 @@ func TestConclusionStableAcrossInputs(t *testing.T) {
 			Train: workloads.Input{Seed: in.Seed + 1, Size: in.Size / 2},
 			Test:  in,
 		}
+		ctx := context.Background()
 		s := NewSuite()
 		s.Workloads = []*workloads.Workload{w}
-		base, err := s.MeasureModel(w, machine.NoBoost())
+		base, err := s.MeasureModel(ctx, w, machine.NoBoost())
 		if err != nil {
 			t.Fatal(err)
 		}
-		boosted, err := s.MeasureModel(w, machine.MinBoost3())
+		boosted, err := s.MeasureModel(ctx, w, machine.MinBoost3())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"boosting/internal/core"
-	"boosting/internal/dynsched"
 	"boosting/internal/machine"
 	"boosting/internal/workloads"
 )
@@ -27,27 +27,41 @@ type Figure9Row struct {
 }
 
 // Figure9 reproduces Figure 9.
-func (s *Suite) Figure9() ([]Figure9Row, float64, float64, error) {
+func (s *Suite) Figure9(ctx context.Context) ([]Figure9Row, float64, float64, error) {
+	var cells []Cell
+	for _, w := range s.Workloads {
+		cells = append(cells,
+			scalarCell(w),
+			Cell{Workload: w, Model: machine.MinBoost3(), Alloc: true},
+			Cell{Workload: w, Model: machine.MinBoost3(), Alloc: false},
+			Cell{Workload: w, Dynamic: true},
+			Cell{Workload: w, Dynamic: true, Renaming: true},
+		)
+	}
+	if err := s.prefetch(ctx, cells); err != nil {
+		return nil, 0, 0, err
+	}
+
 	var rows []Figure9Row
 	var mb3s, dyns []float64
 	for _, w := range s.Workloads {
-		scalar, err := s.scalarCycles(w)
+		scalar, err := s.scalarCycles(ctx, w)
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		mb3, err := s.measure(w, machine.MinBoost3(), core.Options{}, true)
+		mb3, err := s.measure(ctx, w, machine.MinBoost3(), core.Options{}, true)
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		mb3inf, err := s.measure(w, machine.MinBoost3(), core.Options{}, false)
+		mb3inf, err := s.measure(ctx, w, machine.MinBoost3(), core.Options{}, false)
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		dyn, err := s.dynCycles(w, false)
+		dyn, err := s.dynCycles(ctx, w, false)
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		dynRen, err := s.dynCycles(w, true)
+		dynRen, err := s.dynCycles(ctx, w, true)
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -69,30 +83,8 @@ func (s *Suite) Figure9() ([]Figure9Row, float64, float64, error) {
 // register-allocated test program (cached). The dynamic machine does its
 // own prediction with a BTB, so the static profile is irrelevant to it,
 // but the input program is the same one the static machines compile.
-func (s *Suite) dynCycles(w *workloads.Workload, renaming bool) (int64, error) {
-	key := fmt.Sprintf("%s/dyn/ren=%v", w.Name, renaming)
-	if c, ok := s.cycles[key]; ok {
-		return c, nil
-	}
-	test, err := s.buildPair(w, true)
-	if err != nil {
-		return 0, err
-	}
-	cfg := dynsched.Default()
-	cfg.Renaming = renaming
-	res, err := dynsched.Simulate(test, cfg)
-	if err != nil {
-		return 0, err
-	}
-	ref, err := s.reference(w, true)
-	if err != nil {
-		return 0, err
-	}
-	if err := verify(ref, res.Out, res.MemHash); err != nil {
-		return 0, fmt.Errorf("%s dynamic: %w", w.Name, err)
-	}
-	s.cycles[key] = res.Cycles
-	return res.Cycles, nil
+func (s *Suite) dynCycles(ctx context.Context, w *workloads.Workload, renaming bool) (int64, error) {
+	return s.Store.dynMeasure(ctx, w, renaming, false)
 }
 
 // FormatFigure9 renders the figure's series.
@@ -119,23 +111,24 @@ type ExceptionCosts struct {
 }
 
 // ExceptionCostsReport computes the exception-cost table.
-func (s *Suite) ExceptionCostsReport() (*ExceptionCosts, error) {
+func (s *Suite) ExceptionCostsReport(ctx context.Context) (*ExceptionCosts, error) {
 	out := &ExceptionCosts{
 		Growth:          map[string]float64{},
 		HandlerOverhead: machine.MinBoost3().ExceptionOverhead,
 	}
-	for _, w := range s.Workloads {
-		test, err := s.buildPair(w, true)
+	growths := make([]float64, len(s.Workloads))
+	if err := runLimited(ctx, len(s.Workloads), s.Runner.workers(), func(ctx context.Context, i int) error {
+		g, err := s.Store.objectGrowth(ctx, s.Workloads[i], machine.MinBoost3(), core.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		orig := test.NumInsts()
-		sp, err := core.Schedule(test, machine.MinBoost3(), core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		_ = orig
-		out.Growth[w.Name] = sp.ObjectGrowth()
+		growths[i] = g
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, w := range s.Workloads {
+		out.Growth[w.Name] = growths[i]
 	}
 	return out, nil
 }
@@ -154,16 +147,39 @@ type SpeedupSummary struct {
 }
 
 // Summary computes the headline geometric means.
-func (s *Suite) Summary() (*SpeedupSummary, error) {
+func (s *Suite) Summary(ctx context.Context) (*SpeedupSummary, error) {
+	staticModels := []struct {
+		model *machine.Model
+		opts  core.Options
+	}{
+		{machine.NoBoost(), core.Options{LocalOnly: true}},
+		{machine.NoBoost(), core.Options{}},
+		{machine.Squashing(), core.Options{}},
+		{machine.Boost1(), core.Options{}},
+		{machine.MinBoost3(), core.Options{}},
+		{machine.Boost7(), core.Options{}},
+	}
+	var cells []Cell
+	for _, w := range s.Workloads {
+		cells = append(cells, scalarCell(w))
+		for _, sm := range staticModels {
+			cells = append(cells, Cell{Workload: w, Model: sm.model, Opts: sm.opts, Alloc: true})
+		}
+		cells = append(cells, Cell{Workload: w, Dynamic: true})
+	}
+	if err := s.prefetch(ctx, cells); err != nil {
+		return nil, err
+	}
+
 	sum := &SpeedupSummary{}
 	collect := func(model *machine.Model, opts core.Options) (float64, error) {
 		var vs []float64
 		for _, w := range s.Workloads {
-			scalar, err := s.scalarCycles(w)
+			scalar, err := s.scalarCycles(ctx, w)
 			if err != nil {
 				return 0, err
 			}
-			c, err := s.measure(w, model, opts, true)
+			c, err := s.measure(ctx, w, model, opts, true)
 			if err != nil {
 				return 0, err
 			}
@@ -192,11 +208,11 @@ func (s *Suite) Summary() (*SpeedupSummary, error) {
 	}
 	var dyn []float64
 	for _, w := range s.Workloads {
-		scalar, err := s.scalarCycles(w)
+		scalar, err := s.scalarCycles(ctx, w)
 		if err != nil {
 			return nil, err
 		}
-		c, err := s.dynCycles(w, false)
+		c, err := s.dynCycles(ctx, w, false)
 		if err != nil {
 			return nil, err
 		}

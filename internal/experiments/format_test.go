@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -87,20 +88,25 @@ func TestFormatters(t *testing.T) {
 // result, no recompilation blowup).
 func TestSuiteCaching(t *testing.T) {
 	s := NewSuite()
+	ctx := context.Background()
 	w := s.Workloads[4] // grep
-	c1, err := s.scalarCycles(w)
+	c1, err := s.scalarCycles(ctx, w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := s.scalarCycles(w)
+	c2, err := s.scalarCycles(ctx, w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c1 != c2 {
 		t.Errorf("cache returned different cycles: %d vs %d", c1, c2)
 	}
-	if len(s.cycles) == 0 {
+	snap := s.Metrics()
+	if snap.CacheMisses == 0 {
 		t.Error("cache empty after measurement")
+	}
+	if snap.CacheHits == 0 {
+		t.Error("repeated measurement did not hit the cache")
 	}
 }
 
@@ -151,7 +157,7 @@ func TestBarChart(t *testing.T) {
 func TestWriteCSV(t *testing.T) {
 	s := NewSuite()
 	var buf strings.Builder
-	if err := s.WriteCSV(&buf); err != nil {
+	if err := s.WriteCSV(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"boosting/internal/core"
+	"boosting/internal/machine"
+	"boosting/internal/workloads"
+)
+
+// Cell is one point of the evaluation grid: a workload on a machine
+// configuration. Static cells name a machine model plus scheduler
+// options; dynamic cells run the dynamically-scheduled comparison machine
+// instead (Model and Opts are ignored for those).
+type Cell struct {
+	Workload *workloads.Workload
+	Model    *machine.Model
+	Opts     core.Options
+	// Alloc selects the register-allocated pipeline (false = the paper's
+	// infinite-register model). Dynamic runs always use allocated code.
+	Alloc bool
+	// Dynamic selects the dynamically-scheduled machine; Renaming enables
+	// its register renaming.
+	Dynamic  bool
+	Renaming bool
+}
+
+// String renders the cell for logs and error messages.
+func (c Cell) String() string {
+	if c.Dynamic {
+		return fmt.Sprintf("%s/dynamic(renaming=%v)", c.Workload.Name, c.Renaming)
+	}
+	return fmt.Sprintf("%s/%s(%s;alloc=%v)", c.Workload.Name, c.Model.Name, okey(c.Opts), c.Alloc)
+}
+
+// CellResult pairs a grid cell with its verified cycle count.
+type CellResult struct {
+	Cell   Cell
+	Cycles int64
+}
+
+// Runner executes evaluation grids concurrently over a shared Store.
+// Results are deterministic: every artifact is memoized with singleflight
+// semantics and each cell's measurement is independent of scheduling
+// order, so a grid run at Parallelism 1 and at Parallelism N return
+// identical results.
+type Runner struct {
+	Store *Store
+	// Parallelism bounds concurrent cells; <= 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+func (r *Runner) workers() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run measures every cell of the grid, in parallel up to the runner's
+// parallelism, and returns the results in cell order. The first cell
+// error cancels the remaining work; a cancelled or expired ctx aborts
+// promptly with an error wrapping the context's error.
+func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
+	results := make([]CellResult, len(cells))
+	err := runLimited(ctx, len(cells), r.workers(), func(ctx context.Context, i int) error {
+		cycles, err := r.measureCell(ctx, cells[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", cells[i], err)
+		}
+		results[i] = CellResult{Cell: cells[i], Cycles: cycles}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func (r *Runner) measureCell(ctx context.Context, c Cell) (int64, error) {
+	if c.Dynamic {
+		return r.Store.dynMeasure(ctx, c.Workload, c.Renaming, false)
+	}
+	return r.Store.measure(ctx, c.Workload, c.Model, c.Opts, c.Alloc)
+}
+
+// runLimited runs fn(ctx, i) for i in [0, n) on up to parallelism worker
+// goroutines. On the first error the remaining work is cancelled and the
+// error of the lowest-indexed failing task is returned (so errors are as
+// deterministic as the tasks themselves); if ctx was cancelled from
+// outside, the returned error wraps the context error.
+func runLimited(ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		// Prefer a real failure over knock-on cancellations.
+		if !errors.Is(first, context.Canceled) && !errors.Is(first, context.DeadlineExceeded) {
+			break
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			first = err
+			break
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	if errors.Is(first, context.Canceled) || errors.Is(first, context.DeadlineExceeded) {
+		return fmt.Errorf("experiments: grid aborted: %w", first)
+	}
+	return first
+}

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"boosting/internal/cache"
+	"boosting/internal/core"
+	"boosting/internal/dynsched"
+	"boosting/internal/machine"
+	"boosting/internal/profile"
+	"boosting/internal/prog"
+	"boosting/internal/regalloc"
+	"boosting/internal/sim"
+	"boosting/internal/unroll"
+	"boosting/internal/workloads"
+)
+
+// Store is the concurrency-safe artifact store behind the experiment
+// harness. Every expensive pipeline product — built train/test program
+// pairs, reference-interpreter runs, prediction accuracies, machine
+// schedules' measurements — is memoized with singleflight deduplication,
+// so grid cells running in parallel never rebuild the same artifact and
+// repeated table/figure generation reuses all shared work.
+//
+// Keying scheme (see docs/PIPELINE.md): artifacts are keyed by the full
+// identity of everything that can change their value — workload name plus
+// train/test inputs, register-allocation mode, machine-model name, and
+// every scheduler ablation flag (LocalOnly, DisableEquivalence,
+// NoDisambiguation, MaxTraceBlocks). Machine-model names are assumed to
+// identify their configuration, as they do for every model constructor in
+// internal/machine.
+//
+// Programs returned by pair are canonical master copies: they are shared
+// between callers and must never be mutated. The scheduler mutates its
+// input, so every schedule runs on a prog.Clone of the master (verified
+// to produce bit-identical schedules to a fresh build).
+type Store struct {
+	pairs  *cache.Memo[*prog.Program]
+	refs   *cache.Memo[*sim.Result]
+	acc    *cache.Memo[float64]
+	cycles *cache.Memo[int64]
+	growth *cache.Memo[float64]
+
+	metrics Metrics
+}
+
+// NewStore returns an empty artifact store.
+func NewStore() *Store {
+	return &Store{
+		pairs:  cache.NewMemo[*prog.Program](),
+		refs:   cache.NewMemo[*sim.Result](),
+		acc:    cache.NewMemo[float64](),
+		cycles: cache.NewMemo[int64](),
+		growth: cache.NewMemo[float64](),
+	}
+}
+
+// Metrics returns a snapshot of the per-stage counters with the artifact
+// cache hit/miss totals folded in.
+func (st *Store) Metrics() Snapshot {
+	s := st.metrics.snapshot()
+	for _, m := range []interface{ Stats() (int64, int64) }{
+		st.pairs, st.refs, st.acc, st.cycles, st.growth,
+	} {
+		h, miss := m.Stats()
+		s.CacheHits += h
+		s.CacheMisses += miss
+	}
+	return s
+}
+
+// wkey identifies a workload by name and by its train/test inputs, so
+// custom workloads reusing a builder under the same name (different
+// seeds/sizes) never collide in one store.
+func wkey(w *workloads.Workload) string {
+	return fmt.Sprintf("%s;train=%d:%d;test=%d:%d",
+		w.Name, w.Train.Seed, w.Train.Size, w.Test.Seed, w.Test.Size)
+}
+
+// okey spells out every ablation flag of a scheduler configuration.
+func okey(opts core.Options) string {
+	return fmt.Sprintf("local=%v;noeq=%v;nodis=%v;trace=%d",
+		opts.LocalOnly, opts.DisableEquivalence, opts.NoDisambiguation, opts.MaxTraceBlocks)
+}
+
+// pair returns the memoized built test program for the workload: train
+// and test built, optionally register-allocated, predictions transferred
+// from the training profile. The returned program is shared — clone
+// before mutating.
+func (st *Store) pair(ctx context.Context, w *workloads.Workload, alloc bool) (*prog.Program, error) {
+	key := fmt.Sprintf("pair|%s|alloc=%v", wkey(w), alloc)
+	return st.pairs.Do(ctx, key, func() (*prog.Program, error) {
+		start := time.Now()
+		train := w.BuildTrain()
+		test := w.BuildTest()
+		if alloc {
+			if _, err := regalloc.Allocate(train); err != nil {
+				return nil, fmt.Errorf("%s: regalloc train: %w", w.Name, err)
+			}
+			if _, err := regalloc.Allocate(test); err != nil {
+				return nil, fmt.Errorf("%s: regalloc test: %w", w.Name, err)
+			}
+		}
+		if err := profile.Annotate(train); err != nil {
+			return nil, fmt.Errorf("%s: profile: %w", w.Name, err)
+		}
+		if err := profile.Transfer(train, test); err != nil {
+			return nil, fmt.Errorf("%s: transfer: %w", w.Name, err)
+		}
+		st.metrics.recordBuild(time.Since(start))
+		return test, nil
+	})
+}
+
+// checkout returns a private, mutation-safe clone of the built pair.
+func (st *Store) checkout(ctx context.Context, w *workloads.Workload, alloc bool) (*prog.Program, error) {
+	master, err := st.pair(ctx, w, alloc)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Clone(master), nil
+}
+
+// reference returns (cached) reference-interpreter results for the test
+// input.
+func (st *Store) reference(ctx context.Context, w *workloads.Workload, alloc bool) (*sim.Result, error) {
+	key := fmt.Sprintf("ref|%s|alloc=%v", wkey(w), alloc)
+	return st.refs.Do(ctx, key, func() (*sim.Result, error) {
+		test, err := st.pair(ctx, w, alloc)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		r, err := sim.Run(test, sim.RefConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: reference: %w", w.Name, err)
+		}
+		st.metrics.recordRef(time.Since(start))
+		return r, nil
+	})
+}
+
+// accuracy measures the static predictor on the test input (cached).
+func (st *Store) accuracyOf(ctx context.Context, w *workloads.Workload) (float64, error) {
+	key := "acc|" + wkey(w)
+	return st.acc.Do(ctx, key, func() (float64, error) {
+		test, err := st.pair(ctx, w, true)
+		if err != nil {
+			return 0, err
+		}
+		return profile.Accuracy(test)
+	})
+}
+
+// scheduleAndExec clones the built pair, schedules it for the model and
+// executes it on the machine simulator, verifying against the reference
+// run before returning. dataCache, when non-nil, plugs a finite data
+// cache into the timing model.
+func (st *Store) scheduleAndExec(ctx context.Context, w *workloads.Workload, model *machine.Model,
+	opts core.Options, alloc bool, dataCache *cache.Config) (*sim.ExecResult, error) {
+	ref, err := st.reference(ctx, w, alloc)
+	if err != nil {
+		return nil, err
+	}
+	test, err := st.checkout(ctx, w, alloc)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sp, err := core.Schedule(test, model, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", w.Name, model.Name, err)
+	}
+	st.metrics.recordSchedule(time.Since(start))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := sim.ExecConfig{}
+	if dataCache != nil {
+		dc, err := cache.New(*dataCache)
+		if err != nil {
+			return nil, err
+		}
+		cfg.DataCache = dc
+	}
+	start = time.Now()
+	res, err := sim.Exec(sp, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: exec: %w", w.Name, model.Name, err)
+	}
+	st.metrics.recordSim(time.Since(start), res.Cycles, res.BoostedExec, res.Squashed)
+	if err := verify(ref, res.Out, res.MemHash); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", w.Name, model.Name, err)
+	}
+	return res, nil
+}
+
+// measure compiles the workload for the model/options and returns
+// verified cycle counts (cached under the full ablation key).
+func (st *Store) measure(ctx context.Context, w *workloads.Workload, model *machine.Model,
+	opts core.Options, alloc bool) (int64, error) {
+	key := fmt.Sprintf("cyc|%s|model=%s|%s|alloc=%v", wkey(w), model.Name, okey(opts), alloc)
+	return st.cycles.Do(ctx, key, func() (int64, error) {
+		res, err := st.scheduleAndExec(ctx, w, model, opts, alloc, nil)
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	})
+}
+
+// measureCached is measure with a finite data cache in the timing model.
+func (st *Store) measureCached(ctx context.Context, w *workloads.Workload, model *machine.Model,
+	opts core.Options, dcfg cache.Config) (int64, error) {
+	key := fmt.Sprintf("cyc|%s|model=%s|%s|alloc=true|dcache=%d.%d.%d.%d",
+		wkey(w), model.Name, okey(opts), dcfg.Sets, dcfg.Ways, dcfg.LineBytes, dcfg.MissPenalty)
+	return st.cycles.Do(ctx, key, func() (int64, error) {
+		res, err := st.scheduleAndExec(ctx, w, model, opts, true, &dcfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	})
+}
+
+// objectGrowth returns the scheduled-size-over-original ratio for the
+// workload under the model (cached).
+func (st *Store) objectGrowth(ctx context.Context, w *workloads.Workload, model *machine.Model,
+	opts core.Options) (float64, error) {
+	key := fmt.Sprintf("growth|%s|model=%s|%s", wkey(w), model.Name, okey(opts))
+	return st.growth.Do(ctx, key, func() (float64, error) {
+		test, err := st.checkout(ctx, w, true)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		sp, err := core.Schedule(test, model, opts)
+		if err != nil {
+			return 0, err
+		}
+		st.metrics.recordSchedule(time.Since(start))
+		return sp.ObjectGrowth(), nil
+	})
+}
+
+// dynMeasure runs the dynamically-scheduled machine on the (cloned)
+// register-allocated test program, optionally prescheduled by the NoBoost
+// global scheduler first (the §4.3.2 experiment).
+func (st *Store) dynMeasure(ctx context.Context, w *workloads.Workload, renaming, presched bool) (int64, error) {
+	key := fmt.Sprintf("dyn|%s|ren=%v|presched=%v", wkey(w), renaming, presched)
+	return st.cycles.Do(ctx, key, func() (int64, error) {
+		test, err := st.checkout(ctx, w, true)
+		if err != nil {
+			return 0, err
+		}
+		if presched {
+			// Global scheduling without boosting rewrites every block's
+			// instruction list into schedule order and adds compensation
+			// blocks; the result is an ordinary sequential program.
+			start := time.Now()
+			if _, err := core.Schedule(test, machine.NoBoost(), core.Options{}); err != nil {
+				return 0, err
+			}
+			st.metrics.recordSchedule(time.Since(start))
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		cfg := dynsched.Default()
+		cfg.Renaming = renaming
+		start := time.Now()
+		res, err := dynsched.Simulate(test, cfg)
+		if err != nil {
+			return 0, err
+		}
+		st.metrics.recordSim(time.Since(start), res.Cycles, 0, 0)
+		ref, err := st.reference(ctx, w, true)
+		if err != nil {
+			return 0, err
+		}
+		if err := verify(ref, res.Out, res.MemHash); err != nil {
+			return 0, fmt.Errorf("%s dynamic: %w", w.Name, err)
+		}
+		return res.Cycles, nil
+	})
+}
+
+// unrolled measures MinBoost3 on the workload with its innermost loops
+// unrolled ×2 before the standard pipeline (cached).
+func (st *Store) unrolled(ctx context.Context, w *workloads.Workload) (int64, error) {
+	key := "unroll|" + wkey(w)
+	return st.cycles.Do(ctx, key, func() (int64, error) {
+		start := time.Now()
+		train := w.BuildTrain()
+		test := w.BuildTest()
+		if _, err := unroll.Program(train, unroll.Options{}); err != nil {
+			return 0, err
+		}
+		if _, err := unroll.Program(test, unroll.Options{}); err != nil {
+			return 0, err
+		}
+		if _, err := regalloc.Allocate(train); err != nil {
+			return 0, err
+		}
+		if _, err := regalloc.Allocate(test); err != nil {
+			return 0, err
+		}
+		if err := profile.Annotate(train); err != nil {
+			return 0, err
+		}
+		if err := profile.Transfer(train, test); err != nil {
+			return 0, err
+		}
+		st.metrics.recordBuild(time.Since(start))
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		start = time.Now()
+		sp, err := core.Schedule(test, machine.MinBoost3(), core.Options{})
+		if err != nil {
+			return 0, err
+		}
+		st.metrics.recordSchedule(time.Since(start))
+		start = time.Now()
+		res, err := sim.Exec(sp, sim.ExecConfig{})
+		if err != nil {
+			return 0, err
+		}
+		st.metrics.recordSim(time.Since(start), res.Cycles, res.BoostedExec, res.Squashed)
+		ref, err := st.reference(ctx, w, true)
+		if err != nil {
+			return 0, err
+		}
+		if err := verify(ref, res.Out, res.MemHash); err != nil {
+			return 0, fmt.Errorf("%s unrolled: %w", w.Name, err)
+		}
+		return res.Cycles, nil
+	})
+}

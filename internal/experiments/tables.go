@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"boosting/internal/core"
 	"boosting/internal/machine"
-	"boosting/internal/profile"
 	"boosting/internal/workloads"
 )
 
@@ -25,18 +25,36 @@ type Table1Row struct {
 }
 
 // Table1 reproduces Table 1.
-func (s *Suite) Table1() ([]Table1Row, error) {
+func (s *Suite) Table1(ctx context.Context) ([]Table1Row, error) {
+	var cells []Cell
+	for _, w := range s.Workloads {
+		cells = append(cells, scalarCell(w))
+	}
+	if err := s.prefetch(ctx, cells); err != nil {
+		return nil, err
+	}
+	// Warm the reference runs and accuracies concurrently too.
+	if err := runLimited(ctx, len(s.Workloads), s.Runner.workers(), func(ctx context.Context, i int) error {
+		if _, err := s.reference(ctx, s.Workloads[i], true); err != nil {
+			return err
+		}
+		_, err := s.predictionAccuracy(ctx, s.Workloads[i])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
 	var rows []Table1Row
 	for _, w := range s.Workloads {
-		cycles, err := s.scalarCycles(w)
+		cycles, err := s.scalarCycles(ctx, w)
 		if err != nil {
 			return nil, err
 		}
-		ref, err := s.reference(w, true)
+		ref, err := s.reference(ctx, w, true)
 		if err != nil {
 			return nil, err
 		}
-		acc, err := s.predictionAccuracy(w)
+		acc, err := s.predictionAccuracy(ctx, w)
 		if err != nil {
 			return nil, err
 		}
@@ -52,20 +70,8 @@ func (s *Suite) Table1() ([]Table1Row, error) {
 
 // predictionAccuracy measures the static predictor on the test input
 // (cached).
-func (s *Suite) predictionAccuracy(w *workloads.Workload) (float64, error) {
-	if a, ok := s.accuracy[w.Name]; ok {
-		return a, nil
-	}
-	test, err := s.buildPair(w, true)
-	if err != nil {
-		return 0, err
-	}
-	a, err := profile.Accuracy(test)
-	if err != nil {
-		return 0, err
-	}
-	s.accuracy[w.Name] = a
-	return a, nil
+func (s *Suite) predictionAccuracy(ctx context.Context, w *workloads.Workload) (float64, error) {
+	return s.Store.accuracyOf(ctx, w)
 }
 
 // FormatTable1 renders the rows like the paper's table.
@@ -94,23 +100,36 @@ type Figure8Row struct {
 }
 
 // Figure8 reproduces Figure 8.
-func (s *Suite) Figure8() ([]Figure8Row, float64, float64, error) {
+func (s *Suite) Figure8(ctx context.Context) ([]Figure8Row, float64, float64, error) {
+	var cells []Cell
+	for _, w := range s.Workloads {
+		cells = append(cells,
+			scalarCell(w),
+			Cell{Workload: w, Model: machine.NoBoost(), Opts: core.Options{LocalOnly: true}, Alloc: true},
+			Cell{Workload: w, Model: machine.NoBoost(), Alloc: true},
+			Cell{Workload: w, Model: machine.NoBoost(), Alloc: false},
+		)
+	}
+	if err := s.prefetch(ctx, cells); err != nil {
+		return nil, 0, 0, err
+	}
+
 	var rows []Figure8Row
 	var bbs, gls []float64
 	for _, w := range s.Workloads {
-		scalar, err := s.scalarCycles(w)
+		scalar, err := s.scalarCycles(ctx, w)
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		bb, err := s.measure(w, machine.NoBoost(), core.Options{LocalOnly: true}, true)
+		bb, err := s.measure(ctx, w, machine.NoBoost(), core.Options{LocalOnly: true}, true)
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		gl, err := s.measure(w, machine.NoBoost(), core.Options{}, true)
+		gl, err := s.measure(ctx, w, machine.NoBoost(), core.Options{}, true)
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		inf, err := s.measure(w, machine.NoBoost(), core.Options{}, false)
+		inf, err := s.measure(ctx, w, machine.NoBoost(), core.Options{}, false)
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -150,23 +169,34 @@ var Table2Models = []string{"Squashing", "Boost1", "MinBoost3", "Boost7"}
 
 // Table2 reproduces Table 2. The returned geo map holds the geometric
 // means of (1 + improvement), minus 1, matching the paper's G.M. row.
-func (s *Suite) Table2() ([]Table2Row, map[string]float64, error) {
+func (s *Suite) Table2(ctx context.Context) ([]Table2Row, map[string]float64, error) {
 	models := map[string]*machine.Model{
 		"Squashing": machine.Squashing(),
 		"Boost1":    machine.Boost1(),
 		"MinBoost3": machine.MinBoost3(),
 		"Boost7":    machine.Boost7(),
 	}
+	var cells []Cell
+	for _, w := range s.Workloads {
+		cells = append(cells, Cell{Workload: w, Model: machine.NoBoost(), Alloc: true})
+		for _, name := range Table2Models {
+			cells = append(cells, Cell{Workload: w, Model: models[name], Alloc: true})
+		}
+	}
+	if err := s.prefetch(ctx, cells); err != nil {
+		return nil, nil, err
+	}
+
 	ratios := map[string][]float64{}
 	var rows []Table2Row
 	for _, w := range s.Workloads {
-		base, err := s.measure(w, machine.NoBoost(), core.Options{}, true)
+		base, err := s.measure(ctx, w, machine.NoBoost(), core.Options{}, true)
 		if err != nil {
 			return nil, nil, err
 		}
 		row := Table2Row{Name: w.Name, Improvement: map[string]float64{}}
 		for _, name := range Table2Models {
-			c, err := s.measure(w, models[name], core.Options{}, true)
+			c, err := s.measure(ctx, w, models[name], core.Options{}, true)
 			if err != nil {
 				return nil, nil, err
 			}

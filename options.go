@@ -1,0 +1,109 @@
+package boosting
+
+import (
+	"runtime"
+
+	"boosting/internal/core"
+)
+
+// Option is a functional option for the Pipeline. Options passed to
+// NewPipeline become the pipeline's defaults; options passed to an
+// individual Compile/Simulate/Run call are layered on top of those
+// defaults for that call only. New ablation knobs can be added as new
+// Option constructors without ever breaking existing callers.
+type Option func(*config)
+
+// config is the resolved option set.
+type config struct {
+	core        core.Options
+	infiniteReg bool
+	parallelism int
+}
+
+// apply layers opts on top of a copy of the receiver.
+func (c config) apply(opts []Option) config {
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+func (c config) workers() int {
+	if c.parallelism > 0 {
+		return c.parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// WithLocalOnly restricts scheduling to basic blocks (no global code
+// motion) — the paper's "basic block scheduling" bars and the scalar
+// baseline.
+func WithLocalOnly() Option {
+	return func(c *config) { c.core.LocalOnly = true }
+}
+
+// WithInfiniteRegisters skips register allocation and schedules the
+// virtual-register program directly (the paper's upper bars).
+func WithInfiniteRegisters() Option {
+	return func(c *config) { c.infiniteReg = true }
+}
+
+// WithoutEquivalence disables the control/data-equivalence shortcut,
+// forcing duplication-based bookkeeping everywhere (scheduler ablation).
+func WithoutEquivalence() Option {
+	return func(c *config) { c.core.DisableEquivalence = true }
+}
+
+// WithoutDisambiguation builds maximally conservative memory dependences
+// (scheduler ablation).
+func WithoutDisambiguation() Option {
+	return func(c *config) { c.core.NoDisambiguation = true }
+}
+
+// WithMaxTraceBlocks bounds trace length during trace selection
+// (0 = the scheduler's default of 32).
+func WithMaxTraceBlocks(n int) Option {
+	return func(c *config) { c.core.MaxTraceBlocks = n }
+}
+
+// WithParallelism bounds the number of concurrently simulated cells in
+// Pipeline.Grid (<= 0 means GOMAXPROCS).
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// Options controls the compilation pipeline.
+//
+// Deprecated: Options is the legacy knob struct kept for
+// CompileAndRun/RunDynamic compatibility. New code should use the
+// Pipeline API with functional options (WithLocalOnly,
+// WithInfiniteRegisters, WithoutEquivalence, WithoutDisambiguation, ...),
+// which extend to new ablations without breaking callers.
+type Options struct {
+	// LocalOnly restricts scheduling to basic blocks (no global motion).
+	LocalOnly bool
+	// InfiniteRegisters skips register allocation and schedules the
+	// virtual-register program directly (the paper's upper bars).
+	InfiniteRegisters bool
+	// DisableEquivalence and NoDisambiguation are scheduler ablations.
+	DisableEquivalence bool
+	NoDisambiguation   bool
+}
+
+// asOpts bridges the legacy struct to functional options.
+func (o Options) asOpts() []Option {
+	var opts []Option
+	if o.LocalOnly {
+		opts = append(opts, WithLocalOnly())
+	}
+	if o.InfiniteRegisters {
+		opts = append(opts, WithInfiniteRegisters())
+	}
+	if o.DisableEquivalence {
+		opts = append(opts, WithoutEquivalence())
+	}
+	if o.NoDisambiguation {
+		opts = append(opts, WithoutDisambiguation())
+	}
+	return opts
+}

@@ -1,0 +1,306 @@
+package boosting
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"boosting/internal/cache"
+	"boosting/internal/core"
+	"boosting/internal/dynsched"
+	"boosting/internal/machine"
+	"boosting/internal/profile"
+	"boosting/internal/prog"
+	"boosting/internal/regalloc"
+	"boosting/internal/sim"
+	"boosting/internal/workloads"
+)
+
+// Pipeline is the staged, reusable form of the compile-and-simulate
+// facade. It separates the two expensive phases —
+//
+//	Compile   build train/test pair → register-allocate → profile →
+//	          transfer predictions (one artifact per workload ×
+//	          register-allocation mode)
+//	Simulate  clone → schedule for a machine model → execute → verify
+//	          against the reference interpreter
+//
+// — and memoizes compiled artifacts and the scalar-R2000 baseline with
+// singleflight deduplication, so one Pipeline can drive many Simulate
+// calls (or a whole Grid) concurrently without ever rebuilding shared
+// work. All methods are safe for concurrent use.
+//
+// A zero-cost entry point for one-off runs remains as CompileAndRun.
+type Pipeline struct {
+	base     config
+	compiles *cache.Memo[*Compiled]
+	scalars  *cache.Memo[int64]
+}
+
+// NewPipeline returns an empty pipeline. opts become the defaults for
+// every stage call; per-call options are layered on top.
+func NewPipeline(opts ...Option) *Pipeline {
+	return &Pipeline{
+		base:     config{}.apply(opts),
+		compiles: cache.NewMemo[*Compiled](),
+		scalars:  cache.NewMemo[int64](),
+	}
+}
+
+// Compiled is an immutable compiled artifact: the test program of a
+// workload with predictions transferred from its training profile,
+// together with its reference-interpreter run. It is shared between
+// Simulate calls — Program returns a private clone for callers that
+// want to mutate or schedule it themselves.
+type Compiled struct {
+	// Workload is the workload name this artifact was built from.
+	Workload string
+	// InfiniteRegisters records whether register allocation was skipped.
+	InfiniteRegisters bool
+
+	w      *workloads.Workload
+	master *prog.Program
+	ref    *sim.Result
+	acc    float64
+}
+
+// Program returns a private, mutation-safe clone of the compiled test
+// program.
+func (c *Compiled) Program() *prog.Program { return prog.Clone(c.master) }
+
+// PredictionAccuracy is the static predictor's accuracy on the test
+// input.
+func (c *Compiled) PredictionAccuracy() float64 { return c.acc }
+
+// Compile builds the named workload's train/test pair, register-
+// allocates it (unless WithInfiniteRegisters), transfers branch
+// predictions from the training profile, and runs the reference
+// interpreter on the result. The artifact is memoized: concurrent and
+// repeated Compile calls for the same (workload, register mode) share
+// one build.
+func (p *Pipeline) Compile(ctx context.Context, workload string, opts ...Option) (*Compiled, error) {
+	cfg := p.base.apply(opts)
+	alloc := !cfg.infiniteReg
+	key := fmt.Sprintf("compile|%s|alloc=%v", workload, alloc)
+	return p.compiles.Do(ctx, key, func() (*Compiled, error) {
+		w, err := workloads.ByName(workload)
+		if err != nil {
+			return nil, err
+		}
+		train := w.BuildTrain()
+		test := w.BuildTest()
+		if alloc {
+			if _, err := regalloc.Allocate(train); err != nil {
+				return nil, fmt.Errorf("boosting: %s: regalloc train: %w", workload, err)
+			}
+			if _, err := regalloc.Allocate(test); err != nil {
+				return nil, fmt.Errorf("boosting: %s: regalloc test: %w", workload, err)
+			}
+		}
+		if err := profile.Annotate(train); err != nil {
+			return nil, fmt.Errorf("boosting: %s: profile: %w", workload, err)
+		}
+		if err := profile.Transfer(train, test); err != nil {
+			return nil, fmt.Errorf("boosting: %s: transfer: %w", workload, err)
+		}
+		ref, err := sim.Run(test, sim.RefConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("boosting: %s: reference run: %w", workload, err)
+		}
+		acc, err := profile.Accuracy(test)
+		if err != nil {
+			return nil, err
+		}
+		return &Compiled{
+			Workload:          workload,
+			InfiniteRegisters: cfg.infiniteReg,
+			w:                 w,
+			master:            test,
+			ref:               ref,
+			acc:               acc,
+		}, nil
+	})
+}
+
+// Simulate schedules the compiled artifact for the model (on a private
+// clone), executes it on the machine simulator, verifies output and
+// final memory against the reference interpreter, and reports cycles
+// and speedup over the scalar R2000 baseline.
+func (p *Pipeline) Simulate(ctx context.Context, c *Compiled, model *machine.Model, opts ...Option) (*Result, error) {
+	cfg := p.base.apply(opts)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("boosting: simulate %s on %s: %w", c.Workload, model, err)
+	}
+	test := c.Program()
+	sp, err := core.Schedule(test, model, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("boosting: simulate %s on %s: %w", c.Workload, model, err)
+	}
+	res, err := sim.Exec(sp, sim.ExecConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyRun(c.ref, res.Out, res.MemHash); err != nil {
+		return nil, fmt.Errorf("boosting: %s on %s: %w", c.Workload, model, err)
+	}
+	scalar, err := p.scalarCycles(ctx, c.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Cycles:             res.Cycles,
+		ScalarCycles:       scalar,
+		Speedup:            float64(scalar) / float64(res.Cycles),
+		Insts:              res.Insts,
+		BoostedExec:        res.BoostedExec,
+		Squashed:           res.Squashed,
+		PredictionAccuracy: c.acc,
+		ObjectGrowth:       sp.ObjectGrowth(),
+		Out:                res.Out,
+	}, nil
+}
+
+// SimulateDynamic runs the compiled artifact on the paper's
+// dynamically-scheduled superscalar (30 reservation stations, 16-entry
+// reorder buffer, 2048×4 BTB), with or without register renaming.
+func (p *Pipeline) SimulateDynamic(ctx context.Context, c *Compiled, renaming bool) (*DynamicResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("boosting: simulate %s dynamic: %w", c.Workload, err)
+	}
+	cfg := dynsched.Default()
+	cfg.Renaming = renaming
+	res, err := dynsched.Simulate(c.Program(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyRun(c.ref, res.Out, res.MemHash); err != nil {
+		return nil, fmt.Errorf("boosting: %s dynamic: %w", c.Workload, err)
+	}
+	scalar, err := p.scalarCycles(ctx, c.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicResult{
+		Cycles:       res.Cycles,
+		ScalarCycles: scalar,
+		Speedup:      float64(scalar) / float64(res.Cycles),
+		Mispredicts:  res.Mispredicts,
+		Out:          res.Out,
+	}, nil
+}
+
+// Run is Compile followed by Simulate.
+func (p *Pipeline) Run(ctx context.Context, workload string, model *machine.Model, opts ...Option) (*Result, error) {
+	c, err := p.Compile(ctx, workload, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Simulate(ctx, c, model, opts...)
+}
+
+// scalarCycles memoizes the R2000 baseline per workload.
+func (p *Pipeline) scalarCycles(ctx context.Context, workload string) (int64, error) {
+	return p.scalars.Do(ctx, "scalar|"+workload, func() (int64, error) {
+		c, err := p.Compile(ctx, workload)
+		if err != nil {
+			return 0, err
+		}
+		sp, err := core.Schedule(c.Program(), machine.Scalar(), core.Options{LocalOnly: true})
+		if err != nil {
+			return 0, err
+		}
+		res, err := sim.Exec(sp, sim.ExecConfig{})
+		if err != nil {
+			return 0, err
+		}
+		if err := verifyRun(c.ref, res.Out, res.MemHash); err != nil {
+			return 0, fmt.Errorf("boosting: %s scalar baseline: %w", workload, err)
+		}
+		return res.Cycles, nil
+	})
+}
+
+// GridCell is one (workload, model, options) point of a batch run.
+type GridCell struct {
+	Workload string
+	Model    *machine.Model
+	Opts     []Option
+}
+
+// GridResult pairs a cell with its outcome. Exactly one of Result/Err
+// is set.
+type GridResult struct {
+	Cell   GridCell
+	Result *Result
+	Err    error
+}
+
+// Grid compiles and simulates every cell concurrently (bounded by
+// WithParallelism, default GOMAXPROCS) and returns results in cell
+// order regardless of completion order. Shared artifacts — compiled
+// pairs, scalar baselines — are built exactly once across the whole
+// grid. A failing cell records its error in its GridResult and does not
+// stop the other cells; cancelling ctx stops the batch, and Grid then
+// returns the first context error wrapped alongside the partial
+// results.
+func (p *Pipeline) Grid(ctx context.Context, cells []GridCell) ([]GridResult, error) {
+	results := make([]GridResult, len(cells))
+	for i, c := range cells {
+		results[i].Cell = c
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := p.base.workers()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				cell := cells[i]
+				results[i].Result, results[i].Err = p.Run(ctx, cell.Workload, cell.Model, cell.Opts...)
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Result == nil && results[i].Err == nil {
+				results[i].Err = err
+			}
+		}
+		return results, fmt.Errorf("boosting: grid aborted: %w", err)
+	}
+	return results, nil
+}
+
+// verifyRun compares a simulated run's observable output and final
+// memory against the reference interpreter's.
+func verifyRun(ref *sim.Result, out []uint32, memHash uint64) error {
+	if len(out) != len(ref.Out) {
+		return fmt.Errorf("verification failed: %d outputs, want %d", len(out), len(ref.Out))
+	}
+	for i := range out {
+		if out[i] != ref.Out[i] {
+			return fmt.Errorf("verification failed: out[%d] = %d, want %d", i, out[i], ref.Out[i])
+		}
+	}
+	if memHash != ref.MemHash {
+		return fmt.Errorf("verification failed: final memory differs")
+	}
+	return nil
+}
