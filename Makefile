@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all test test-short test-race bench experiments fuzz vet clean
+# Coverage floors (percent) enforced by `make cover`. Set below current
+# coverage so refactors that shed tests fail fast; raise as coverage grows.
+COVER_FLOOR_SIM ?= 78
+COVER_FLOOR_CORE ?= 90
 
-all: vet test test-race
+.PHONY: all test test-short test-race bench experiments fuzz fuzz-smoke cover vet clean
+
+all: vet test test-race fuzz-smoke
 
 test:
 	$(GO) test ./...
@@ -24,6 +29,28 @@ experiments:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=60s ./internal/prog/
 	$(GO) test -fuzz=FuzzFormatRoundTrip -fuzztime=30s ./internal/prog/
+	$(GO) test -fuzz=FuzzRecipeDecode -fuzztime=30s ./internal/difftest/
+	$(GO) test -fuzz=FuzzOracle -fuzztime=60s ./internal/difftest/
+
+# fuzz-smoke is the CI-sized differential campaign: one minute of random
+# programs through every configuration, then a replay of the reproducer
+# corpus. Exits nonzero on any divergence.
+fuzz-smoke:
+	$(GO) run ./cmd/boostfuzz -duration 60s
+	$(GO) run ./cmd/boostfuzz -replay internal/difftest/testdata/corpus
+
+# cover enforces statement-coverage floors on the packages the
+# differential oracle leans on (the simulator and the scheduler).
+cover:
+	@set -e; for spec in internal/sim:$(COVER_FLOOR_SIM) internal/core:$(COVER_FLOOR_CORE); do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		pct=$$($(GO) test -cover ./$$pkg/ | awk '{for(i=1;i<=NF;i++) if ($$i=="coverage:") {sub(/%/,"",$$(i+1)); print $$(i+1)}}'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg"; exit 1; fi; \
+		echo "cover: $$pkg $$pct% (floor $$floor%)"; \
+		if [ "$$(awk -v p=$$pct -v f=$$floor 'BEGIN{print (p+0 >= f+0) ? 1 : 0}')" != "1" ]; then \
+			echo "cover: $$pkg coverage $$pct% fell below the $$floor% floor"; exit 1; \
+		fi; \
+	done
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,148 @@
+// Command boostfuzz drives differential-fuzzing campaigns against the
+// boosting toolchain: every seed derives a random program that runs
+// through the reference interpreter and every compiled configuration
+// (machine model × register regime × scheduler ablation, plus the dynamic
+// scheduler); any observable divergence is delta-debugged down to a
+// minimal reproducer and optionally persisted to the regression corpus.
+//
+// Usage:
+//
+//	boostfuzz -duration 30s -parallel 4
+//	boostfuzz -max 1000 -seed 7 -full -json
+//	boostfuzz -duration 60s -save internal/difftest/testdata/corpus
+//	boostfuzz -replay internal/difftest/testdata/corpus
+//	boostfuzz -duration 10s -inject store-squash   (self-test: must find bugs)
+//
+// Exit status: 0 when every program agrees, 1 on any divergence, 2 on
+// infrastructure errors (invalid flags, unwritable corpus, generator bug).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"boosting/internal/difftest"
+	"boosting/internal/sim"
+)
+
+func main() {
+	duration := flag.Duration("duration", 30*time.Second, "campaign wall-clock budget (0 = until -max or interrupt)")
+	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "base campaign seed; program i uses seed+i")
+	maxProgs := flag.Int64("max", 0, "stop after this many programs (0 = unbounded)")
+	full := flag.Bool("full", false, "full configuration matrix (ablations, intermediate boost levels)")
+	jsonOut := flag.Bool("json", false, "emit campaign stats as JSON on stdout")
+	save := flag.String("save", "", "persist minimized findings to this corpus directory")
+	replay := flag.String("replay", "", "replay a corpus directory instead of fuzzing")
+	inject := flag.String("inject", "", "plant a simulator bug for oracle self-tests: store-squash or shadow-squash")
+	findings := flag.Int("findings", 0, "stop after this many divergent seeds (0 = 10)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "boostfuzz:", err)
+		os.Exit(2)
+	}
+
+	var fi sim.FaultInjection
+	switch *inject {
+	case "":
+	case "store-squash":
+		fi.SkipStoreSquash = true
+	case "shadow-squash":
+		fi.SkipShadowSquash = true
+	default:
+		fail(fmt.Errorf("unknown -inject %q (want store-squash or shadow-squash)", *inject))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *replay != "" {
+		replayCorpus(*replay, fi, *full, *jsonOut, fail)
+		return
+	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	stats, err := difftest.RunCampaign(ctx, difftest.CampaignOptions{
+		Duration:    *duration,
+		Parallel:    workers,
+		Seed:        *seed,
+		MaxPrograms: *maxProgs,
+		MaxFindings: *findings,
+		Full:        *full,
+		Inject:      fi,
+		CorpusDir:   *save,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "boostfuzz: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Printf("boostfuzz: %d programs in %.1fs (%.0f/s), %d divergent\n",
+			stats.Programs, stats.Seconds, stats.Rate, stats.Divergent)
+		for _, f := range stats.Findings {
+			fmt.Printf("  seed %d: %s", f.Seed, f.Divergences[0])
+			if f.CorpusPath != "" {
+				fmt.Printf(" -> %s", f.CorpusPath)
+			}
+			fmt.Println()
+		}
+	}
+	if stats.Divergent > 0 {
+		os.Exit(1)
+	}
+}
+
+// replayCorpus runs every corpus entry through the oracle and reports
+// failures, mirroring the tier-1 regression test for ad-hoc use.
+func replayCorpus(dir string, fi sim.FaultInjection, full, jsonOut bool, fail func(error)) {
+	opt := difftest.Options{Inject: fi}
+	if full {
+		opt.Configs = difftest.Configs(true)
+	}
+	entries, err := difftest.LoadDir(dir)
+	if err != nil {
+		fail(err)
+	}
+	if len(entries) == 0 {
+		fail(fmt.Errorf("no corpus entries in %s", dir))
+	}
+	failures, err := difftest.ReplayDir(dir, opt)
+	if err != nil {
+		fail(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(failures); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Printf("boostfuzz: replayed %d corpus entries, %d failing\n", len(entries), len(failures))
+		for name, divs := range failures {
+			for _, d := range divs {
+				fmt.Printf("  %s: %s\n", name, d)
+			}
+		}
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}

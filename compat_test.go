@@ -1,0 +1,95 @@
+package boosting
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"boosting/internal/machine"
+)
+
+// The deprecated one-shot entry points are thin veneers over the staged
+// Pipeline API; these regressions pin that they stay result-identical, so
+// callers can migrate in either direction without output drift.
+
+func TestCompileAndRunMatchesPipelineRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and simulates several configurations")
+	}
+	ms := Models()
+	cases := []struct {
+		name     string
+		workload string
+		model    *machine.Model
+		legacy   Options
+		opts     []Option
+	}{
+		{"baseline", WorkloadGrep, ms.MinBoost3, Options{}, nil},
+		{"local-only", WorkloadGrep, ms.NoBoost,
+			Options{LocalOnly: true}, []Option{WithLocalOnly()}},
+		{"infinite-regs", WorkloadGrep, ms.Boost7,
+			Options{InfiniteRegisters: true}, []Option{WithInfiniteRegisters()}},
+		{"ablated", WorkloadCompress, ms.Boost1,
+			Options{DisableEquivalence: true, NoDisambiguation: true},
+			[]Option{WithoutEquivalence(), WithoutDisambiguation()}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			legacy, err := CompileAndRun(tc.workload, tc.model, tc.legacy)
+			if err != nil {
+				t.Fatalf("CompileAndRun: %v", err)
+			}
+			staged, err := NewPipeline().Run(context.Background(), tc.workload, tc.model, tc.opts...)
+			if err != nil {
+				t.Fatalf("Pipeline.Run: %v", err)
+			}
+			if !reflect.DeepEqual(legacy, staged) {
+				t.Errorf("results differ:\nlegacy: %+v\nstaged: %+v", legacy, staged)
+			}
+		})
+	}
+}
+
+func TestRunDynamicMatchesStagedPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and simulates the dynamic machine")
+	}
+	for _, renaming := range []bool{false, true} {
+		legacy, err := RunDynamic(WorkloadGrep, renaming)
+		if err != nil {
+			t.Fatalf("RunDynamic(renaming=%v): %v", renaming, err)
+		}
+		ctx := context.Background()
+		p := NewPipeline()
+		c, err := p.Compile(ctx, WorkloadGrep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staged, err := p.SimulateDynamic(ctx, c, renaming)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(legacy, staged) {
+			t.Errorf("renaming=%v: results differ:\nlegacy: %+v\nstaged: %+v", renaming, legacy, staged)
+		}
+	}
+}
+
+// TestLegacyOptionsBridge pins the Options -> functional-option mapping:
+// every knob must translate, or a legacy caller would silently lose an
+// ablation.
+func TestLegacyOptionsBridge(t *testing.T) {
+	all := Options{
+		LocalOnly:          true,
+		InfiniteRegisters:  true,
+		DisableEquivalence: true,
+		NoDisambiguation:   true,
+	}
+	if got, want := len(all.asOpts()), 4; got != want {
+		t.Errorf("asOpts() produced %d options, want %d", got, want)
+	}
+	if got := len(Options{}.asOpts()); got != 0 {
+		t.Errorf("zero Options produced %d options", got)
+	}
+}

@@ -1,0 +1,137 @@
+// Package difftest is the differential-testing oracle for the boosting
+// compiler and its machine models. It runs one program through the
+// reference interpreter (the sequential semantics every schedule must
+// preserve) and through every compiled configuration — machine model ×
+// register-allocation mode × scheduler ablation — plus the
+// dynamically-scheduled comparison machine, and reports every observable
+// divergence: outputs, final memory, architectural store streams,
+// speculative state leaking past a squash, or a configuration erroring
+// where the reference succeeds.
+//
+// On a divergence, Shrink minimizes the generation recipe with delta
+// debugging (drop segments, flatten nesting, shorten loops, reduce the
+// register working set) until the failure no longer reproduces, yielding
+// a small, parseable assembly reproducer for the corpus.
+package difftest
+
+import (
+	"fmt"
+
+	"boosting/internal/core"
+	"boosting/internal/machine"
+)
+
+// Config identifies one compiled configuration under test.
+type Config struct {
+	// Model is the static machine model (nil for Dynamic configurations).
+	Model *machine.Model
+	// Alloc selects the register-allocated pipeline (false = the paper's
+	// infinite-register regime).
+	Alloc bool
+	// Opts are the scheduler ablation knobs.
+	Opts core.Options
+	// Ablation names the ablation bundle for reporting ("" = baseline).
+	Ablation string
+	// Dynamic selects the dynamically-scheduled comparison machine;
+	// Renaming enables its register renaming.
+	Dynamic  bool
+	Renaming bool
+}
+
+// Name renders a stable, human-readable configuration identifier used in
+// divergence reports and corpus headers.
+func (c Config) Name() string {
+	if c.Dynamic {
+		if c.Renaming {
+			return "dynamic/renaming"
+		}
+		return "dynamic"
+	}
+	reg := "virt"
+	if c.Alloc {
+		reg = "alloc"
+	}
+	if c.Ablation != "" {
+		return fmt.Sprintf("%s/%s/%s", c.Model.Name, reg, c.Ablation)
+	}
+	return fmt.Sprintf("%s/%s", c.Model.Name, reg)
+}
+
+// ablation is a named scheduler-ablation bundle.
+type ablation struct {
+	name string
+	opts core.Options
+}
+
+// ablations enumerates the scheduler ablation axes. The baseline comes
+// first; the rest disable one optimization each, plus the trace-length
+// stressor.
+func ablations() []ablation {
+	return []ablation{
+		{"", core.Options{}},
+		{"no-equiv", core.Options{DisableEquivalence: true}},
+		{"no-disamb", core.Options{NoDisambiguation: true}},
+		{"short-traces", core.Options{MaxTraceBlocks: 2}},
+		{"local-only", core.Options{LocalOnly: true}},
+	}
+}
+
+// Configs enumerates the configurations of one oracle pass.
+//
+// The quick set (full=false) covers every machine model in both register
+// regimes plus the dynamic scheduler — the surface a fuzzing campaign
+// iterates millions of times. The full set additionally crosses the
+// boosting models with every scheduler ablation and adds the intermediate
+// boost levels (the "raising the boost level never changes results"
+// metamorphic axis).
+func Configs(full bool) []Config {
+	models := []*machine.Model{
+		machine.NoBoost(), machine.Squashing(), machine.Boost1(),
+		machine.MinBoost3(), machine.Boost7(),
+	}
+	var out []Config
+	// The scalar baseline schedules locally only (it is the paper's
+	// sequential machine; global motion has nothing to overlap with).
+	for _, alloc := range []bool{false, true} {
+		out = append(out, Config{
+			Model: machine.Scalar(), Alloc: alloc,
+			Opts: core.Options{LocalOnly: true}, Ablation: "local-only",
+		})
+	}
+	for _, m := range models {
+		for _, alloc := range []bool{false, true} {
+			out = append(out, Config{Model: m, Alloc: alloc})
+		}
+	}
+	if full {
+		for _, m := range models {
+			for _, alloc := range []bool{false, true} {
+				for _, ab := range ablations()[1:] {
+					out = append(out, Config{Model: m, Alloc: alloc, Opts: ab.opts, Ablation: ab.name})
+				}
+			}
+		}
+		// Intermediate boost depths: results must be invariant in the level.
+		for _, n := range []int{2, 4, 5, 6} {
+			out = append(out, Config{Model: machine.BoostN(n), Alloc: true})
+		}
+	}
+	out = append(out,
+		Config{Dynamic: true},
+		Config{Dynamic: true, Renaming: true},
+	)
+	return out
+}
+
+// ConfigByName resolves a Name() string back to a configuration, for
+// corpus replay of a specific failing config.
+func ConfigByName(name string) (Config, error) {
+	for _, full := range []bool{false, true} {
+		for _, c := range Configs(full) {
+			if c.Name() == name {
+				return c, nil
+			}
+		}
+	}
+	return Config{}, fmt.Errorf("difftest: unknown config %q", name)
+}

@@ -1,0 +1,218 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"boosting/internal/prog"
+	"boosting/internal/testgen"
+)
+
+// Entry is one corpus reproducer: a parseable assembly program with a
+// comment header recording where it came from. Campaign findings are
+// persisted here after shrinking; the regression suite replays every entry
+// through the oracle on each run.
+//
+// On-disk format (testdata/corpus/NAME.s):
+//
+//	; name: back-to-back-mispredicts
+//	; configs: Boost7/virt, Squashing/alloc     (empty/absent = full quick set)
+//	; recipe: {"seed":1367,...}                 (absent for hand-written entries)
+//	; note: free-form provenance
+//	<assembly accepted by prog.Parse>
+//
+// Header lines are ordinary `;` comments, so the file is directly usable
+// with any tool that reads the assembly dialect.
+type Entry struct {
+	// Name identifies the entry (the file basename without extension).
+	Name string
+	// Configs restricts replay to specific configuration names; empty
+	// replays the default set.
+	Configs []string
+	// Recipe is the encoded generation recipe of a fuzzer finding, empty
+	// for hand-written entries.
+	Recipe string
+	// Note records provenance (divergence kind, campaign seed, ...).
+	Note string
+	// Source is the assembly text.
+	Source string
+}
+
+// Program parses the entry's assembly.
+func (e Entry) Program() (*prog.Program, error) {
+	pr, err := prog.Parse(e.Source)
+	if err != nil {
+		return nil, fmt.Errorf("corpus %s: %w", e.Name, err)
+	}
+	return pr, nil
+}
+
+// Replay runs the entry through the oracle. When the entry names specific
+// configurations, only those are checked (opt.Configs is overridden);
+// otherwise opt applies as-is.
+func (e Entry) Replay(opt Options) ([]Divergence, error) {
+	pr, err := e.Program()
+	if err != nil {
+		return nil, err
+	}
+	if len(e.Configs) > 0 {
+		cfgs := make([]Config, 0, len(e.Configs))
+		for _, name := range e.Configs {
+			c, err := ConfigByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("corpus %s: %w", e.Name, err)
+			}
+			cfgs = append(cfgs, c)
+		}
+		opt.Configs = cfgs
+	}
+	return CheckProgram(pr, opt)
+}
+
+// NewEntry renders a fuzzer finding as a corpus entry: the recipe is built
+// once and formatted as assembly, so the reproducer survives any future
+// change to the generator.
+func NewEntry(name string, rec testgen.Recipe, configs []string, note string) (Entry, error) {
+	enc, err := testgen.EncodeRecipe(rec)
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{
+		Name:    name,
+		Configs: configs,
+		Recipe:  enc,
+		Note:    note,
+		Source:  prog.FormatProgram(testgen.Build(rec)),
+	}, nil
+}
+
+// format renders the on-disk form.
+func (e Entry) format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; name: %s\n", e.Name)
+	if len(e.Configs) > 0 {
+		fmt.Fprintf(&sb, "; configs: %s\n", strings.Join(e.Configs, ", "))
+	}
+	if e.Recipe != "" {
+		fmt.Fprintf(&sb, "; recipe: %s\n", e.Recipe)
+	}
+	if e.Note != "" {
+		for _, line := range strings.Split(e.Note, "\n") {
+			fmt.Fprintf(&sb, "; note: %s\n", line)
+		}
+	}
+	sb.WriteString(e.Source)
+	if !strings.HasSuffix(e.Source, "\n") {
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// WriteEntry persists an entry to dir as NAME.s, creating dir if needed,
+// and returns the file path. The entry must replay: a corpus file that
+// does not parse back is rejected before anything is written.
+func WriteEntry(dir string, e Entry) (string, error) {
+	if e.Name == "" || strings.ContainsAny(e.Name, "/\\ ") {
+		return "", fmt.Errorf("corpus: invalid entry name %q", e.Name)
+	}
+	if _, err := e.Program(); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, e.Name+".s")
+	if err := os.WriteFile(path, []byte(e.format()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadDir reads every .s entry in dir, sorted by name. A missing directory
+// is an empty corpus, not an error.
+func LoadDir(dir string) ([]Entry, error) {
+	files, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".s") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			return nil, err
+		}
+		e := parseEntry(strings.TrimSuffix(f.Name(), ".s"), string(data))
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, nil
+}
+
+// parseEntry splits the comment header from the assembly. Unknown header
+// keys and all non-header comments are left in the source verbatim (the
+// parser ignores them).
+func parseEntry(name, text string) Entry {
+	e := Entry{Name: name, Source: text}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, ";") {
+			if line != "" {
+				break // header ends at the first code line
+			}
+			continue
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(line, ";"))
+		key, val, ok := strings.Cut(body, ":")
+		if !ok {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "name":
+			e.Name = val
+		case "configs":
+			for _, c := range strings.Split(val, ",") {
+				if c = strings.TrimSpace(c); c != "" {
+					e.Configs = append(e.Configs, c)
+				}
+			}
+		case "recipe":
+			e.Recipe = val
+		case "note":
+			if e.Note != "" {
+				e.Note += "\n"
+			}
+			e.Note += val
+		}
+	}
+	return e
+}
+
+// ReplayDir replays a whole corpus and returns the divergences of every
+// failing entry, keyed by entry name.
+func ReplayDir(dir string, opt Options) (map[string][]Divergence, error) {
+	entries, err := LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	failures := map[string][]Divergence{}
+	for _, e := range entries {
+		divs, err := e.Replay(opt)
+		if err != nil {
+			return nil, err
+		}
+		if len(divs) > 0 {
+			failures[e.Name] = divs
+		}
+	}
+	return failures, nil
+}

@@ -1,0 +1,55 @@
+package difftest
+
+import (
+	"testing"
+
+	"boosting/internal/prog"
+	"boosting/internal/testgen"
+)
+
+// FuzzOracle is the native-fuzzing entry point over campaign seeds: every
+// seed derives a random program shape and recipe and must survive the full
+// differential oracle. `go test -fuzz=FuzzOracle ./internal/difftest/`
+// explores beyond the sequential seeds a campaign visits.
+func FuzzOracle(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(42))
+	f.Add(int64(999)) // known squash-carried-store shape
+	for _, s := range triggerSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rec := testgen.Derive(seed, testgen.RandomShape(seed))
+		divs, err := CheckRecipe(rec, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: oracle infrastructure error: %v", seed, err)
+		}
+		for _, d := range divs {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+	})
+}
+
+// FuzzRecipeDecode hammers the recipe decoder with arbitrary JSON: any
+// recipe it accepts must build into a verifying program (Build's totality
+// contract), and well-formed recipes must round-trip.
+func FuzzRecipeDecode(f *testing.F) {
+	for _, seed := range []int64{1, 7, 999} {
+		enc, err := testgen.EncodeRecipe(testgen.Derive(seed, testgen.RandomShape(seed)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add(`{"seed":1,"regs":2,"segments":[{"kind":3,"n":4,"body":[{"kind":1,"n":2}]}]}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		rec, err := testgen.DecodeRecipe(s)
+		if err != nil {
+			t.Skip()
+		}
+		pr := testgen.Build(rec)
+		if err := prog.VerifyProgram(pr); err != nil {
+			t.Fatalf("accepted recipe builds invalid program: %v\nrecipe: %s", err, s)
+		}
+	})
+}

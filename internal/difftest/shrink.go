@@ -1,0 +1,288 @@
+package difftest
+
+import (
+	"boosting/internal/testgen"
+)
+
+// ShrinkResult reports a minimization outcome.
+type ShrinkResult struct {
+	// Recipe is the smallest failing recipe found.
+	Recipe testgen.Recipe
+	// Attempts counts predicate evaluations spent.
+	Attempts int
+	// Segments is Recipe.NumSegments() — the minimality unit reported to
+	// users.
+	Segments int
+}
+
+// Shrink minimizes a failing recipe with delta debugging over its segment
+// tree plus structural reduction passes: drop segments (largest chunks
+// first), hoist loop/diamond bodies over their wrapper, shorten loop trip
+// counts and straight-line runs, reduce the register working set, and drop
+// the callee once no call segments remain.
+//
+// failing must report whether a candidate recipe still reproduces the
+// original failure; it is called at most budget times (0 = 1000). Every
+// candidate handed to failing builds a valid, halting program, so the
+// predicate can run the oracle directly. The original recipe is returned
+// unchanged if no smaller failing recipe is found.
+func Shrink(rec testgen.Recipe, failing func(testgen.Recipe) bool, budget int) ShrinkResult {
+	if budget <= 0 {
+		budget = 1000
+	}
+	s := &shrinker{failing: failing, budget: budget}
+	cur := rec
+	cur.Segments = cloneSegs(rec.Segments) // reduction passes edit in place
+	for {
+		next, improved := s.pass(cur)
+		if !improved || s.spent >= s.budget {
+			return ShrinkResult{Recipe: next, Attempts: s.spent, Segments: next.NumSegments()}
+		}
+		cur = next
+	}
+}
+
+type shrinker struct {
+	failing func(testgen.Recipe) bool
+	budget  int
+	spent   int
+}
+
+// try evaluates one candidate against the failure predicate, respecting
+// the budget.
+func (s *shrinker) try(r testgen.Recipe) bool {
+	if s.spent >= s.budget {
+		return false
+	}
+	s.spent++
+	return s.failing(r)
+}
+
+// pass runs every reduction strategy once; improved reports whether any
+// candidate was accepted.
+func (s *shrinker) pass(rec testgen.Recipe) (testgen.Recipe, bool) {
+	improved := false
+	for _, step := range []func(testgen.Recipe) (testgen.Recipe, bool){
+		s.dropSegments,
+		s.hoistBodies,
+		s.shrinkBounds,
+		s.reduceRegs,
+		s.dropCalls,
+	} {
+		var ok bool
+		rec, ok = step(rec)
+		improved = improved || ok
+	}
+	return rec, improved
+}
+
+// cloneSegs deep-copies a segment tree so Shrink never mutates its input.
+func cloneSegs(segs []testgen.Segment) []testgen.Segment {
+	if segs == nil {
+		return nil
+	}
+	out := append([]testgen.Segment{}, segs...)
+	for i := range out {
+		out[i].Body = cloneSegs(out[i].Body)
+		out[i].Else = cloneSegs(out[i].Else)
+	}
+	return out
+}
+
+// dropSegments removes segments anywhere in the tree, trying large chunks
+// first (classic ddmin), then single segments, recursing into surviving
+// bodies.
+func (s *shrinker) dropSegments(rec testgen.Recipe) (testgen.Recipe, bool) {
+	segs, ok := s.minimizeList(rec.Segments, func(l []testgen.Segment) testgen.Recipe {
+		r := rec
+		r.Segments = l
+		return r
+	})
+	rec.Segments = segs
+	return rec, ok
+}
+
+// minimizeList shrinks one segment list; wrap embeds a candidate list into
+// a full recipe. It recurses into the Body/Else of surviving segments.
+func (s *shrinker) minimizeList(segs []testgen.Segment, wrap func([]testgen.Segment) testgen.Recipe) ([]testgen.Segment, bool) {
+	improved := false
+	// Chunked removal: halves, quarters, ... down to single segments.
+	for chunk := (len(segs) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(segs); {
+			cand := make([]testgen.Segment, 0, len(segs)-chunk)
+			cand = append(cand, segs[:start]...)
+			cand = append(cand, segs[start+chunk:]...)
+			if len(cand) != len(segs) && s.try(wrap(cand)) {
+				segs = cand
+				improved = true
+				// Do not advance: the next chunk slid into this position.
+			} else {
+				start++
+			}
+		}
+	}
+	// Recurse into composite segments.
+	if s.recurseInto(segs, wrap, s.minimizeList) {
+		improved = true
+	}
+	return segs, improved
+}
+
+// recurseInto applies list-shrinking fn to the Body and Else of every
+// composite segment in segs, in place. Candidate recipes always embed the
+// segment's *current* accepted state (never a stale snapshot), so a Body
+// already shrunk is what the Else candidates are tested against.
+func (s *shrinker) recurseInto(segs []testgen.Segment, wrap func([]testgen.Segment) testgen.Recipe,
+	fn func([]testgen.Segment, func([]testgen.Segment) testgen.Recipe) ([]testgen.Segment, bool)) bool {
+	improved := false
+	for i := range segs {
+		i := i
+		embed := func(kids []testgen.Segment, intoElse bool) testgen.Recipe {
+			cand := append([]testgen.Segment{}, segs...)
+			c := cand[i]
+			if intoElse {
+				c.Else = kids
+			} else {
+				c.Body = kids
+			}
+			cand[i] = c
+			return wrap(cand)
+		}
+		if len(segs[i].Body) > 0 {
+			kids, ok := fn(segs[i].Body, func(l []testgen.Segment) testgen.Recipe { return embed(l, false) })
+			if ok {
+				segs[i].Body = kids
+				improved = true
+			}
+		}
+		if len(segs[i].Else) > 0 {
+			kids, ok := fn(segs[i].Else, func(l []testgen.Segment) testgen.Recipe { return embed(l, true) })
+			if ok {
+				segs[i].Else = kids
+				improved = true
+			}
+		}
+	}
+	return improved
+}
+
+// hoistBodies flattens nesting: a loop or diamond is replaced by its
+// body (then else-arm) spliced into the parent list.
+func (s *shrinker) hoistBodies(rec testgen.Recipe) (testgen.Recipe, bool) {
+	segs, ok := s.hoistList(rec.Segments, func(l []testgen.Segment) testgen.Recipe {
+		r := rec
+		r.Segments = l
+		return r
+	})
+	rec.Segments = segs
+	return rec, ok
+}
+
+func (s *shrinker) hoistList(segs []testgen.Segment, wrap func([]testgen.Segment) testgen.Recipe) ([]testgen.Segment, bool) {
+	improved := false
+	for i := 0; i < len(segs); {
+		seg := segs[i]
+		if len(seg.Body) == 0 && len(seg.Else) == 0 {
+			i++
+			continue
+		}
+		cand := make([]testgen.Segment, 0, len(segs)+len(seg.Body)+len(seg.Else)-1)
+		cand = append(cand, segs[:i]...)
+		cand = append(cand, seg.Body...)
+		cand = append(cand, seg.Else...)
+		cand = append(cand, segs[i+1:]...)
+		if s.try(wrap(cand)) {
+			segs = cand
+			improved = true
+			// Re-examine position i: hoisted children may flatten further.
+		} else {
+			i++
+		}
+	}
+	// Recurse into remaining composites.
+	if s.recurseInto(segs, wrap, s.hoistList) {
+		improved = true
+	}
+	return segs, improved
+}
+
+// shrinkBounds reduces loop trip counts and straight-line/memory run
+// lengths to 1 (then to half, for runs that resist 1).
+func (s *shrinker) shrinkBounds(rec testgen.Recipe) (testgen.Recipe, bool) {
+	improved := false
+	var walk func(segs []testgen.Segment, wrap func([]testgen.Segment) testgen.Recipe) []testgen.Segment
+	walk = func(segs []testgen.Segment, wrap func([]testgen.Segment) testgen.Recipe) []testgen.Segment {
+		for i := range segs {
+			i := i
+			embed := func(c testgen.Segment) testgen.Recipe {
+				cand := append([]testgen.Segment{}, segs...)
+				cand[i] = c
+				return wrap(cand)
+			}
+			for _, n := range []int{1, segs[i].N / 2} {
+				if segs[i].N > 1 && n >= 1 && n < segs[i].N {
+					c := segs[i]
+					c.N = n
+					if s.try(embed(c)) {
+						segs[i] = c
+						improved = true
+						break
+					}
+				}
+			}
+			seg := segs[i]
+			if len(seg.Body) > 0 {
+				segs[i].Body = walk(seg.Body, func(l []testgen.Segment) testgen.Recipe {
+					c := segs[i]
+					c.Body = l
+					return embed(c)
+				})
+			}
+			if len(seg.Else) > 0 {
+				segs[i].Else = walk(seg.Else, func(l []testgen.Segment) testgen.Recipe {
+					c := segs[i]
+					c.Else = l
+					return embed(c)
+				})
+			}
+		}
+		return segs
+	}
+	rec.Segments = walk(rec.Segments, func(l []testgen.Segment) testgen.Recipe {
+		r := rec
+		r.Segments = l
+		return r
+	})
+	return rec, improved
+}
+
+// reduceRegs halves the register working set while the failure persists.
+func (s *shrinker) reduceRegs(rec testgen.Recipe) (testgen.Recipe, bool) {
+	improved := false
+	for rec.Regs > 2 {
+		cand := rec
+		cand.Regs = rec.Regs / 2
+		if cand.Regs < 2 {
+			cand.Regs = 2
+		}
+		if !s.try(cand) {
+			break
+		}
+		rec = cand
+		improved = true
+	}
+	return rec, improved
+}
+
+// dropCalls removes the leaf callee once no call segments remain.
+func (s *shrinker) dropCalls(rec testgen.Recipe) (testgen.Recipe, bool) {
+	if !rec.WithCalls || rec.HasCalls() {
+		return rec, false
+	}
+	cand := rec
+	cand.WithCalls = false
+	if s.try(cand) {
+		return cand, true
+	}
+	return rec, false
+}

@@ -1,0 +1,55 @@
+; name: back-to-back-mispredicts
+; note: two adjacent data-dependent branches per iteration whose minority
+; note: directions coincide on some elements, so both mispredict in the
+; note: same cycle window; the minority path of the first branch also
+; note: stores, so a consecutive double squash must unwind register and
+; note: store state without leaking either.
+.word 5
+.word 2
+.word -6
+.word -9
+.word 4
+.word 7
+.word -3
+.word 1
+.word 8
+.word -2
+.word 6
+.word 3
+.reserve 64
+
+.proc main
+entry:
+	li v0, 0x10000
+	li v1, 6
+	li v2, 0
+	li v3, 0
+	;fallthrough -> loop
+loop:
+	add v4, v0, v3
+	lw v5, 0(v4)
+	lw v6, 4(v4)
+	bltz v5, aneg, apos
+apos:
+	addi v2, v2, 1
+	j bchk
+aneg:
+	sw v5, 48(v4)
+	sub v2, v2, v5
+	j bchk
+bchk:
+	bltz v6, bneg, bpos
+bpos:
+	addi v2, v2, 2
+	j next
+bneg:
+	sw v6, 52(v4)
+	sub v2, v2, v6
+	j next
+next:
+	addi v3, v3, 8
+	addi v1, v1, -1
+	bgtz v1, loop, done
+done:
+	out v2
+	halt

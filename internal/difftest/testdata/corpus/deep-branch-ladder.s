@@ -1,0 +1,105 @@
+; name: deep-branch-ladder
+; note: eight data-dependent branches in a row, deeper than any model's
+; note: shadow hardware (Boost7 allows level 7, MinBoost3 level 3, Boost1
+; note: level 1): the scheduler must clamp boosting to the hardware level
+; note: while still filling the trace. Shifting the loaded word left one
+; note: bit per rung makes each rung's direction an independent bit of the
+; note: data, so predictions are wrong on minority iterations at every
+; note: depth.
+.word 1797559123
+.word -1233988011
+.word 574353916
+.word -2045263879
+.word 1064086577
+.word -119900332
+
+.proc main
+entry:
+	li v0, 0x10000
+	li v1, 6
+	li v2, 0
+	li v3, 0
+	;fallthrough -> loop
+loop:
+	add v4, v0, v3
+	lw v5, 0(v4)
+	;fallthrough -> r1
+r1:
+	sll v5, v5, 1
+	bltz v5, t1, f1
+f1:
+	addi v2, v2, 1
+	j r2
+t1:
+	addi v2, v2, 3
+	j r2
+r2:
+	sll v5, v5, 1
+	bltz v5, t2, f2
+f2:
+	addi v2, v2, 1
+	j r3
+t2:
+	addi v2, v2, 3
+	j r3
+r3:
+	sll v5, v5, 1
+	bltz v5, t3, f3
+f3:
+	addi v2, v2, 1
+	j r4
+t3:
+	addi v2, v2, 3
+	j r4
+r4:
+	sll v5, v5, 1
+	bltz v5, t4, f4
+f4:
+	addi v2, v2, 1
+	j r5
+t4:
+	addi v2, v2, 3
+	j r5
+r5:
+	sll v5, v5, 1
+	bltz v5, t5, f5
+f5:
+	addi v2, v2, 1
+	j r6
+t5:
+	addi v2, v2, 3
+	j r6
+r6:
+	sll v5, v5, 1
+	bltz v5, t6, f6
+f6:
+	addi v2, v2, 1
+	j r7
+t6:
+	addi v2, v2, 3
+	j r7
+r7:
+	sll v5, v5, 1
+	bltz v5, t7, f7
+f7:
+	addi v2, v2, 1
+	j r8
+t7:
+	addi v2, v2, 3
+	j r8
+r8:
+	sll v5, v5, 1
+	bltz v5, t8, f8
+f8:
+	addi v2, v2, 1
+	j next
+t8:
+	addi v2, v2, 3
+	j next
+next:
+	addi v3, v3, 4
+	addi v1, v1, -1
+	bgtz v1, loop, done
+done:
+	out v2
+	halt

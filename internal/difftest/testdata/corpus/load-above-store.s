@@ -1,0 +1,43 @@
+; name: load-above-store
+; note: every iteration stores to a slot and immediately branches on the
+; note: stored value, with dependent reloads of that slot under both arms.
+; note: boosting a reload above the store exercises shadow-store-buffer
+; note: forwarding; the alternating signs make the branch mispredict, so
+; note: the boosted state must also squash cleanly.
+.word 3
+.word -7
+.word 12
+.word -4
+.word 9
+.word -1
+.word 6
+.word -8
+.reserve 64
+
+.proc main
+entry:
+	li v0, 0x10000
+	li v1, 8
+	li v2, 0
+	li v3, 0
+	;fallthrough -> loop
+loop:
+	add v4, v0, v3
+	lw v5, 0(v4)
+	sw v5, 32(v4)
+	blez v5, neg, pos
+pos:
+	lw v6, 32(v4)
+	add v2, v2, v6
+	j next
+neg:
+	lw v7, 32(v4)
+	sub v2, v2, v7
+	j next
+next:
+	addi v3, v3, 4
+	addi v1, v1, -1
+	bgtz v1, loop, done
+done:
+	out v2
+	halt

@@ -1,0 +1,71 @@
+; name: squash-carried-store
+; recipe: {"seed":999,"gen":{"segments":9,"maxDepth":3,"regs":6,"withCalls":true},"regs":6,"withCalls":true,"dataSeed":7535176870234952092,"initSeed":16807308431832371998,"segments":[{"kind":4,"seed":7877886314603936141},{"kind":0,"seed":12864963651508648215,"n":4},{"kind":3,"seed":750971839762293109,"n":3,"body":[{"kind":2,"seed":7835998323356222634,"body":[{"kind":1,"seed":17320135548732422542,"n":1}],"else":[{"kind":0,"seed":1300214412575683635,"n":1}]}]}]}
+; note: minimized boostfuzz finding for the skip-store-squash self-test:
+; note: a squash that must discard a boosted store
+.byte 252 254 255 255 247 0 0 0 139 0 0 0 90 0 0 0
+.byte 109 254 255 255 211 1 0 0 247 254 255 255 124 255 255 255
+.byte 255 0 0 0 37 255 255 255 48 255 255 255 169 255 255 255
+.byte 159 0 0 0 122 0 0 0 254 255 255 255 240 255 255 255
+.byte 90 1 0 0 186 0 0 0 73 254 255 255 38 255 255 255
+.byte 34 0 0 0 108 254 255 255 233 0 0 0 239 1 0 0
+.byte 7 0 0 0 39 255 255 255 234 0 0 0 121 1 0 0
+.byte 139 254 255 255 79 255 255 255 154 1 0 0 118 1 0 0
+.byte 242 1 0 0 104 0 0 0 229 254 255 255 13 1 0 0
+.byte 79 255 255 255 251 0 0 0 238 1 0 0 72 255 255 255
+.byte 235 255 255 255 4 1 0 0 29 255 255 255 41 1 0 0
+.byte 165 255 255 255 209 1 0 0 234 255 255 255 251 255 255 255
+.byte 56 255 255 255 162 0 0 0 47 0 0 0 245 0 0 0
+.byte 142 0 0 0 151 1 0 0 102 254 255 255 94 1 0 0
+.byte 20 0 0 0 230 0 0 0 233 255 255 255 177 1 0 0
+.byte 159 255 255 255 170 1 0 0 187 254 255 255 224 254 255 255
+.proc leaf
+B0.entry: ;entry
+	lui v0, 1
+	lw v0, 0(v0)
+	add r2, r4, r4
+	add r2, r2, v0
+	addi r2, r2, 3
+	jr r31
+
+.proc main
+B0.entry: ;entry
+	addi v1, r0, -6
+	addi v2, r0, -80
+	addi v3, r0, -54
+	addi v4, r0, 75
+	addi v5, r0, 45
+	addi v6, r0, -40
+	lui v7, 1
+	or r4, v1, r0
+	jal leaf -> B1.entry.ret
+B1.entry.ret:
+	or v1, r2, r0
+	srl v3, v3, 24
+	ori v4, v1, 25
+	andi v6, v5, 62
+	mul v2, v1, v1
+	addi v8, r0, 3
+	;fallthrough -> B2.loop
+B2.loop:
+	blez v5 ;not-taken ;taken->B4.then fall->B5.else
+B3.exit:
+	out v1
+	out v2
+	out v3
+	out v4
+	out v5
+	out v6
+	halt
+B4.then:
+	andi v9, v1, 63
+	sll v9, v9, 2
+	add v10, v7, v9
+	lw v5, 0(v10)
+	;fallthrough -> B6.join
+B5.else:
+	add v5, v6, v1
+	j -> B6.join
+B6.join:
+	addi v8, v8, -1
+	bgtz v8 ;not-taken ;taken->B2.loop fall->B3.exit
+

@@ -50,6 +50,11 @@ type BoostConfig struct {
 	// StoreBuffer reports whether a shadow store buffer exists, i.e.
 	// whether stores may be boosted (paper Option 1 removes it).
 	StoreBuffer bool
+	// StoreBufferSize bounds the shadow store buffer's entry count
+	// (0 = unbounded, the paper's idealization). A finite buffer reports
+	// a hardware-conflict error when a boosted store would overflow it,
+	// the same checked-model treatment as single-shadow conflicts.
+	StoreBufferSize int
 	// MultiShadow reports whether each register has a distinct shadow
 	// location per boosting level (the full scheme of §4.1). When false
 	// (Option 2) a register has a single shadow location shared by all

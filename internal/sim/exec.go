@@ -24,11 +24,49 @@ type ExecConfig struct {
 	OnStore func(addr uint32, size int, val uint32)
 	// OnBlock, if non-nil, observes every executed block (debug aid).
 	OnBlock func(proc string, blockID int)
+	// OnSquash, if non-nil, observes every mispredicted-branch squash.
+	// The differential oracle asserts Leaked == 0 on every event: after a
+	// squash the machine must hold no speculative state whatsoever, or
+	// precise exceptions are lost.
+	OnSquash func(SquashInfo)
+	// Inject deliberately breaks the boosting hardware; it exists so the
+	// differential oracle can prove (in its own tests) that it detects
+	// and minimizes real bugs. Production paths leave it zero.
+	Inject FaultInjection
 	// DataCache, if non-nil, models a finite data cache: every memory
 	// access (speculative or not) touches it and misses stall the
 	// machine (the paper assumes a perfect memory system; this knob
 	// quantifies that assumption).
 	DataCache *cache.Cache
+}
+
+// SquashInfo describes one mispredicted-branch squash.
+type SquashInfo struct {
+	// BranchID is the static instruction ID of the mispredicted branch.
+	BranchID int
+	// Regs and Stores count the discarded shadow-register entries and
+	// buffered stores.
+	Regs, Stores int
+	// Leaked counts speculative entries still outstanding after the
+	// squash. Correct hardware always reports 0; fault injection makes it
+	// observable.
+	Leaked int
+}
+
+// FaultInjection selects an intentional hardware bug for oracle
+// self-tests. The zero value injects nothing.
+type FaultInjection struct {
+	// SkipStoreSquash leaves the shadow store buffer intact on a
+	// mispredicted branch, so wrong-path boosted stores can later commit.
+	SkipStoreSquash bool
+	// SkipShadowSquash leaves the shadow register file intact on a
+	// mispredicted branch.
+	SkipShadowSquash bool
+}
+
+// Enabled reports whether any bug is injected.
+func (fi FaultInjection) Enabled() bool {
+	return fi.SkipStoreSquash || fi.SkipShadowSquash
 }
 
 // ExecResult reports the outcome and cost of a scheduled execution.
@@ -94,7 +132,7 @@ func Exec(sp *machine.SchedProgram, cfg ExecConfig) (*ExecResult, error) {
 		regs:      make([]uint32, int(maxRegProgram(sp.Prog))+1),
 		mem:       SetupMemory(sp.Prog),
 		shadow:    newShadowFile(sp.Model.Boost),
-		stores:    &storeBuffer{},
+		stores:    &storeBuffer{cap: sp.Model.Boost.StoreBufferSize},
 		excbuf:    newExceptionBuffer(sp.Model.Boost.MaxLevel),
 		lt:        buildLinkTable(sp.Prog),
 		res:       &ExecResult{},
@@ -309,7 +347,9 @@ func (st *execState) execute(sp *machine.SchedProc, b *prog.Block, in *isa.Inst,
 				st.excbuf.set(in.Boost)
 				return nil, nil
 			}
-			st.stores.write(in.Boost, addr, size, c)
+			if err := st.stores.write(in.Boost, addr, size, c); err != nil {
+				return nil, fmt.Errorf("sim: B%d of %s: %w", b.ID, procOf(sp).Name, err)
+			}
 			return nil, nil
 		}
 		if size > 1 && addr%uint32(size) != 0 {
@@ -429,13 +469,31 @@ func (st *execState) finishBlock(sp *machine.SchedProc, b *prog.Block, ctl *pend
 			return blockRef{p, succ}, false, nil
 		}
 		// Incorrect prediction: discard all speculative state.
-		st.res.Squashed += int64(len(st.stores.entries))
+		droppedStores := len(st.stores.entries)
+		droppedRegs := 0
 		for _, es := range st.shadow.entries {
-			st.res.Squashed += int64(len(es))
+			droppedRegs += len(es)
 		}
-		st.shadow.squash()
-		st.stores.squash()
+		st.res.Squashed += int64(droppedStores + droppedRegs)
+		if !st.cfg.Inject.SkipShadowSquash {
+			st.shadow.squash()
+		}
+		if !st.cfg.Inject.SkipStoreSquash {
+			st.stores.squash()
+		}
 		st.excbuf.clear()
+		if st.cfg.OnSquash != nil {
+			leaked := len(st.stores.entries)
+			for _, es := range st.shadow.entries {
+				leaked += len(es)
+			}
+			st.cfg.OnSquash(SquashInfo{
+				BranchID: ctl.inst.ID,
+				Regs:     droppedRegs,
+				Stores:   droppedStores,
+				Leaked:   leaked,
+			})
+		}
 		return blockRef{p, succ}, false, nil
 	}
 }

@@ -79,6 +79,10 @@ type RefConfig struct {
 	// OnBranch, if non-nil, is called for every executed conditional
 	// branch with its outcome.
 	OnBranch func(p *prog.Proc, b *prog.Block, taken bool)
+	// OnStore, if non-nil, observes every architectural memory write in
+	// program order; the differential oracle compares this stream against
+	// a scheduled execution's committed stores.
+	OnStore func(addr uint32, size int, val uint32)
 	// OnFault, if non-nil, is consulted on an architectural fault; if it
 	// returns true (for example after mapping the faulting page) the
 	// instruction is retried, otherwise execution stops with the fault.
@@ -268,6 +272,9 @@ func runBlock(pr *prog.Program, p *prog.Proc, b *prog.Block, regs []uint32,
 				}
 				res.Fault = f
 				return blockRef{}, false, f
+			}
+			if cfg.OnStore != nil {
+				cfg.OnStore(addr, size, regs[in.Rt])
 			}
 			emit(addr, false, 0)
 		default:

@@ -125,6 +125,10 @@ func (s *shadowFile) outstanding() bool { return len(s.entries) > 0 }
 // in order.
 type storeBuffer struct {
 	entries []storeEntry
+	// cap bounds the number of simultaneously buffered stores
+	// (0 = unbounded). Real hardware has a small fixed buffer; the
+	// checked model reports overflow instead of silently dropping.
+	cap int
 }
 
 type storeEntry struct {
@@ -134,9 +138,15 @@ type storeEntry struct {
 	val   uint32
 }
 
-// write buffers a boosted store.
-func (sb *storeBuffer) write(level int, addr uint32, size int, val uint32) {
+// write buffers a boosted store, reporting a hardware conflict when a
+// finite buffer is already full.
+func (sb *storeBuffer) write(level int, addr uint32, size int, val uint32) error {
+	if sb.cap > 0 && len(sb.entries) >= sb.cap {
+		return fmt.Errorf("shadow store buffer overflow: %d entries outstanding (capacity %d)",
+			len(sb.entries), sb.cap)
+	}
 	sb.entries = append(sb.entries, storeEntry{level, addr, size, val})
+	return nil
 }
 
 // read services a boosted load at the given level. Forwarding is resolved

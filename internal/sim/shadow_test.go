@@ -230,3 +230,144 @@ func TestExceptionBufferShift(t *testing.T) {
 		t.Error("cleared buffer must be empty")
 	}
 }
+
+func TestStoreBufferOverflow(t *testing.T) {
+	mem := NewMemory()
+	mem.Map(0x3000, 64)
+	sb := &storeBuffer{cap: 2}
+	if err := sb.write(1, 0x3000, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.write(2, 0x3004, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Third outstanding entry exceeds the hardware buffer.
+	if err := sb.write(1, 0x3008, 4, 3); err == nil {
+		t.Fatal("overflowing write must report a hardware conflict")
+	}
+	// The rejected store must not have been buffered.
+	if v, _ := sb.read(7, 0x3008, 4, mem); v != 0 {
+		t.Errorf("rejected store visible to speculative load: %#x", v)
+	}
+	// Committing level-1 entries frees capacity.
+	if f := sb.commit(mem, nil); f != nil {
+		t.Fatal(f)
+	}
+	if err := sb.write(1, 0x3008, 4, 3); err != nil {
+		t.Errorf("write after commit freed a slot: %v", err)
+	}
+	// Squash empties the buffer entirely.
+	sb.squash()
+	for i := 0; i < 2; i++ {
+		if err := sb.write(1, 0x3010+uint32(4*i), 4, 9); err != nil {
+			t.Errorf("write %d after squash: %v", i, err)
+		}
+	}
+}
+
+func TestStoreBufferUnboundedByDefault(t *testing.T) {
+	sb := &storeBuffer{} // cap 0 = unbounded (the paper's idealized buffer)
+	for i := 0; i < 100; i++ {
+		if err := sb.write(1, uint32(0x4000+4*i), 4, uint32(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+}
+
+// TestExceptionBufferCommitOrdering pins the shift buffer's semantics when
+// several boosted levels have postponed exceptions: each commit exposes
+// exactly the bit that has reached level 1, in branch order, and deeper
+// bits surface on later commits.
+func TestExceptionBufferCommitOrdering(t *testing.T) {
+	e := newExceptionBuffer(7)
+	e.set(1)
+	e.set(3)
+	// Commit 1: the level-1 exception surfaces.
+	if !e.shift() {
+		t.Error("commit 1 must expose the level-1 exception")
+	}
+	// Commit 2: level 3 has only reached level 2.
+	if e.shift() {
+		t.Error("commit 2 must not expose the level-3 exception yet")
+	}
+	// The original level-3 bit has shifted to level 1. A new level-1
+	// exception set now lands on the same bit: the buffer holds one bit
+	// per level, so exceptions that reach the same level merge — the
+	// handler re-executes the boosted instructions either way.
+	e.set(1)
+	if !e.shift() {
+		t.Error("commit 3 must expose the merged level-1 exceptions")
+	}
+	if e.shift() {
+		t.Error("the merged bit must expose exactly once; no exceptions remain")
+	}
+}
+
+// TestExceptionBufferClearDropsAllLevels: an incorrect prediction wipes
+// every postponed exception, not just level 1.
+func TestExceptionBufferClearDropsAllLevels(t *testing.T) {
+	e := newExceptionBuffer(7)
+	for lv := 1; lv <= 7; lv++ {
+		e.set(lv)
+	}
+	e.clear()
+	for i := 0; i < 7; i++ {
+		if e.shift() {
+			t.Fatalf("shift %d exposed an exception after clear", i)
+		}
+	}
+}
+
+// TestStoreBufferSquashDuringPendingLoad: a speculative load that already
+// forwarded from a buffered store must not leave stale data visible after
+// the squash — post-squash reads at any level fall through to memory.
+func TestStoreBufferSquashDuringPendingLoad(t *testing.T) {
+	mem := NewMemory()
+	mem.Map(0x5000, 32)
+	mem.Store(0x5000, 4, 0x01020304)
+	sb := &storeBuffer{}
+	sb.write(1, 0x5000, 4, 0xDEADBEEF)
+
+	// The boosted load (level 1) forwards the speculative value while the
+	// store is pending.
+	if v, _ := sb.read(1, 0x5000, 4, mem); v != 0xDEADBEEF {
+		t.Fatalf("pending forward = %#x", v)
+	}
+	// Mispredict: the store squashes while the consuming load's value is
+	// still "in flight" in the shadow register file. The buffer side must
+	// revert to memory for every level.
+	sb.squash()
+	for level := 0; level <= 7; level++ {
+		if v, _ := sb.read(level, 0x5000, 4, mem); v != 0x01020304 {
+			t.Errorf("level-%d read after squash = %#x, want memory value", level, v)
+		}
+	}
+	// And the squashed store never reaches memory on later commits.
+	if f := sb.commit(mem, nil); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := mem.Load(0x5000, 4); v != 0x01020304 {
+		t.Errorf("memory after squash+commit = %#x", v)
+	}
+}
+
+// TestShadowSquashDuringCascade: squash between commits of a multi-level
+// cascade discards the deeper, still-uncommitted values.
+func TestShadowSquashDuringCascade(t *testing.T) {
+	s := newShadowFile(multiCfg())
+	r := isa.Reg(6)
+	s.write(r, 1, 10)
+	s.write(r, 2, 20)
+	var got []uint32
+	apply := func(reg isa.Reg, v uint32) { got = append(got, v) }
+	s.commit(apply) // level 1 commits, level 2 decrements
+	s.squash()      // mispredict before the second branch commits
+	s.commit(apply)
+	s.commit(apply)
+	if len(got) != 1 || got[0] != 10 {
+		t.Errorf("committed values = %v, want [10]", got)
+	}
+	if s.outstanding() {
+		t.Error("entries remain after squash")
+	}
+}

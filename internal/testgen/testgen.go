@@ -4,11 +4,18 @@
 // traffic and observable output, which exercises every scheduler path:
 // speculation legality, boosting at multiple levels, join duplication,
 // equivalence moves and store buffering.
+//
+// Generation is split into two pure phases. Derive expands a seed and a
+// Config into a Recipe — a serializable structure tree in which every
+// segment carries a private sub-seed — and Build materializes a Recipe
+// into a program. The split gives the differential-testing shrinker a
+// handle: recipes can be edited (segments dropped, loops shortened,
+// nesting flattened) and rebuilt without perturbing unrelated code, and a
+// persisted recipe replays identically on every Go version because the
+// package uses its own splitmix64 stream, not math/rand.
 package testgen
 
 import (
-	"math/rand"
-
 	"boosting/internal/isa"
 	"boosting/internal/prog"
 )
@@ -16,68 +23,70 @@ import (
 // Config bounds program generation.
 type Config struct {
 	// Segments is the number of top-level code segments (default 6).
-	Segments int
+	Segments int `json:"segments,omitempty"`
 	// MaxDepth bounds nested control structure (default 2).
-	MaxDepth int
+	MaxDepth int `json:"maxDepth,omitempty"`
 	// Regs is the size of the virtual register working set (default 8).
-	Regs int
+	Regs int `json:"regs,omitempty"`
 	// WithCalls adds a small callee and call segments.
-	WithCalls bool
+	WithCalls bool `json:"withCalls,omitempty"`
 }
 
-type gen struct {
-	rng  *rand.Rand
+// builder materializes one recipe.
+type builder struct {
 	pr   *prog.Program
 	f    *prog.Builder
 	regs []isa.Reg
 	base isa.Reg // pointer to a scratch array
-	cfg  Config
+	has  bool    // leaf callee present
 }
 
 // arrayWords is the scratch array length in words; addresses are masked
 // into range so memory ops never fault.
 const arrayWords = 64
 
-// Random builds a random program from the seed.
+// Random builds a random program from the seed; it is shorthand for
+// Build(Derive(seed, cfg)).
 func Random(seed int64, cfg Config) *prog.Program {
-	if cfg.Segments == 0 {
-		cfg.Segments = 6
-	}
-	if cfg.MaxDepth == 0 {
-		cfg.MaxDepth = 2
-	}
-	if cfg.Regs == 0 {
-		cfg.Regs = 8
-	}
-	rng := rand.New(rand.NewSource(seed))
+	return Build(Derive(seed, cfg))
+}
+
+// Build materializes a recipe into a program. It is pure and total for
+// recipes produced by Derive or edited by the shrinker: the result always
+// verifies, halts and never faults (loops are bounded, addresses masked).
+func Build(rec Recipe) *prog.Program {
 	pr := prog.New()
 
+	data := newRNG(rec.DataSeed)
 	var arr uint32
 	for i := 0; i < arrayWords; i++ {
-		a := pr.Word(int32(rng.Intn(1000) - 500))
+		a := pr.Word(int32(data.intn(1000) - 500))
 		if i == 0 {
 			arr = a
 		}
 	}
 
-	if cfg.WithCalls {
+	if rec.WithCalls {
 		buildCallee(pr, arr)
 	}
 
 	f := prog.NewBuilder(pr, "main")
-	g := &gen{rng: rng, pr: pr, f: f, cfg: cfg}
-	g.regs = make([]isa.Reg, cfg.Regs)
-	for i := range g.regs {
-		g.regs[i] = f.Reg()
-		f.Li(g.regs[i], int32(rng.Intn(200)-100))
+	b := &builder{pr: pr, f: f, has: rec.WithCalls}
+	regs := rec.Regs
+	if regs < 2 {
+		regs = 2
 	}
-	g.base = f.Reg()
-	f.La(g.base, arr)
+	init := newRNG(rec.InitSeed)
+	b.regs = make([]isa.Reg, regs)
+	for i := range b.regs {
+		b.regs[i] = f.Reg()
+		f.Li(b.regs[i], int32(init.intn(200)-100))
+	}
+	b.base = f.Reg()
+	f.La(b.base, arr)
 
-	for i := 0; i < cfg.Segments; i++ {
-		g.segment(cfg.MaxDepth)
-	}
-	for _, r := range g.regs {
+	b.segments(rec.Segments)
+	for _, r := range b.regs {
 		f.Out(r)
 	}
 	f.Halt()
@@ -98,24 +107,37 @@ func buildCallee(pr *prog.Program, arr uint32) {
 	f.Finish()
 }
 
-func (g *gen) reg() isa.Reg { return g.regs[g.rng.Intn(len(g.regs))] }
+func (b *builder) reg(r *rng) isa.Reg { return b.regs[r.intn(len(b.regs))] }
 
-// segment emits one random construct.
-func (g *gen) segment(depth int) {
-	choice := g.rng.Intn(10)
-	switch {
-	case choice < 3:
-		g.straightLine()
-	case choice < 5 && depth > 0:
-		g.diamond(depth)
-	case choice < 7 && depth > 0:
-		g.loop(depth)
-	case choice < 8:
-		g.memoryOps()
-	case choice < 9 && g.cfg.WithCalls:
-		g.call()
+func (b *builder) segments(segs []Segment) {
+	for i := range segs {
+		b.segment(&segs[i])
+	}
+}
+
+// segment emits one recipe node. All instruction-level choices come from
+// the segment's private stream.
+func (b *builder) segment(s *Segment) {
+	r := newRNG(s.Seed)
+	switch s.Kind {
+	case SegStraight:
+		b.straightLine(r, s.N)
+	case SegMemory:
+		b.memoryOps(r, s.N)
+	case SegDiamond:
+		b.diamond(r, s)
+	case SegLoop:
+		b.loop(r, s)
+	case SegCall:
+		if b.has {
+			b.call(r)
+		} else {
+			// A shrunk recipe may orphan a call segment after WithCalls is
+			// dropped; degrade to straight-line code so Build stays total.
+			b.straightLine(r, 2)
+		}
 	default:
-		g.straightLine()
+		b.straightLine(r, 2)
 	}
 }
 
@@ -126,86 +148,95 @@ var arithOps = []isa.Op{
 var immOps = []isa.Op{isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLTI}
 var shiftOps = []isa.Op{isa.SLL, isa.SRL, isa.SRA}
 
-func (g *gen) straightLine() {
-	for i := 0; i < 2+g.rng.Intn(6); i++ {
-		switch g.rng.Intn(4) {
+func (b *builder) straightLine(r *rng, n int) {
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		switch r.intn(4) {
 		case 0:
-			g.f.ALU(arithOps[g.rng.Intn(len(arithOps))], g.reg(), g.reg(), g.reg())
+			b.f.ALU(arithOps[r.intn(len(arithOps))], b.reg(r), b.reg(r), b.reg(r))
 		case 1:
-			g.f.Imm(immOps[g.rng.Intn(len(immOps))], g.reg(), g.reg(), int32(g.rng.Intn(64)))
+			b.f.Imm(immOps[r.intn(len(immOps))], b.reg(r), b.reg(r), int32(r.intn(64)))
 		case 2:
-			g.f.Imm(shiftOps[g.rng.Intn(len(shiftOps))], g.reg(), g.reg(), int32(g.rng.Intn(31)))
+			b.f.Imm(shiftOps[r.intn(len(shiftOps))], b.reg(r), b.reg(r), int32(r.intn(31)))
 		case 3:
-			if g.rng.Intn(3) == 0 {
-				g.f.Out(g.reg())
+			if r.intn(3) == 0 {
+				b.f.Out(b.reg(r))
 			} else {
-				g.f.ALU(arithOps[g.rng.Intn(len(arithOps))], g.reg(), g.reg(), g.reg())
+				b.f.ALU(arithOps[r.intn(len(arithOps))], b.reg(r), b.reg(r), b.reg(r))
 			}
 		}
 	}
 }
 
 // memoryOps emits loads and stores at in-bounds masked addresses.
-func (g *gen) memoryOps() {
-	idx := g.f.Reg()
-	addr := g.f.Reg()
-	for i := 0; i < 1+g.rng.Intn(3); i++ {
+func (b *builder) memoryOps(r *rng, n int) {
+	if n < 1 {
+		n = 1
+	}
+	idx := b.f.Reg()
+	addr := b.f.Reg()
+	for i := 0; i < n; i++ {
 		// addr = base + (reg & (arrayWords-1))*4
-		g.f.Imm(isa.ANDI, idx, g.reg(), arrayWords-1)
-		g.f.Imm(isa.SLL, idx, idx, 2)
-		g.f.ALU(isa.ADD, addr, g.base, idx)
-		if g.rng.Intn(2) == 0 {
-			g.f.Load(isa.LW, g.reg(), addr, 0)
+		b.f.Imm(isa.ANDI, idx, b.reg(r), arrayWords-1)
+		b.f.Imm(isa.SLL, idx, idx, 2)
+		b.f.ALU(isa.ADD, addr, b.base, idx)
+		if r.intn(2) == 0 {
+			b.f.Load(isa.LW, b.reg(r), addr, 0)
 		} else {
-			g.f.Store(isa.SW, g.reg(), addr, 0)
+			b.f.Store(isa.SW, b.reg(r), addr, 0)
 		}
 	}
 }
 
-// diamond emits if/else with random bodies; occasionally if-without-else.
-func (g *gen) diamond(depth int) {
-	thenB := g.f.Block("then")
-	elseB := g.f.Block("else")
-	join := g.f.Block("join")
-	cond := g.reg()
+// diamond emits if/else; an empty Else arm is an if-without-else.
+func (b *builder) diamond(r *rng, s *Segment) {
+	thenB := b.f.Block("then")
+	elseB := b.f.Block("else")
+	join := b.f.Block("join")
+	cond := b.reg(r)
 	ops := []isa.Op{isa.BGTZ, isa.BLEZ, isa.BLTZ, isa.BGEZ, isa.BNE, isa.BEQ}
-	op := ops[g.rng.Intn(len(ops))]
+	op := ops[r.intn(len(ops))]
 	rt := isa.R0
 	if op == isa.BNE || op == isa.BEQ {
-		rt = g.reg()
+		rt = b.reg(r)
 	}
-	g.f.Branch(op, cond, rt, thenB, elseB)
+	b.f.Branch(op, cond, rt, thenB, elseB)
 
-	g.f.Enter(elseB)
-	if g.rng.Intn(3) > 0 {
-		g.segment(depth - 1)
-	}
-	g.f.Jump(join)
+	b.f.Enter(elseB)
+	b.segments(s.Else)
+	b.f.Jump(join)
 
-	g.f.Enter(thenB)
-	g.segment(depth - 1)
-	g.f.Goto(join)
+	b.f.Enter(thenB)
+	b.segments(s.Body)
+	b.f.Goto(join)
 
-	g.f.Enter(join)
+	b.f.Enter(join)
 }
 
-// loop emits a bounded countdown loop with a random body.
-func (g *gen) loop(depth int) {
-	body := g.f.Block("loop")
-	exit := g.f.Block("exit")
-	ctr := g.f.Reg()
-	g.f.Li(ctr, int32(1+g.rng.Intn(6)))
-	g.f.Goto(body)
-	g.f.Enter(body)
-	g.segment(depth - 1)
-	g.f.Imm(isa.ADDI, ctr, ctr, -1)
-	g.f.Branch(isa.BGTZ, ctr, isa.R0, body, exit)
-	g.f.Enter(exit)
+// loop emits a bounded countdown loop over the body segments.
+func (b *builder) loop(r *rng, s *Segment) {
+	_ = r
+	body := b.f.Block("loop")
+	exit := b.f.Block("exit")
+	trips := s.N
+	if trips < 1 {
+		trips = 1
+	}
+	ctr := b.f.Reg()
+	b.f.Li(ctr, int32(trips))
+	b.f.Goto(body)
+	b.f.Enter(body)
+	b.segments(s.Body)
+	b.f.Imm(isa.ADDI, ctr, ctr, -1)
+	b.f.Branch(isa.BGTZ, ctr, isa.R0, body, exit)
+	b.f.Enter(exit)
 }
 
 // call emits a call to the leaf with a random argument.
-func (g *gen) call() {
-	g.f.Move(isa.A0, g.reg())
-	g.f.Call("leaf")
-	g.f.Move(g.reg(), isa.RV)
+func (b *builder) call(r *rng) {
+	b.f.Move(isa.A0, b.reg(r))
+	b.f.Call("leaf")
+	b.f.Move(b.reg(r), isa.RV)
 }

@@ -72,6 +72,32 @@ func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
 }
 
+// Ablation is one named scheduler-ablation bundle: a baseline or a
+// configuration with one optimization disabled (or one resource
+// stressed). The differential-testing oracle and the experiment grids
+// iterate this list so that every ablation the scheduler supports is
+// exercised by both.
+type Ablation struct {
+	// Name is a stable identifier ("baseline", "no-equiv", ...).
+	Name string
+	// Opts configures a Pipeline call for this ablation.
+	Opts []Option
+}
+
+// Ablations enumerates the supported scheduler ablations, baseline
+// first. The list is the public face of the core scheduler's option
+// set: adding a scheduler knob means adding a constructor above and an
+// entry here, and every ablation-sweeping consumer picks it up.
+func Ablations() []Ablation {
+	return []Ablation{
+		{Name: "baseline"},
+		{Name: "no-equiv", Opts: []Option{WithoutEquivalence()}},
+		{Name: "no-disamb", Opts: []Option{WithoutDisambiguation()}},
+		{Name: "short-traces", Opts: []Option{WithMaxTraceBlocks(2)}},
+		{Name: "local-only", Opts: []Option{WithLocalOnly()}},
+	}
+}
+
 // Options controls the compilation pipeline.
 //
 // Deprecated: Options is the legacy knob struct kept for

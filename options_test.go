@@ -1,0 +1,57 @@
+package boosting
+
+import (
+	"context"
+	"testing"
+
+	"boosting/internal/machine"
+)
+
+func TestAblationsEnumeration(t *testing.T) {
+	abls := Ablations()
+	if len(abls) < 5 {
+		t.Fatalf("only %d ablations", len(abls))
+	}
+	if abls[0].Name != "baseline" || len(abls[0].Opts) != 0 {
+		t.Errorf("first ablation must be the empty baseline, got %q with %d opts",
+			abls[0].Name, len(abls[0].Opts))
+	}
+	seen := map[string]bool{}
+	for _, a := range abls {
+		if a.Name == "" {
+			t.Error("unnamed ablation")
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate ablation %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestAblationCellsRun: the ablation sweep must enumerate every ablation
+// per (workload, model) and every cell must actually run.
+func TestAblationCellsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full ablation sweep on one workload")
+	}
+	cells := AblationCells([]string{WorkloadGrep}, []*machine.Model{machine.MinBoost3()})
+	if len(cells) != len(Ablations()) {
+		t.Fatalf("%d cells, want %d", len(cells), len(Ablations()))
+	}
+	results, err := NewPipeline().Grid(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s/%s: %v", r.Cell.Workload, r.Cell.Label, r.Err)
+			continue
+		}
+		if r.Cell.Label == "" {
+			t.Error("cell missing ablation label")
+		}
+		if r.Result.Cycles <= 0 {
+			t.Errorf("%s/%s: nonpositive cycles", r.Cell.Workload, r.Cell.Label)
+		}
+	}
+}

@@ -228,6 +228,26 @@ type GridCell struct {
 	Workload string
 	Model    *machine.Model
 	Opts     []Option
+	// Label tags the cell for reporting (for example an ablation name);
+	// it does not affect execution.
+	Label string
+}
+
+// AblationCells crosses workloads and models with every scheduler
+// ablation from Ablations(), labelling each cell with the ablation
+// name. Feed the result to Grid for a full ablation sweep.
+func AblationCells(workloadNames []string, models []*machine.Model) []GridCell {
+	var cells []GridCell
+	for _, w := range workloadNames {
+		for _, m := range models {
+			for _, ab := range Ablations() {
+				cells = append(cells, GridCell{
+					Workload: w, Model: m, Opts: ab.Opts, Label: ab.Name,
+				})
+			}
+		}
+	}
+	return cells
 }
 
 // GridResult pairs a cell with its outcome. Exactly one of Result/Err
