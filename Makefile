@@ -7,9 +7,9 @@ GO ?= go
 COVER_FLOOR_SIM ?= 78
 COVER_FLOOR_CORE ?= 90
 
-.PHONY: all test test-short test-race bench experiments fuzz fuzz-smoke cover vet clean
+.PHONY: all test test-short test-race bench bench-json experiments fuzz fuzz-quick fuzz-smoke cover vet clean
 
-all: vet test test-race fuzz-smoke
+all: vet test test-race fuzz-quick
 
 test:
 	$(GO) test ./...
@@ -23,6 +23,12 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem
 
+# bench-json measures boostd's /v1/simulate throughput and latency
+# percentiles (hot vs cold response cache) and writes BENCH_service.json.
+bench-json:
+	BOOSTD_BENCH_JSON=$(CURDIR)/BENCH_service.json $(GO) test -run TestWriteBenchJSON -count=1 ./internal/service/
+	@echo "wrote BENCH_service.json"
+
 experiments:
 	$(GO) run ./cmd/experiments -all
 
@@ -31,6 +37,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzFormatRoundTrip -fuzztime=30s ./internal/prog/
 	$(GO) test -fuzz=FuzzRecipeDecode -fuzztime=30s ./internal/difftest/
 	$(GO) test -fuzz=FuzzOracle -fuzztime=60s ./internal/difftest/
+
+# fuzz-quick is the pre-commit-sized differential campaign: ten seconds
+# of random programs plus the reproducer corpus. `make all` runs it; use
+# fuzz-smoke for the full minute.
+fuzz-quick:
+	$(GO) run ./cmd/boostfuzz -duration 10s
+	$(GO) run ./cmd/boostfuzz -replay internal/difftest/testdata/corpus
 
 # fuzz-smoke is the CI-sized differential campaign: one minute of random
 # programs through every configuration, then a replay of the reproducer

@@ -1,0 +1,105 @@
+// Command boostd serves the boosting toolchain as a long-lived HTTP/JSON
+// daemon: compile and simulate requests hit the staged pipeline behind a
+// bounded admission queue with backpressure, identical requests are
+// deduplicated through a singleflight response cache, and /metrics
+// exposes Prometheus counters, gauges and latency histograms. See
+// docs/SERVICE.md for the API schema.
+//
+// Usage:
+//
+//	boostd -addr :8344
+//	boostd -addr 127.0.0.1:0 -inflight 4 -queue 16 -timeout 30s
+//
+// boostd drains gracefully: SIGINT/SIGTERM stops accepting connections,
+// lets in-flight requests finish (up to -drain), then exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"boosting/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable daemon body: it parses args, serves until a
+// signal, and returns the process exit code (0 clean shutdown, 1 runtime
+// failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("boostd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8344", "listen address (host:port; port 0 picks a free port)")
+	inflight := fs.Int("inflight", runtime.GOMAXPROCS(0), "max concurrently executing requests")
+	queue := fs.Int("queue", 64, "max requests waiting for an execution slot before 429s")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request deadline")
+	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	gridCap := fs.Int("grid-cap", 1024, "max cells per /v1/grid sweep")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "boostd: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *inflight < 1 || *queue < 0 || *timeout <= 0 || *maxBody < 1 || *drain <= 0 || *gridCap < 1 {
+		fmt.Fprintln(stderr, "boostd: -inflight/-max-body/-grid-cap must be >= 1, -queue >= 0, -timeout/-drain > 0")
+		return 2
+	}
+
+	srv := service.New(service.Config{
+		MaxInFlight:    *inflight,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		GridCellCap:    *gridCap,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "boostd:", err)
+		return 1
+	}
+	// The resolved address line is machine-readable on purpose: tests and
+	// scripts bind port 0 and scrape the port from here.
+	fmt.Fprintf(stdout, "boostd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "boostd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	// A second signal during the drain kills the process the default way.
+	stop()
+	fmt.Fprintln(stdout, "boostd: signal received, draining in-flight requests")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintln(stderr, "boostd: drain incomplete:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "boostd: drained, exiting")
+	return 0
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read the daemon's stdout while run() writes it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"-inflight", "0"},
+		{"-queue", "-1"},
+		{"-timeout", "0s"},
+		{"-max-body", "0"},
+		{"-drain", "0s"},
+		{"-grid-cap", "0"},
+		{"stray-arg"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errw.String())
+		}
+	}
+}
+
+func TestListenFailure(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-addr", "definitely-not-an-address:xyz"}, &out, &errw); code != 1 {
+		t.Fatalf("run with bad addr = %d, want 1 (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "boostd:") {
+		t.Errorf("stderr missing error line: %q", errw.String())
+	}
+}
+
+// TestServeAndGracefulSIGTERM boots the real daemon on a free port,
+// checks liveness and a real simulation, then delivers SIGTERM with a
+// request in flight and expects a clean drain: the in-flight response
+// arrives complete and run() exits 0.
+func TestServeAndGracefulSIGTERM(t *testing.T) {
+	var stdout syncBuffer
+	var stderr syncBuffer
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0"}, &stdout, &stderr) }()
+
+	addr := waitForAddr(t, &stdout)
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// A real end-to-end simulation through the daemon.
+	body := `{"asm": ".word 7\n.proc main\nentry:\n\tli v0, 0x10000\n\tlw v1, 0(v0)\n\tout v1\n\thalt\n", "model": "MinBoost3"}`
+	resp, err = http.Post(base+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	simBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate = %d: %s", resp.StatusCode, simBody)
+	}
+	if !strings.Contains(string(simBody), `"cycles"`) {
+		t.Fatalf("simulate body missing cycles: %s", simBody)
+	}
+
+	// Start an in-flight request (cold key, so it computes), then signal.
+	inflight := make(chan error, 1)
+	go func() {
+		b := `{"workload": "grep", "model": "MinBoost3"}`
+		resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(b))
+		if err != nil {
+			inflight <- err
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			inflight <- fmt.Errorf("in-flight request status %d", resp.StatusCode)
+			return
+		}
+		inflight <- nil
+	}()
+	time.Sleep(100 * time.Millisecond) // let the request reach the handler
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+
+	select {
+	case err := <-inflight:
+		if err != nil {
+			t.Errorf("in-flight request during drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight request never completed during drain")
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d after SIGTERM, want 0 (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if got := stdout.String(); !strings.Contains(got, "draining") || !strings.Contains(got, "drained") {
+		t.Errorf("drain log lines missing from stdout: %q", got)
+	}
+}
+
+func waitForAddr(t *testing.T, stdout *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "boostd: listening on "); ok {
+				return strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("daemon never printed its address; stdout: %q", stdout.String())
+	return ""
+}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,17 +22,35 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "grep", "workload name: "+strings.Join(boosting.Workloads(), ", "))
-	model := flag.String("model", "MinBoost3", "machine model: R2000, NoBoost, Squashing, Boost1, MinBoost3, Boost7")
-	local := flag.Bool("local", false, "restrict scheduling to basic blocks")
-	inf := flag.Bool("inf", false, "infinite register model (skip register allocation)")
-	dynamic := flag.Bool("dynamic", false, "simulate the dynamically-scheduled machine instead")
-	rename := flag.Bool("rename", false, "enable register renaming (dynamic machine only)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "boostsim:", err)
-		os.Exit(1)
+// run is the testable command body. Exit codes: 0 success, 1 pipeline or
+// simulation failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("boostsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "grep", "workload name: "+strings.Join(boosting.Workloads(), ", "))
+	model := fs.String("model", "MinBoost3", "machine model: R2000, NoBoost, Squashing, Boost1, MinBoost3, Boost7")
+	local := fs.Bool("local", false, "restrict scheduling to basic blocks")
+	inf := fs.Bool("inf", false, "infinite register model (skip register allocation)")
+	dynamic := fs.Bool("dynamic", false, "simulate the dynamically-scheduled machine instead")
+	rename := fs.Bool("rename", false, "enable register renaming (dynamic machine only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "boostsim: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *rename && !*dynamic {
+		fmt.Fprintln(stderr, "boostsim: -rename applies to the dynamic machine only (add -dynamic)")
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "boostsim:", err)
+		return 1
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -48,40 +67,41 @@ func main() {
 	if *dynamic {
 		c, err := p.Compile(ctx, *workload)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		res, err := p.SimulateDynamic(ctx, c, *rename)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("workload   %s\n", *workload)
-		fmt.Printf("machine    dynamic scheduler (renaming=%v)\n", *rename)
-		fmt.Printf("cycles     %d\n", res.Cycles)
-		fmt.Printf("scalar     %d\n", res.ScalarCycles)
-		fmt.Printf("speedup    %.2fx\n", res.Speedup)
-		fmt.Printf("mispredict %d\n", res.Mispredicts)
-		return
+		fmt.Fprintf(stdout, "workload   %s\n", *workload)
+		fmt.Fprintf(stdout, "machine    dynamic scheduler (renaming=%v)\n", *rename)
+		fmt.Fprintf(stdout, "cycles     %d\n", res.Cycles)
+		fmt.Fprintf(stdout, "scalar     %d\n", res.ScalarCycles)
+		fmt.Fprintf(stdout, "speedup    %.2fx\n", res.Speedup)
+		fmt.Fprintf(stdout, "mispredict %d\n", res.Mispredicts)
+		return 0
 	}
 
 	m, err := boosting.ModelByName(*model)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	c, err := p.Compile(ctx, *workload)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	res, err := p.Simulate(ctx, c, m)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("workload     %s\n", *workload)
-	fmt.Printf("machine      %s (local=%v, infinite-regs=%v)\n", m, *local, *inf)
-	fmt.Printf("cycles       %d\n", res.Cycles)
-	fmt.Printf("scalar       %d\n", res.ScalarCycles)
-	fmt.Printf("speedup      %.2fx\n", res.Speedup)
-	fmt.Printf("insts        %d (IPC %.2f)\n", res.Insts, float64(res.Insts)/float64(res.Cycles))
-	fmt.Printf("boosted      %d executed, %d squashed\n", res.BoostedExec, res.Squashed)
-	fmt.Printf("prediction   %.1f%%\n", 100*res.PredictionAccuracy)
-	fmt.Printf("object size  %.2fx original\n", res.ObjectGrowth)
+	fmt.Fprintf(stdout, "workload     %s\n", *workload)
+	fmt.Fprintf(stdout, "machine      %s (local=%v, infinite-regs=%v)\n", m, *local, *inf)
+	fmt.Fprintf(stdout, "cycles       %d\n", res.Cycles)
+	fmt.Fprintf(stdout, "scalar       %d\n", res.ScalarCycles)
+	fmt.Fprintf(stdout, "speedup      %.2fx\n", res.Speedup)
+	fmt.Fprintf(stdout, "insts        %d (IPC %.2f)\n", res.Insts, float64(res.Insts)/float64(res.Cycles))
+	fmt.Fprintf(stdout, "boosted      %d executed, %d squashed\n", res.BoostedExec, res.Squashed)
+	fmt.Fprintf(stdout, "prediction   %.1f%%\n", 100*res.PredictionAccuracy)
+	fmt.Fprintf(stdout, "object size  %.2fx original\n", res.ObjectGrowth)
+	return 0
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"stray argument", []string{"grep"}},
+		{"rename without dynamic", []string{"-rename"}},
+	}
+	for _, tc := range cases {
+		var out, errw bytes.Buffer
+		if code := run(tc.args, &out, &errw); code != 2 {
+			t.Errorf("%s: run(%v) = %d, want 2", tc.name, tc.args, code)
+		}
+		if errw.Len() == 0 {
+			t.Errorf("%s: expected a usage message on stderr", tc.name)
+		}
+	}
+}
+
+func TestDomainErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "doom"},
+		{"-model", "Pentium"},
+	} {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 1 {
+			t.Errorf("run(%v) = %d, want 1 (stderr: %s)", args, code, errw.String())
+		}
+		if !strings.Contains(errw.String(), "boostsim:") {
+			t.Errorf("run(%v): stderr missing prefixed error: %q", args, errw.String())
+		}
+	}
+}
+
+func TestSimulateReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload simulation in -short mode")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-workload", "grep", "-model", "MinBoost3"}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	for _, want := range []string{"workload     grep", "cycles", "speedup", "boosted", "prediction"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}

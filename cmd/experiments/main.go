@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
@@ -24,18 +25,36 @@ import (
 )
 
 func main() {
-	all := flag.Bool("all", false, "run every experiment")
-	t1 := flag.Bool("table1", false, "Table 1: benchmark simulation information")
-	f8 := flag.Bool("fig8", false, "Figure 8: speedups without speculation hardware")
-	t2 := flag.Bool("table2", false, "Table 2: improvements from boosting configurations")
-	f9 := flag.Bool("fig9", false, "Figure 9: MinBoost3 vs the dynamic scheduler")
-	costs := flag.Bool("costs", false, "exception-handling costs (§2.3)")
-	hw := flag.Bool("hw", false, "shadow register file hardware costs (§4.3.2)")
-	csvPath := flag.String("csv", "", "also write all results as tidy CSV to this file")
-	parallel := flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
-	metrics := flag.Bool("metrics", false, "print per-stage pipeline metrics after the experiments")
-	metricsJSON := flag.Bool("metrics-json", false, "print per-stage pipeline metrics as JSON")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable command body. Exit codes: 0 success, 1 experiment
+// or I/O failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	all := fs.Bool("all", false, "run every experiment")
+	t1 := fs.Bool("table1", false, "Table 1: benchmark simulation information")
+	f8 := fs.Bool("fig8", false, "Figure 8: speedups without speculation hardware")
+	t2 := fs.Bool("table2", false, "Table 2: improvements from boosting configurations")
+	f9 := fs.Bool("fig9", false, "Figure 9: MinBoost3 vs the dynamic scheduler")
+	costs := fs.Bool("costs", false, "exception-handling costs (§2.3)")
+	hw := fs.Bool("hw", false, "shadow register file hardware costs (§4.3.2)")
+	csvPath := fs.String("csv", "", "also write all results as tidy CSV to this file")
+	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	metrics := fs.Bool("metrics", false, "print per-stage pipeline metrics after the experiments")
+	metricsJSON := fs.Bool("metrics-json", false, "print per-stage pipeline metrics as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "experiments: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *parallel < 0 {
+		fmt.Fprintln(stderr, "experiments: -parallel must be >= 0")
+		return 2
+	}
 
 	if !(*all || *t1 || *f8 || *t2 || *f9 || *costs || *hw) {
 		*all = true
@@ -44,83 +63,85 @@ func main() {
 	defer stop()
 	s := experiments.NewSuite()
 	s.Runner.Parallelism = *parallel
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
 	}
 
 	if *all || *t1 {
 		rows, err := s.Table1(ctx)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Println("== Table 1: Benchmark programs and their simulation information ==")
-		fmt.Println(experiments.FormatTable1(rows))
+		fmt.Fprintln(stdout, "== Table 1: Benchmark programs and their simulation information ==")
+		fmt.Fprintln(stdout, experiments.FormatTable1(rows))
 	}
 	if *all || *f8 {
 		rows, gmBB, gmGl, err := s.Figure8(ctx)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Println("== Figure 8: Performance achievable without speculative execution hardware ==")
-		fmt.Println(experiments.FormatFigure8(rows, gmBB, gmGl))
-		fmt.Println(experiments.Figure8Chart(rows))
+		fmt.Fprintln(stdout, "== Figure 8: Performance achievable without speculative execution hardware ==")
+		fmt.Fprintln(stdout, experiments.FormatFigure8(rows, gmBB, gmGl))
+		fmt.Fprintln(stdout, experiments.Figure8Chart(rows))
 	}
 	if *all || *t2 {
 		rows, geo, err := s.Table2(ctx)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Println("== Table 2: Performance improvements over global scheduling ==")
-		fmt.Println(experiments.FormatTable2(rows, geo))
+		fmt.Fprintln(stdout, "== Table 2: Performance improvements over global scheduling ==")
+		fmt.Fprintln(stdout, experiments.FormatTable2(rows, geo))
 	}
 	if *all || *f9 {
 		rows, gmMB3, gmDyn, err := s.Figure9(ctx)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Println("== Figure 9: Performance comparison with a dynamic scheduler ==")
-		fmt.Println(experiments.FormatFigure9(rows, gmMB3, gmDyn))
-		fmt.Println(experiments.Figure9Chart(rows))
+		fmt.Fprintln(stdout, "== Figure 9: Performance comparison with a dynamic scheduler ==")
+		fmt.Fprintln(stdout, experiments.FormatFigure9(rows, gmMB3, gmDyn))
+		fmt.Fprintln(stdout, experiments.Figure9Chart(rows))
 	}
 	if *all || *costs {
 		ec, err := s.ExceptionCostsReport(ctx)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Println("== Boosted exception handling costs (paper §2.3) ==")
-		fmt.Printf("handler entry overhead: %d cycles\n", ec.HandlerOverhead)
-		fmt.Println("object growth under MinBoost3 (scheduled+recovery / original):")
+		fmt.Fprintln(stdout, "== Boosted exception handling costs (paper §2.3) ==")
+		fmt.Fprintf(stdout, "handler entry overhead: %d cycles\n", ec.HandlerOverhead)
+		fmt.Fprintln(stdout, "object growth under MinBoost3 (scheduled+recovery / original):")
 		for _, w := range s.Workloads {
-			fmt.Printf("  %-10s %.2fx\n", w.Name, ec.Growth[w.Name])
+			fmt.Fprintf(stdout, "  %-10s %.2fx\n", w.Name, ec.Growth[w.Name])
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if *all || *hw {
-		fmt.Println("== Shadow register file hardware costs (paper §4.3.2) ==")
-		fmt.Print(hwcost.NewReport().String())
+		fmt.Fprintln(stdout, "== Shadow register file hardware costs (paper §4.3.2) ==")
+		fmt.Fprint(stdout, hwcost.NewReport().String())
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := s.WriteCSV(ctx, f); err != nil {
-			fail(err)
+			f.Close()
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Println("wrote", *csvPath)
+		fmt.Fprintln(stdout, "wrote", *csvPath)
 	}
 	if *metricsJSON {
 		js, err := s.Metrics().JSON()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Println(js)
+		fmt.Fprintln(stdout, js)
 	} else if *metrics {
-		fmt.Println("== Pipeline metrics ==")
-		fmt.Print(s.Metrics().String())
+		fmt.Fprintln(stdout, "== Pipeline metrics ==")
+		fmt.Fprint(stdout, s.Metrics().String())
 	}
+	return 0
 }

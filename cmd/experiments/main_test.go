@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"stray argument", []string{"table1"}},
+		{"negative parallel", []string{"-parallel", "-2"}},
+	}
+	for _, tc := range cases {
+		var out, errw bytes.Buffer
+		if code := run(tc.args, &out, &errw); code != 2 {
+			t.Errorf("%s: run(%v) = %d, want 2", tc.name, tc.args, code)
+		}
+		if errw.Len() == 0 {
+			t.Errorf("%s: expected a usage message on stderr", tc.name)
+		}
+	}
+}
+
+func TestHWReportNeedsNoSimulation(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-hw"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-hw) = %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "Shadow register file hardware costs") {
+		t.Errorf("missing hardware cost report:\n%s", out.String())
+	}
+}
+
+func TestCSVCreateFailure(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.csv")
+	var out, errw bytes.Buffer
+	// -hw keeps the run cheap; the CSV step still executes and fails.
+	if code := run([]string{"-hw", "-csv", bad}, &out, &errw); code != 1 {
+		t.Fatalf("run with unwritable -csv = %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "experiments:") {
+		t.Errorf("stderr missing prefixed error: %q", errw.String())
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment grid in -short mode")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-table1"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-table1) = %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "== Table 1:") {
+		t.Errorf("missing Table 1 header:\n%s", out.String())
+	}
+}

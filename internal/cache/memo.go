@@ -3,6 +3,7 @@ package cache
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -40,6 +41,10 @@ func NewMemo[V any]() *Memo[V] {
 // the single in-flight computation finishes (or until their own ctx is
 // cancelled, in which case they return ctx's error without disturbing the
 // flight). fn itself is responsible for honoring ctx.
+//
+// If fn panics, the panic propagates to the caller that ran it, the key
+// is forgotten, and every waiter receives an error instead of blocking
+// forever — a must for servers that recover panics per request.
 func (m *Memo[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V, error) {
 	var zero V
 	if err := ctx.Err(); err != nil {
@@ -62,17 +67,35 @@ func (m *Memo[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V, 
 	m.mu.Unlock()
 	m.misses.Add(1)
 
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = fmt.Errorf("cache: computing %q panicked: %v", key, r)
+			m.forget(key)
+			close(e.done)
+			panic(r)
+		}
+	}()
 	e.val, e.err = fn()
 	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
 		// Do not poison the key with a cancellation: drop the entry so a
 		// later call (under a fresh context) recomputes it.
-		m.mu.Lock()
-		delete(m.entries, key)
-		m.mu.Unlock()
+		m.forget(key)
 	}
 	close(e.done)
 	return e.val, e.err
 }
+
+func (m *Memo[V]) forget(key string) {
+	m.mu.Lock()
+	delete(m.entries, key)
+	m.mu.Unlock()
+}
+
+// Forget drops the memoized entry for key, if any. Callers use it to
+// un-cache results that must not outlive the conditions that produced
+// them — for example a server's admission-queue rejection, which says
+// nothing about the request itself.
+func (m *Memo[V]) Forget(key string) { m.forget(key) }
 
 // Stats returns the number of lookups served from the table and the
 // number that ran the compute function.

@@ -121,3 +121,60 @@ func TestMemoWaiterCancellation(t *testing.T) {
 		t.Fatalf("flight result lost: %d, %v", v, err)
 	}
 }
+
+// TestMemoPanicSafety: a panicking compute function must propagate the
+// panic to its own caller, hand every concurrent waiter an error instead
+// of a hang, and forget the key so the next call can retry cleanly.
+func TestMemoPanicSafety(t *testing.T) {
+	m := NewMemo[int]()
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan any, 1)
+	go func() {
+		defer func() { leaderDone <- recover() }()
+		m.Do(context.Background(), "boom", func() (int, error) {
+			close(started)
+			<-release
+			panic("kaboom")
+		})
+	}()
+	<-started
+
+	// Waiters join the in-flight computation; any straggler that arrives
+	// after the key is forgotten recomputes and hits errRecompute instead.
+	errRecompute := errors.New("recomputed")
+	const waiters = 8
+	errs := make(chan error, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := m.Do(context.Background(), "boom", func() (int, error) { return 0, errRecompute })
+			errs <- err
+		}()
+	}
+	// Give the waiters a moment to join the flight, then let it blow up.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if r := <-leaderDone; r == nil {
+		t.Fatal("panic did not propagate to the computing caller")
+	}
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("waiter got nil error from panicked flight")
+		}
+	}
+	// The key must be retryable after the panic (a straggler waiter may
+	// have recomputed and memoized errRecompute; forget it first so this
+	// checks the panicked flight specifically was not cached).
+	m.forget("boom")
+	v, err := m.Do(context.Background(), "boom", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after panic = %d, %v", v, err)
+	}
+}

@@ -8,6 +8,9 @@ import (
 // TestReproduceAll regenerates every table and figure and checks the
 // paper's qualitative findings (the "shape" criteria from DESIGN.md).
 func TestReproduceAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment grid in -short mode")
+	}
 	s := NewSuite()
 	ctx := context.Background()
 

@@ -117,7 +117,7 @@ func (s *Suite) ExceptionCostsReport(ctx context.Context) (*ExceptionCosts, erro
 		HandlerOverhead: machine.MinBoost3().ExceptionOverhead,
 	}
 	growths := make([]float64, len(s.Workloads))
-	if err := runLimited(ctx, len(s.Workloads), s.Runner.workers(), func(ctx context.Context, i int) error {
+	if err := ForEachLimited(ctx, len(s.Workloads), s.Runner.workers(), func(ctx context.Context, i int) error {
 		g, err := s.Store.objectGrowth(ctx, s.Workloads[i], machine.MinBoost3(), core.Options{})
 		if err != nil {
 			return err

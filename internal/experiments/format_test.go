@@ -155,6 +155,9 @@ func TestBarChart(t *testing.T) {
 }
 
 func TestWriteCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full CSV grid in -short mode")
+	}
 	s := NewSuite()
 	var buf strings.Builder
 	if err := s.WriteCSV(context.Background(), &buf); err != nil {

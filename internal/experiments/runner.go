@@ -67,7 +67,7 @@ func (r *Runner) workers() int {
 // promptly with an error wrapping the context's error.
 func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 	results := make([]CellResult, len(cells))
-	err := runLimited(ctx, len(cells), r.workers(), func(ctx context.Context, i int) error {
+	err := ForEachLimited(ctx, len(cells), r.workers(), func(ctx context.Context, i int) error {
 		cycles, err := r.measureCell(ctx, cells[i])
 		if err != nil {
 			return fmt.Errorf("%s: %w", cells[i], err)
@@ -88,12 +88,14 @@ func (r *Runner) measureCell(ctx context.Context, c Cell) (int64, error) {
 	return r.Store.measure(ctx, c.Workload, c.Model, c.Opts, c.Alloc)
 }
 
-// runLimited runs fn(ctx, i) for i in [0, n) on up to parallelism worker
-// goroutines. On the first error the remaining work is cancelled and the
-// error of the lowest-indexed failing task is returned (so errors are as
-// deterministic as the tasks themselves); if ctx was cancelled from
-// outside, the returned error wraps the context error.
-func runLimited(ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) error) error {
+// ForEachLimited runs fn(ctx, i) for i in [0, n) on up to parallelism
+// worker goroutines — the experiment harness's worker pool, exported so
+// other grid-shaped consumers (the boostd service's /v1/grid fan-out)
+// reuse one scheduling policy. On the first error the remaining work is
+// cancelled and the error of the lowest-indexed failing task is returned
+// (so errors are as deterministic as the tasks themselves); if ctx was
+// cancelled from outside, the returned error wraps the context error.
+func ForEachLimited(ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) error) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("experiments: %w", err)
 	}

@@ -42,6 +42,9 @@ func fullGrid(s *Suite) []Cell {
 // race detector in `make test-race`), must produce identical results cell
 // for cell.
 func TestRunnerParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full grids in -short mode")
+	}
 	ctx := context.Background()
 
 	serial := NewSuite()
@@ -74,6 +77,9 @@ func TestRunnerParallelMatchesSerial(t *testing.T) {
 // artifact store issued each unique (workload, regalloc-mode) build
 // exactly once.
 func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full grids in -short mode")
+	}
 	ctx := context.Background()
 	render := func(s *Suite) (string, error) {
 		var b strings.Builder
@@ -174,6 +180,9 @@ func TestRunnerCancellation(t *testing.T) {
 // error, not a knock-on cancellation. The broken workload builds
 // structurally different train/test programs, so profile transfer fails.
 func TestRunnerCellError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid with an injected failure in -short mode")
+	}
 	s := NewSuite()
 	s.Runner.Parallelism = 4
 	bad := &workloads.Workload{

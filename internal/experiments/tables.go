@@ -34,7 +34,7 @@ func (s *Suite) Table1(ctx context.Context) ([]Table1Row, error) {
 		return nil, err
 	}
 	// Warm the reference runs and accuracies concurrently too.
-	if err := runLimited(ctx, len(s.Workloads), s.Runner.workers(), func(ctx context.Context, i int) error {
+	if err := ForEachLimited(ctx, len(s.Workloads), s.Runner.workers(), func(ctx context.Context, i int) error {
 		if _, err := s.reference(ctx, s.Workloads[i], true); err != nil {
 			return err
 		}

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, chosen to
+// resolve both the sub-millisecond cache-hit path and multi-second grid
+// sweeps.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// histogram is a fixed-bucket latency histogram with Prometheus
+// cumulative-bucket semantics.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds; +Inf implicit
+	counts []int64   // per-bucket (non-cumulative) counts; len(bounds)+1
+	sum    float64
+	total  int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) Observe(seconds float64) {
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+	h.mu.Unlock()
+}
+
+// snapshot returns cumulative bucket counts (le order), the sum and the
+// total count.
+func (h *histogram) snapshot() (cum []int64, sum float64, total int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]int64, len(h.counts))
+	var run int64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return cum, h.sum, h.total
+}
+
+// endpointMetrics tracks one HTTP endpoint.
+type endpointMetrics struct {
+	latency  *histogram
+	mu       sync.Mutex
+	byCode   map[int]int64
+	rejected atomic.Int64
+}
+
+func (e *endpointMetrics) record(code int, seconds float64) {
+	e.latency.Observe(seconds)
+	e.mu.Lock()
+	e.byCode[code]++
+	e.mu.Unlock()
+}
+
+// metricsRegistry is the daemon's hand-rolled Prometheus registry: a
+// fixed endpoint set with latency histograms and per-status counters,
+// plus live gauges (queue depth, in-flight) and cache counters read from
+// the admission queue and memo stores at scrape time. The exposition
+// format is the Prometheus text format, version 0.0.4.
+type metricsRegistry struct {
+	order     []string
+	endpoints map[string]*endpointMetrics
+	panics    atomic.Int64
+
+	// Gauges and cache counters are sampled at scrape time.
+	queueDepth func() int64
+	inFlight   func() int64
+	respCache  func() (hits, misses int64)
+	pipeCache  func() (hits, misses int64)
+}
+
+func newMetricsRegistry(endpoints []string) *metricsRegistry {
+	m := &metricsRegistry{
+		order:      append([]string(nil), endpoints...),
+		endpoints:  make(map[string]*endpointMetrics, len(endpoints)),
+		queueDepth: func() int64 { return 0 },
+		inFlight:   func() int64 { return 0 },
+		respCache:  func() (int64, int64) { return 0, 0 },
+		pipeCache:  func() (int64, int64) { return 0, 0 },
+	}
+	for _, ep := range endpoints {
+		m.endpoints[ep] = &endpointMetrics{
+			latency: newHistogram(latencyBuckets),
+			byCode:  map[int]int64{},
+		}
+	}
+	return m
+}
+
+func (m *metricsRegistry) endpoint(path string) *endpointMetrics { return m.endpoints[path] }
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format. Output is deterministic: endpoints in registration order,
+// status codes sorted ascending.
+func (m *metricsRegistry) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP boostd_request_seconds Request latency by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE boostd_request_seconds histogram\n")
+	for _, ep := range m.order {
+		cum, sum, total := m.endpoints[ep].latency.snapshot()
+		for i, bound := range latencyBuckets {
+			fmt.Fprintf(w, "boostd_request_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, formatFloat(bound), cum[i])
+		}
+		fmt.Fprintf(w, "boostd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum[len(cum)-1])
+		fmt.Fprintf(w, "boostd_request_seconds_sum{endpoint=%q} %s\n", ep, formatFloat(sum))
+		fmt.Fprintf(w, "boostd_request_seconds_count{endpoint=%q} %d\n", ep, total)
+	}
+
+	fmt.Fprintf(w, "# HELP boostd_requests_total Requests served, by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE boostd_requests_total counter\n")
+	for _, ep := range m.order {
+		e := m.endpoints[ep]
+		e.mu.Lock()
+		codes := make([]int, 0, len(e.byCode))
+		for c := range e.byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "boostd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, e.byCode[c])
+		}
+		e.mu.Unlock()
+	}
+
+	fmt.Fprintf(w, "# HELP boostd_rejected_total Requests rejected with 429 by a full admission queue.\n")
+	fmt.Fprintf(w, "# TYPE boostd_rejected_total counter\n")
+	for _, ep := range m.order {
+		fmt.Fprintf(w, "boostd_rejected_total{endpoint=%q} %d\n", ep, m.endpoints[ep].rejected.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP boostd_queue_depth Requests waiting for an execution slot.\n")
+	fmt.Fprintf(w, "# TYPE boostd_queue_depth gauge\n")
+	fmt.Fprintf(w, "boostd_queue_depth %d\n", m.queueDepth())
+
+	fmt.Fprintf(w, "# HELP boostd_in_flight Requests currently executing.\n")
+	fmt.Fprintf(w, "# TYPE boostd_in_flight gauge\n")
+	fmt.Fprintf(w, "boostd_in_flight %d\n", m.inFlight())
+
+	rh, rm := m.respCache()
+	fmt.Fprintf(w, "# HELP boostd_cache_hits_total Responses served from the deduplicating result cache.\n")
+	fmt.Fprintf(w, "# TYPE boostd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "boostd_cache_hits_total %d\n", rh)
+	fmt.Fprintf(w, "# HELP boostd_cache_misses_total Responses that ran the pipeline.\n")
+	fmt.Fprintf(w, "# TYPE boostd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "boostd_cache_misses_total %d\n", rm)
+
+	ph, pm := m.pipeCache()
+	fmt.Fprintf(w, "# HELP boostd_pipeline_cache_hits_total Pipeline artifact-cache hits (compiled workloads, scalar baselines).\n")
+	fmt.Fprintf(w, "# TYPE boostd_pipeline_cache_hits_total counter\n")
+	fmt.Fprintf(w, "boostd_pipeline_cache_hits_total %d\n", ph)
+	fmt.Fprintf(w, "# HELP boostd_pipeline_cache_misses_total Pipeline artifact-cache misses.\n")
+	fmt.Fprintf(w, "# TYPE boostd_pipeline_cache_misses_total counter\n")
+	fmt.Fprintf(w, "boostd_pipeline_cache_misses_total %d\n", pm)
+
+	fmt.Fprintf(w, "# HELP boostd_panics_total Request handlers recovered from a panic.\n")
+	fmt.Fprintf(w, "# TYPE boostd_panics_total counter\n")
+	fmt.Fprintf(w, "boostd_panics_total %d\n", m.panics.Load())
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1})
+	h.Observe(0.005) // bucket le=0.01
+	h.Observe(0.05)  // bucket le=0.1
+	h.Observe(0.05)
+	h.Observe(5) // +Inf only
+	cum, sum, total := h.snapshot()
+	want := []int64{1, 3, 3, 4}
+	for i, c := range cum {
+		if c != want[i] {
+			t.Errorf("cum[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+	if total != 4 {
+		t.Errorf("total = %d, want 4", total)
+	}
+	if sum < 5.1 || sum > 5.2 {
+		t.Errorf("sum = %v, want ~5.105", sum)
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	// Prometheus buckets are le (less-or-equal): an observation exactly on
+	// a bound belongs to that bound's bucket.
+	h := newHistogram([]float64{0.01, 0.1})
+	h.Observe(0.01)
+	cum, _, _ := h.snapshot()
+	if cum[0] != 1 {
+		t.Errorf("observation at bound landed in cum=%v, want first bucket", cum)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	m := newMetricsRegistry([]string{"/a", "/b"})
+	m.endpoint("/a").record(200, 0.002)
+	m.endpoint("/a").record(500, 0.3)
+	m.endpoint("/b").record(200, 0.004)
+	m.panics.Add(2)
+	m.queueDepth = func() int64 { return 7 }
+	m.respCache = func() (int64, int64) { return 10, 3 }
+
+	var b1, b2 bytes.Buffer
+	m.WritePrometheus(&b1)
+	m.WritePrometheus(&b2)
+	if b1.String() != b2.String() {
+		t.Fatal("two scrapes of an idle registry differ")
+	}
+	out := b1.String()
+	for _, want := range []string{
+		`boostd_request_seconds_bucket{endpoint="/a",le="0.005"} 1`,
+		`boostd_request_seconds_bucket{endpoint="/a",le="+Inf"} 2`,
+		`boostd_request_seconds_count{endpoint="/a"} 2`,
+		`boostd_requests_total{endpoint="/a",code="200"} 1`,
+		`boostd_requests_total{endpoint="/a",code="500"} 1`,
+		`boostd_requests_total{endpoint="/b",code="200"} 1`,
+		"boostd_queue_depth 7",
+		"boostd_cache_hits_total 10",
+		"boostd_cache_misses_total 3",
+		"boostd_panics_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Endpoints render in registration order.
+	if strings.Index(out, `endpoint="/a"`) > strings.Index(out, `endpoint="/b"`) {
+		t.Error("endpoint order not deterministic registration order")
+	}
+	// Every metric family is announced with HELP and TYPE.
+	for _, family := range []string{
+		"boostd_request_seconds", "boostd_requests_total", "boostd_rejected_total",
+		"boostd_queue_depth", "boostd_in_flight", "boostd_cache_hits_total",
+		"boostd_cache_misses_total", "boostd_pipeline_cache_hits_total",
+		"boostd_pipeline_cache_misses_total", "boostd_panics_total",
+	} {
+		if !strings.Contains(out, "# HELP "+family+" ") || !strings.Contains(out, "# TYPE "+family+" ") {
+			t.Errorf("family %s missing HELP/TYPE", family)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by admitQueue.Acquire when both every
+// execution slot and every waiting slot are taken; handlers translate it
+// to 429 Too Many Requests with a Retry-After hint.
+var ErrSaturated = errors.New("service: admission queue full")
+
+// admitQueue is the daemon's bounded admission queue: at most maxInFlight
+// requests execute concurrently and at most maxQueue more may wait for a
+// slot. Anything beyond that is rejected immediately — backpressure
+// instead of unbounded goroutine pileup. A waiter whose context is
+// cancelled releases its waiting slot on the way out.
+type admitQueue struct {
+	tickets chan struct{} // waiting + running
+	running chan struct{} // running only
+	waiting atomic.Int64
+}
+
+func newAdmitQueue(maxInFlight, maxQueue int) *admitQueue {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admitQueue{
+		tickets: make(chan struct{}, maxInFlight+maxQueue),
+		running: make(chan struct{}, maxInFlight),
+	}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue if all
+// slots are busy. It returns ErrSaturated without blocking when the
+// queue itself is full, and ctx.Err() if the caller gives up first.
+// Every successful Acquire must be paired with Release.
+func (q *admitQueue) Acquire(ctx context.Context) error {
+	select {
+	case q.tickets <- struct{}{}:
+	default:
+		return ErrSaturated
+	}
+	q.waiting.Add(1)
+	defer q.waiting.Add(-1)
+	select {
+	case q.running <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-q.tickets
+		return ctx.Err()
+	}
+}
+
+// Release frees the execution slot claimed by a successful Acquire.
+func (q *admitQueue) Release() {
+	<-q.running
+	<-q.tickets
+}
+
+// Depth reports how many requests are waiting (admitted but not yet
+// executing).
+func (q *admitQueue) Depth() int64 { return q.waiting.Load() }
+
+// InFlight reports how many requests hold execution slots.
+func (q *admitQueue) InFlight() int64 { return int64(len(q.running)) }

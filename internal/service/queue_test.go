@@ -1,0 +1,104 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueSaturates(t *testing.T) {
+	q := newAdmitQueue(1, 1)
+	ctx := context.Background()
+	if err := q.Acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Second caller fits in the queue; park it in a goroutine.
+	admitted := make(chan struct{})
+	go func() {
+		if err := q.Acquire(ctx); err != nil {
+			t.Errorf("queued acquire: %v", err)
+		}
+		close(admitted)
+	}()
+	waitFor(t, "waiter queued", func() bool { return q.Depth() == 1 })
+
+	// Third caller is rejected immediately, without blocking.
+	start := time.Now()
+	if err := q.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third acquire = %v, want ErrSaturated", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("saturated acquire blocked for %v", d)
+	}
+
+	q.Release()
+	<-admitted
+	q.Release()
+	if q.Depth() != 0 || q.InFlight() != 0 {
+		t.Errorf("after drain: depth=%d inflight=%d, want 0/0", q.Depth(), q.InFlight())
+	}
+}
+
+func TestQueueCancelledWaiterReleasesTicket(t *testing.T) {
+	q := newAdmitQueue(1, 1)
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- q.Acquire(ctx) }()
+	waitFor(t, "waiter queued", func() bool { return q.Depth() == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	// The abandoned ticket is free again: a new waiter fits in the queue.
+	errc2 := make(chan error, 1)
+	go func() { errc2 <- q.Acquire(context.Background()) }()
+	waitFor(t, "new waiter queued", func() bool { return q.Depth() == 1 })
+	q.Release()
+	if err := <-errc2; err != nil {
+		t.Fatalf("post-cancel acquire: %v", err)
+	}
+	q.Release()
+}
+
+// TestQueueBoundsConcurrency hammers the queue from many goroutines and
+// checks the execution-slot invariant holds throughout.
+func TestQueueBoundsConcurrency(t *testing.T) {
+	const maxInFlight, workers = 3, 32
+	q := newAdmitQueue(maxInFlight, workers)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := q.Acquire(context.Background()); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+				q.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > maxInFlight {
+		t.Errorf("observed %d concurrent holders, cap is %d", p, maxInFlight)
+	}
+	if q.Depth() != 0 || q.InFlight() != 0 {
+		t.Errorf("after drain: depth=%d inflight=%d", q.Depth(), q.InFlight())
+	}
+}

@@ -1,0 +1,304 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"boosting"
+	"boosting/internal/core"
+)
+
+// OptionsRequest is the wire form of the pipeline's functional options.
+// Field names mirror the Option constructors in the boosting package.
+type OptionsRequest struct {
+	LocalOnly         bool `json:"local_only,omitempty"`
+	InfiniteRegisters bool `json:"infinite_registers,omitempty"`
+	NoEquivalence     bool `json:"no_equivalence,omitempty"`
+	NoDisambiguation  bool `json:"no_disambiguation,omitempty"`
+	MaxTraceBlocks    int  `json:"max_trace_blocks,omitempty"`
+}
+
+func (o OptionsRequest) opts() []boosting.Option {
+	var opts []boosting.Option
+	if o.LocalOnly {
+		opts = append(opts, boosting.WithLocalOnly())
+	}
+	if o.InfiniteRegisters {
+		opts = append(opts, boosting.WithInfiniteRegisters())
+	}
+	if o.NoEquivalence {
+		opts = append(opts, boosting.WithoutEquivalence())
+	}
+	if o.NoDisambiguation {
+		opts = append(opts, boosting.WithoutDisambiguation())
+	}
+	if o.MaxTraceBlocks > 0 {
+		opts = append(opts, boosting.WithMaxTraceBlocks(o.MaxTraceBlocks))
+	}
+	return opts
+}
+
+func (o OptionsRequest) coreOptions() core.Options {
+	return core.Options{
+		LocalOnly:          o.LocalOnly,
+		DisableEquivalence: o.NoEquivalence,
+		NoDisambiguation:   o.NoDisambiguation,
+		MaxTraceBlocks:     o.MaxTraceBlocks,
+	}
+}
+
+// key spells out every field so the response cache never conflates two
+// distinct configurations.
+func (o OptionsRequest) key() string {
+	return fmt.Sprintf("local=%v;inf=%v;noeq=%v;nodis=%v;trace=%d",
+		o.LocalOnly, o.InfiniteRegisters, o.NoEquivalence, o.NoDisambiguation, o.MaxTraceBlocks)
+}
+
+func (o OptionsRequest) validate() error {
+	if o.MaxTraceBlocks < 0 {
+		return fmt.Errorf("max_trace_blocks must be >= 0, got %d", o.MaxTraceBlocks)
+	}
+	return nil
+}
+
+// CompileRequest asks /v1/compile to schedule an assembly program for a
+// machine model and return the machine-schedule listing plus stats.
+type CompileRequest struct {
+	// Asm is the program in the textual assembly dialect of
+	// internal/prog (the format cmd/boostcc consumes).
+	Asm     string         `json:"asm"`
+	Model   string         `json:"model"`
+	Options OptionsRequest `json:"options"`
+}
+
+func (r CompileRequest) validate() error {
+	if strings.TrimSpace(r.Asm) == "" {
+		return fmt.Errorf("asm is required")
+	}
+	if r.Model == "" {
+		return fmt.Errorf("model is required")
+	}
+	if _, err := boosting.ModelByName(r.Model); err != nil {
+		return err
+	}
+	return r.Options.validate()
+}
+
+func (r CompileRequest) cacheKey() string {
+	return requestKey("compile", "asm:"+hashText(r.Asm), "model="+strings.ToLower(r.Model), r.Options.key())
+}
+
+// CompileResponse reports the scheduled program.
+type CompileResponse struct {
+	Model string `json:"model"`
+	// Listing is the formatted machine schedule (cycles × issue slots,
+	// boosting labels, recovery sites) for every procedure.
+	Listing string `json:"listing"`
+	// Insts counts scheduled instruction slots (NOP padding excluded).
+	Insts int `json:"insts"`
+	// Procs is the number of scheduled procedures.
+	Procs int `json:"procs"`
+	// ObjectGrowth is scheduled size (with recovery code) over original.
+	ObjectGrowth float64 `json:"object_growth"`
+}
+
+// SimulateRequest asks /v1/simulate to compile and execute either a named
+// benchmark workload or a raw assembly program. Exactly one of Workload
+// and Asm must be set. Dynamic selects the dynamically-scheduled
+// comparison machine (Model is then ignored); otherwise Model names one
+// of the paper's statically-scheduled configurations.
+type SimulateRequest struct {
+	Workload string         `json:"workload,omitempty"`
+	Asm      string         `json:"asm,omitempty"`
+	Model    string         `json:"model,omitempty"`
+	Dynamic  bool           `json:"dynamic,omitempty"`
+	Renaming bool           `json:"renaming,omitempty"`
+	Options  OptionsRequest `json:"options"`
+}
+
+func (r SimulateRequest) validate() error {
+	hasW, hasA := r.Workload != "", strings.TrimSpace(r.Asm) != ""
+	switch {
+	case hasW && hasA:
+		return fmt.Errorf("workload and asm are mutually exclusive")
+	case !hasW && !hasA:
+		return fmt.Errorf("one of workload or asm is required")
+	}
+	if hasW && !knownWorkload(r.Workload) {
+		return fmt.Errorf("unknown workload %q (want one of %s)", r.Workload, strings.Join(boosting.Workloads(), ", "))
+	}
+	if r.Dynamic {
+		if r.Model != "" {
+			return fmt.Errorf("model and dynamic are mutually exclusive")
+		}
+	} else {
+		if r.Model == "" {
+			return fmt.Errorf("model is required (or set dynamic)")
+		}
+		if _, err := boosting.ModelByName(r.Model); err != nil {
+			return err
+		}
+		if r.Renaming {
+			return fmt.Errorf("renaming applies to the dynamic machine only")
+		}
+	}
+	return r.Options.validate()
+}
+
+// programID identifies the simulated program for cache keying: the
+// workload name, or a content hash of the assembly text.
+func (r SimulateRequest) programID() string {
+	if r.Workload != "" {
+		return "workload:" + r.Workload
+	}
+	return "asm:" + hashText(r.Asm)
+}
+
+func (r SimulateRequest) cacheKey() string {
+	return requestKey("simulate", r.programID(),
+		fmt.Sprintf("model=%s;dynamic=%v;renaming=%v", strings.ToLower(r.Model), r.Dynamic, r.Renaming),
+		r.Options.key())
+}
+
+// SimulateResponse reports a verified run. All fields are deterministic
+// functions of the request, so identical requests always serialize to
+// byte-identical bodies.
+type SimulateResponse struct {
+	Workload string `json:"workload,omitempty"`
+	Machine  string `json:"machine"`
+	Cycles   int64  `json:"cycles"`
+	// ScalarCycles is the single-issue R2000 baseline on the same
+	// program and input; Speedup is ScalarCycles/Cycles.
+	ScalarCycles int64   `json:"scalar_cycles"`
+	Speedup      float64 `json:"speedup"`
+	Insts        int64   `json:"insts"`
+	IPC          float64 `json:"ipc"`
+	// BoostedExec and Squashed count speculative activity (static
+	// machines only).
+	BoostedExec int64 `json:"boosted_exec"`
+	Squashed    int64 `json:"squashed"`
+	// Mispredicts counts BTB mispredictions (dynamic machine only).
+	Mispredicts        int64   `json:"mispredicts,omitempty"`
+	PredictionAccuracy float64 `json:"prediction_accuracy,omitempty"`
+	ObjectGrowth       float64 `json:"object_growth,omitempty"`
+	// OutLen is the length of the observable output stream, which was
+	// verified against the reference interpreter before this response
+	// was produced.
+	OutLen int `json:"out_len"`
+}
+
+// GridRequest asks /v1/grid for an ablation sweep: every requested
+// workload × model × ablation cell, fanned out over the experiment
+// harness's worker pool. Empty lists default to the full set.
+type GridRequest struct {
+	Workloads []string `json:"workloads,omitempty"`
+	Models    []string `json:"models,omitempty"`
+	// Ablations filters boosting.Ablations() by name ("baseline",
+	// "no-equiv", "no-disamb", "short-traces", "local-only").
+	Ablations []string `json:"ablations,omitempty"`
+	// Parallelism bounds the per-request worker pool; it is capped by
+	// the server's configured grid parallelism.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+func (r GridRequest) validate() error {
+	for _, w := range r.Workloads {
+		if !knownWorkload(w) {
+			return fmt.Errorf("unknown workload %q", w)
+		}
+	}
+	for _, m := range r.Models {
+		if _, err := boosting.ModelByName(m); err != nil {
+			return err
+		}
+	}
+	for _, a := range r.Ablations {
+		if !knownAblation(a) {
+			return fmt.Errorf("unknown ablation %q (want one of %s)", a, strings.Join(ablationNames(), ", "))
+		}
+	}
+	if r.Parallelism < 0 {
+		return fmt.Errorf("parallelism must be >= 0, got %d", r.Parallelism)
+	}
+	return nil
+}
+
+// cacheKey ignores Parallelism: results are deterministic at any worker
+// count, so the same sweep at a different parallelism is the same sweep.
+func (r GridRequest) cacheKey() string {
+	return requestKey("grid",
+		"workloads="+strings.Join(r.Workloads, ","),
+		"models="+strings.Join(lowerAll(r.Models), ","),
+		"ablations="+strings.Join(r.Ablations, ","))
+}
+
+// GridRow is one cell of the sweep. Exactly one of (Cycles, Speedup) and
+// Error is meaningful.
+type GridRow struct {
+	Workload string  `json:"workload"`
+	Model    string  `json:"model"`
+	Ablation string  `json:"ablation"`
+	Cycles   int64   `json:"cycles,omitempty"`
+	Speedup  float64 `json:"speedup,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// GridResponse lists every cell in deterministic (workload, model,
+// ablation) order.
+type GridResponse struct {
+	Cells int       `json:"cells"`
+	Rows  []GridRow `json:"rows"`
+}
+
+// errorResponse is the body of every non-2xx JSON response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func knownWorkload(name string) bool {
+	for _, w := range boosting.Workloads() {
+		if w == name {
+			return true
+		}
+	}
+	return false
+}
+
+func knownAblation(name string) bool {
+	for _, ab := range boosting.Ablations() {
+		if ab.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func ablationNames() []string {
+	var names []string
+	for _, ab := range boosting.Ablations() {
+		names = append(names, ab.Name)
+	}
+	return names
+}
+
+func lowerAll(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = strings.ToLower(s)
+	}
+	return out
+}
+
+func hashText(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// requestKey builds the canonical cache key for a request: the endpoint
+// plus every field that can change the response (callers pass them in a
+// fixed order), hashed so keys stay bounded regardless of program size.
+func requestKey(endpoint string, parts ...string) string {
+	return endpoint + "|" + hashText(endpoint+"|"+strings.Join(parts, "|"))
+}

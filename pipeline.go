@@ -201,6 +201,16 @@ func (p *Pipeline) Run(ctx context.Context, workload string, model *machine.Mode
 	return p.Simulate(ctx, c, model, opts...)
 }
 
+// CacheStats reports the pipeline's artifact-cache activity: lookups
+// served from the memoized compile/baseline stores versus lookups that
+// ran the underlying computation. Servers exporting pipeline metrics
+// (cmd/boostd's /metrics) read their gauges from here.
+func (p *Pipeline) CacheStats() (hits, misses int64) {
+	ch, cm := p.compiles.Stats()
+	sh, sm := p.scalars.Stats()
+	return ch + sh, cm + sm
+}
+
 // scalarCycles memoizes the R2000 baseline per workload.
 func (p *Pipeline) scalarCycles(ctx context.Context, workload string) (int64, error) {
 	return p.scalars.Do(ctx, "scalar|"+workload, func() (int64, error) {
