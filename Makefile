@@ -6,8 +6,11 @@ GO ?= go
 # coverage so refactors that shed tests fail fast; raise as coverage grows.
 COVER_FLOOR_SIM ?= 78
 COVER_FLOOR_CORE ?= 90
+COVER_FLOOR_MACHINE ?= 75
+COVER_FLOOR_DYNSCHED ?= 75
+COVER_FLOOR_WORKLOADS ?= 75
 
-.PHONY: all test test-short test-race bench bench-json experiments fuzz fuzz-quick fuzz-smoke cover vet clean
+.PHONY: all test test-short test-race bench bench-json bench-simcore bench-simcore-check experiments fuzz fuzz-quick fuzz-smoke cover vet clean
 
 all: vet test test-race fuzz-quick
 
@@ -29,6 +32,19 @@ bench-json:
 	BOOSTD_BENCH_JSON=$(CURDIR)/BENCH_service.json $(GO) test -run TestWriteBenchJSON -count=1 ./internal/service/
 	@echo "wrote BENCH_service.json"
 
+# bench-simcore measures both simulator engines on the long kernels and
+# rewrites the committed BENCH_simcore.json baseline. It fails if the fast
+# core has lost its headline properties (>=3x over legacy, allocation-free
+# steady state), so a regressed baseline cannot be committed.
+bench-simcore:
+	SIMCORE_BENCH_JSON=$(CURDIR)/BENCH_simcore.json $(GO) test -run TestWriteSimcoreBenchJSON -count=1 ./internal/sim/
+	@echo "wrote BENCH_simcore.json"
+
+# bench-simcore-check re-measures the fast core and fails if it runs >15%
+# slower than the committed BENCH_simcore.json baseline. CI runs this.
+bench-simcore-check:
+	SIMCORE_BENCH_BASELINE=$(CURDIR)/BENCH_simcore.json $(GO) test -run TestSimcoreBenchRegression -count=1 -v ./internal/sim/
+
 experiments:
 	$(GO) run ./cmd/experiments -all
 
@@ -37,6 +53,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzFormatRoundTrip -fuzztime=30s ./internal/prog/
 	$(GO) test -fuzz=FuzzRecipeDecode -fuzztime=30s ./internal/difftest/
 	$(GO) test -fuzz=FuzzOracle -fuzztime=60s ./internal/difftest/
+	$(GO) test -fuzz=FuzzFastCore -fuzztime=60s ./internal/difftest/
 
 # fuzz-quick is the pre-commit-sized differential campaign: ten seconds
 # of random programs plus the reproducer corpus. `make all` runs it; use
@@ -53,9 +70,12 @@ fuzz-smoke:
 	$(GO) run ./cmd/boostfuzz -replay internal/difftest/testdata/corpus
 
 # cover enforces statement-coverage floors on the packages the
-# differential oracle leans on (the simulator and the scheduler).
+# differential oracle and golden-trace suite lean on: the simulator, the
+# scheduler, the machine models, the dynamic scheduler and the workloads.
 cover:
-	@set -e; for spec in internal/sim:$(COVER_FLOOR_SIM) internal/core:$(COVER_FLOOR_CORE); do \
+	@set -e; for spec in internal/sim:$(COVER_FLOOR_SIM) internal/core:$(COVER_FLOOR_CORE) \
+			internal/machine:$(COVER_FLOOR_MACHINE) internal/dynsched:$(COVER_FLOOR_DYNSCHED) \
+			internal/workloads:$(COVER_FLOOR_WORKLOADS); do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$($(GO) test -cover ./$$pkg/ | awk '{for(i=1;i<=NF;i++) if ($$i=="coverage:") {sub(/%/,"",$$(i+1)); print $$(i+1)}}'); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg"; exit 1; fi; \

@@ -95,6 +95,10 @@ func Models() ModelSet {
 
 // Result reports a compiled-and-simulated run.
 type Result struct {
+	// Engine names the simulator core that produced this run ("fast" or
+	// "legacy"); the engines are verified byte-identical, so it only
+	// records which core did the work.
+	Engine string
 	// Cycles is the machine cycles consumed on the test input.
 	Cycles int64
 	// ScalarCycles is the R2000 baseline on the same input.

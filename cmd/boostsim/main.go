@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"boosting"
+	"boosting/internal/sim"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	inf := fs.Bool("inf", false, "infinite register model (skip register allocation)")
 	dynamic := fs.Bool("dynamic", false, "simulate the dynamically-scheduled machine instead")
 	rename := fs.Bool("rename", false, "enable register renaming (dynamic machine only)")
+	engineName := fs.String("engine", "fast", `simulator engine: "fast" (pre-decoded core) or "legacy"`)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -45,6 +47,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *rename && !*dynamic {
 		fmt.Fprintln(stderr, "boostsim: -rename applies to the dynamic machine only (add -dynamic)")
+		return 2
+	}
+	engine, err := sim.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(stderr, "boostsim:", err)
 		return 2
 	}
 
@@ -62,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *inf {
 		opts = append(opts, boosting.WithInfiniteRegisters())
 	}
+	opts = append(opts, boosting.WithEngine(engine))
 	p := boosting.NewPipeline(opts...)
 
 	if *dynamic {
@@ -96,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "workload     %s\n", *workload)
 	fmt.Fprintf(stdout, "machine      %s (local=%v, infinite-regs=%v)\n", m, *local, *inf)
+	fmt.Fprintf(stdout, "engine       %s\n", res.Engine)
 	fmt.Fprintf(stdout, "cycles       %d\n", res.Cycles)
 	fmt.Fprintf(stdout, "scalar       %d\n", res.ScalarCycles)
 	fmt.Fprintf(stdout, "speedup      %.2fx\n", res.Speedup)

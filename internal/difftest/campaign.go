@@ -78,6 +78,14 @@ type Finding struct {
 	Shape testgen.Config `json:"shape"`
 	// Divergences are the oracle failures of the original program.
 	Divergences []Divergence `json:"divergences"`
+	// MinimizedDivergences are the oracle failures of the shrunk recipe —
+	// shrinking only preserves "some divergence exists", so the failing
+	// configurations (and simulator engines) can differ from the
+	// original's. The corpus entry records these, not the original's.
+	MinimizedDivergences []Divergence `json:"minimizedDivergences,omitempty"`
+	// Engines lists the distinct simulator engines ("fast", "legacy")
+	// implicated by the minimized reproducer's divergences.
+	Engines []string `json:"engines,omitempty"`
 	// Recipe and Minimized are the encoded original and shrunk recipes.
 	Recipe    string `json:"recipe"`
 	Minimized string `json:"minimized"`
@@ -200,6 +208,18 @@ func shrinkFinding(ctx context.Context, seed int64, shape testgen.Config, rec te
 		return err == nil && len(d) > 0
 	}, opt.shrinkBudget())
 
+	// Re-run the oracle on the minimized recipe: shrinking only preserves
+	// "some divergence exists", so the reproducer must be re-attributed —
+	// the failing configurations and engines may have shifted during
+	// minimization. Fall back to the original attribution if the re-check
+	// cannot run (cancelled context).
+	minDivs := divs
+	if ctx.Err() == nil {
+		if d, err := CheckRecipe(res.Recipe, checkOpt); err == nil && len(d) > 0 {
+			minDivs = d
+		}
+	}
+
 	orig, err := testgen.EncodeRecipe(rec)
 	if err != nil {
 		return Finding{}, err
@@ -210,13 +230,14 @@ func shrinkFinding(ctx context.Context, seed int64, shape testgen.Config, rec te
 	}
 	f := Finding{
 		Seed: seed, Shape: shape, Divergences: divs,
+		MinimizedDivergences: minDivs, Engines: engineNames(minDivs),
 		Recipe: orig, Minimized: min,
 		Segments: res.Segments, ShrinkAttempts: res.Attempts,
 	}
 	if opt.CorpusDir != "" {
 		name := fmt.Sprintf("finding-seed%d", seed)
-		note := fmt.Sprintf("boostfuzz finding: %s", divs[0])
-		entry, err := NewEntry(name, res.Recipe, configNames(divs), note)
+		note := fmt.Sprintf("boostfuzz finding: %s", minDivs[0])
+		entry, err := NewEntry(name, res.Recipe, configNames(minDivs), note)
 		if err != nil {
 			return Finding{}, err
 		}
@@ -242,6 +263,20 @@ func configNames(divs []Divergence) []string {
 		if !seen[d.Config] {
 			seen[d.Config] = true
 			names = append(names, d.Config)
+		}
+	}
+	return names
+}
+
+// engineNames collects the distinct simulator engines implicated by a
+// divergence set, preserving first-seen order.
+func engineNames(divs []Divergence) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, d := range divs {
+		if d.Engine != "" && !seen[d.Engine] {
+			seen[d.Engine] = true
+			names = append(names, d.Engine)
 		}
 	}
 	return names

@@ -19,6 +19,7 @@ import (
 
 	"boosting/internal/core"
 	"boosting/internal/machine"
+	"boosting/internal/sim"
 )
 
 // Config identifies one compiled configuration under test.
@@ -32,6 +33,11 @@ type Config struct {
 	Opts core.Options
 	// Ablation names the ablation bundle for reporting ("" = baseline).
 	Ablation string
+	// Engine selects the machine-simulator core (static configurations
+	// only). The zero value is the fast pre-decoded core; EngineLegacy
+	// re-runs the configuration on the original interpreter, making
+	// fast-vs-legacy equivalence part of the oracle's matrix.
+	Engine sim.Engine
 	// Dynamic selects the dynamically-scheduled comparison machine;
 	// Renaming enables its register renaming.
 	Dynamic  bool
@@ -39,7 +45,9 @@ type Config struct {
 }
 
 // Name renders a stable, human-readable configuration identifier used in
-// divergence reports and corpus headers.
+// divergence reports and corpus headers. The default (fast) engine is
+// unnamed so existing corpus entries keep their identifiers; legacy-engine
+// configurations gain a "/legacy" suffix.
 func (c Config) Name() string {
 	if c.Dynamic {
 		if c.Renaming {
@@ -51,10 +59,14 @@ func (c Config) Name() string {
 	if c.Alloc {
 		reg = "alloc"
 	}
+	name := fmt.Sprintf("%s/%s", c.Model.Name, reg)
 	if c.Ablation != "" {
-		return fmt.Sprintf("%s/%s/%s", c.Model.Name, reg, c.Ablation)
+		name += "/" + c.Ablation
 	}
-	return fmt.Sprintf("%s/%s", c.Model.Name, reg)
+	if c.Engine == sim.EngineLegacy {
+		name += "/legacy"
+	}
+	return name
 }
 
 // ablation is a named scheduler-ablation bundle.
@@ -101,6 +113,24 @@ func Configs(full bool) []Config {
 	for _, m := range models {
 		for _, alloc := range []bool{false, true} {
 			out = append(out, Config{Model: m, Alloc: alloc})
+		}
+	}
+	// The fast/legacy engine axis: every static configuration must behave
+	// identically on both simulator cores. The quick set re-runs the
+	// allocated regime on the legacy interpreter; the full matrix covers
+	// both register regimes.
+	for _, m := range append([]*machine.Model{machine.Scalar()}, models...) {
+		regimes := []bool{true}
+		if full {
+			regimes = []bool{false, true}
+		}
+		for _, alloc := range regimes {
+			c := Config{Model: m, Alloc: alloc, Engine: sim.EngineLegacy}
+			if m.IssueWidth == 1 {
+				c.Opts = core.Options{LocalOnly: true}
+				c.Ablation = "local-only"
+			}
+			out = append(out, c)
 		}
 	}
 	if full {

@@ -64,6 +64,10 @@ type Divergence struct {
 	Kind string `json:"kind"`
 	// Detail is a human-readable description of the mismatch.
 	Detail string `json:"detail"`
+	// Engine names the simulator core of the failing configuration
+	// ("fast" or "legacy"; empty for non-simulator configs such as the
+	// dynamic machine or regalloc itself).
+	Engine string `json:"engine,omitempty"`
 }
 
 func (d Divergence) String() string {
@@ -127,17 +131,17 @@ func Check(build func() *prog.Program, opt Options) ([]Divergence, error) {
 	if pr := buildAlloc(); pr != nil {
 		refAlloc, err := runReference(pr, opt.maxSteps())
 		if err != nil {
-			divs = append(divs, Divergence{"regalloc", "error",
-				fmt.Sprintf("allocated reference run: %v", err)})
+			divs = append(divs, Divergence{Config: "regalloc", Kind: "error",
+				Detail: fmt.Sprintf("allocated reference run: %v", err)})
 		} else {
 			refs[true] = refAlloc
 			if d := compareOut(refVirt.out, refAlloc.out); d != "" {
-				divs = append(divs, Divergence{"regalloc", "output",
-					"register allocation changed program output: " + d})
+				divs = append(divs, Divergence{Config: "regalloc", Kind: "output",
+					Detail: "register allocation changed program output: " + d})
 			}
 		}
 	} else {
-		divs = append(divs, Divergence{"regalloc", "error", "register allocation failed"})
+		divs = append(divs, Divergence{Config: "regalloc", Kind: "error", Detail: "register allocation failed"})
 	}
 	for _, cfg := range opt.configs() {
 		ref := refs[cfg.Alloc || cfg.Dynamic]
@@ -173,30 +177,40 @@ func runReference(pr *prog.Program, maxSteps int64) (*reference, error) {
 }
 
 // checkConfig compiles and runs one configuration and compares every
-// observable against the reference.
+// observable against the reference, tagging static-machine divergences
+// with the simulator engine that produced them.
 func checkConfig(build func() *prog.Program, cfg Config, ref *reference, opt Options) []Divergence {
 	if cfg.Dynamic {
 		return checkDynamic(build, cfg, ref)
 	}
+	divs := checkStatic(build, cfg, ref, opt)
+	for i := range divs {
+		divs[i].Engine = cfg.Engine.String()
+	}
+	return divs
+}
+
+func checkStatic(build func() *prog.Program, cfg Config, ref *reference, opt Options) []Divergence {
 	name := cfg.Name()
 	pr := build()
 	if cfg.Alloc {
 		if _, err := regalloc.Allocate(pr); err != nil {
-			return []Divergence{{name, "error", fmt.Sprintf("regalloc: %v", err)}}
+			return []Divergence{{Config: name, Kind: "error", Detail: fmt.Sprintf("regalloc: %v", err)}}
 		}
 	}
 	if err := profile.Annotate(pr); err != nil {
-		return []Divergence{{name, "error", fmt.Sprintf("profile: %v", err)}}
+		return []Divergence{{Config: name, Kind: "error", Detail: fmt.Sprintf("profile: %v", err)}}
 	}
 	sp, err := core.Schedule(pr, cfg.Model, cfg.Opts)
 	if err != nil {
-		return []Divergence{{name, "error", fmt.Sprintf("schedule: %v", err)}}
+		return []Divergence{{Config: name, Kind: "error", Detail: fmt.Sprintf("schedule: %v", err)}}
 	}
 
 	var divs []Divergence
 	var stores []storeEvent
 	leaks := 0
 	res, err := sim.Exec(sp, sim.ExecConfig{
+		Engine: cfg.Engine,
 		Inject: opt.Inject,
 		OnStore: func(addr uint32, size int, val uint32) {
 			stores = append(stores, storeEvent{addr, size, val})
@@ -205,7 +219,7 @@ func checkConfig(build func() *prog.Program, cfg Config, ref *reference, opt Opt
 			if info.Leaked > 0 {
 				leaks++
 				if leaks == 1 { // report the first, count the rest
-					divs = append(divs, Divergence{name, "squash-leak", fmt.Sprintf(
+					divs = append(divs, Divergence{Config: name, Kind: "squash-leak", Detail: fmt.Sprintf(
 						"branch %d squash left %d speculative entries outstanding",
 						info.BranchID, info.Leaked)})
 				}
@@ -213,7 +227,7 @@ func checkConfig(build func() *prog.Program, cfg Config, ref *reference, opt Opt
 		},
 	})
 	if err != nil {
-		divs = append(divs, Divergence{name, "error", fmt.Sprintf("exec: %v", err)})
+		divs = append(divs, Divergence{Config: name, Kind: "error", Detail: fmt.Sprintf("exec: %v", err)})
 		return divs
 	}
 	divs = append(divs, compareRun(name, ref, res.Out, res.MemHash, stores)...)
@@ -224,13 +238,13 @@ func checkDynamic(build func() *prog.Program, cfg Config, ref *reference) []Dive
 	name := cfg.Name()
 	pr := build()
 	if _, err := regalloc.Allocate(pr); err != nil {
-		return []Divergence{{name, "error", fmt.Sprintf("regalloc: %v", err)}}
+		return []Divergence{{Config: name, Kind: "error", Detail: fmt.Sprintf("regalloc: %v", err)}}
 	}
 	dc := dynsched.Default()
 	dc.Renaming = cfg.Renaming
 	res, err := dynsched.Simulate(pr, dc)
 	if err != nil {
-		return []Divergence{{name, "error", fmt.Sprintf("simulate: %v", err)}}
+		return []Divergence{{Config: name, Kind: "error", Detail: fmt.Sprintf("simulate: %v", err)}}
 	}
 	// The dynamic machine is trace-driven off the reference interpreter,
 	// so its store stream is the reference's by construction; compare the
@@ -243,14 +257,14 @@ func checkDynamic(build func() *prog.Program, cfg Config, ref *reference) []Dive
 func compareRun(name string, ref *reference, out []uint32, memh uint64, stores []storeEvent) []Divergence {
 	var divs []Divergence
 	if d := compareOut(ref.out, out); d != "" {
-		divs = append(divs, Divergence{name, "output", d})
+		divs = append(divs, Divergence{Config: name, Kind: "output", Detail: d})
 	}
 	if memh != ref.memh {
-		divs = append(divs, Divergence{name, "memory", "final memory state differs from reference"})
+		divs = append(divs, Divergence{Config: name, Kind: "memory", Detail: "final memory state differs from reference"})
 	}
 	if stores != nil {
 		if d := compareStores(ref.stores, stores); d != "" {
-			divs = append(divs, Divergence{name, "store-stream", d})
+			divs = append(divs, Divergence{Config: name, Kind: "store-stream", Detail: d})
 		}
 	}
 	return divs

@@ -1,9 +1,15 @@
 package difftest
 
 import (
+	"reflect"
 	"testing"
 
+	"boosting/internal/core"
+	"boosting/internal/machine"
+	"boosting/internal/profile"
 	"boosting/internal/prog"
+	"boosting/internal/regalloc"
+	"boosting/internal/sim"
 	"boosting/internal/testgen"
 )
 
@@ -26,6 +32,69 @@ func FuzzOracle(f *testing.F) {
 		}
 		for _, d := range divs {
 			t.Errorf("seed %d: %s", seed, d)
+		}
+	})
+}
+
+// FuzzFastCore is the engine-differential fuzz target: every seed derives
+// a random program, and the fast pre-decoded core must be byte-identical
+// to the legacy interpreter — the whole ExecResult plus the committed
+// store stream — on every static machine model. Unlike FuzzOracle, which
+// compares each engine against the sequential reference, this target
+// compares the engines against each other, so purely microarchitectural
+// counters (cycles, stalls, squashes) are covered too.
+func FuzzFastCore(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(42))
+	f.Add(int64(999)) // known squash-carried-store shape
+	for _, s := range triggerSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rec := testgen.Derive(seed, testgen.RandomShape(seed))
+		pr := testgen.Build(rec)
+		if _, err := regalloc.Allocate(pr); err != nil {
+			t.Fatalf("seed %d: regalloc: %v", seed, err)
+		}
+		if err := profile.Annotate(pr); err != nil {
+			t.Fatalf("seed %d: profile: %v", seed, err)
+		}
+		models := []*machine.Model{
+			machine.Scalar(), machine.NoBoost(), machine.Squashing(),
+			machine.Boost1(), machine.MinBoost3(), machine.Boost7(),
+		}
+		for _, m := range models {
+			sp, err := core.Schedule(prog.Clone(pr), m, core.Options{LocalOnly: m.IssueWidth == 1})
+			if err != nil {
+				t.Fatalf("seed %d on %s: schedule: %v", seed, m.Name, err)
+			}
+			type run struct {
+				res    *sim.ExecResult
+				err    string
+				stores []storeEvent
+			}
+			exec := func(e sim.Engine) run {
+				var r run
+				res, err := sim.Exec(sp, sim.ExecConfig{Engine: e, OnStore: func(addr uint32, size int, val uint32) {
+					r.stores = append(r.stores, storeEvent{addr, size, val})
+				}})
+				r.res = res
+				if err != nil {
+					r.err = err.Error()
+				}
+				return r
+			}
+			fast, legacy := exec(sim.EngineFast), exec(sim.EngineLegacy)
+			if fast.err != legacy.err {
+				t.Fatalf("seed %d on %s: error mismatch: fast=%q legacy=%q", seed, m.Name, fast.err, legacy.err)
+			}
+			if !reflect.DeepEqual(fast.res, legacy.res) {
+				t.Fatalf("seed %d on %s: ExecResult mismatch:\nfast:   %+v\nlegacy: %+v", seed, m.Name, fast.res, legacy.res)
+			}
+			if !reflect.DeepEqual(fast.stores, legacy.stores) {
+				t.Fatalf("seed %d on %s: store stream mismatch (%d vs %d events)",
+					seed, m.Name, len(fast.stores), len(legacy.stores))
+			}
 		}
 	})
 }

@@ -37,6 +37,12 @@ import (
 // input, so every schedule runs on a prog.Clone of the master (verified
 // to produce bit-identical schedules to a fresh build).
 type Store struct {
+	// Engine selects the machine-simulator core for every measurement
+	// (default sim.EngineFast). The engines are verified byte-identical,
+	// so it is deliberately absent from the memo keys: a store configured
+	// for one engine produces the same numbers as the other.
+	Engine sim.Engine
+
 	pairs  *cache.Memo[*prog.Program]
 	refs   *cache.Memo[*sim.Result]
 	acc    *cache.Memo[float64]
@@ -180,7 +186,7 @@ func (st *Store) scheduleAndExec(ctx context.Context, w *workloads.Workload, mod
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cfg := sim.ExecConfig{}
+	cfg := sim.ExecConfig{Engine: st.Engine}
 	if dataCache != nil {
 		dc, err := cache.New(*dataCache)
 		if err != nil {
@@ -327,7 +333,7 @@ func (st *Store) unrolled(ctx context.Context, w *workloads.Workload) (int64, er
 		}
 		st.metrics.recordSchedule(time.Since(start))
 		start = time.Now()
-		res, err := sim.Exec(sp, sim.ExecConfig{})
+		res, err := sim.Exec(sp, sim.ExecConfig{Engine: st.Engine})
 		if err != nil {
 			return 0, err
 		}

@@ -208,6 +208,56 @@ func TestVerifyRejections(t *testing.T) {
 	}
 }
 
+// TestVerifySlotLegality is the table-driven slot-legality matrix for the
+// base superscalar: every functional-unit class against both issue slots.
+// Side 0 owns the branch unit, the shifter and the multiplier; side 1 owns
+// the memory port; simple ALU operations issue on either side (paper
+// §4.3.1). Each case drops one instruction into the fixture's delay cycle
+// and checks Verify's verdict.
+func TestVerifySlotLegality(t *testing.T) {
+	cases := []struct {
+		name string
+		op   isa.Op
+		slot int
+		ok   bool
+	}{
+		{"alu-slot0", isa.ADDI, 0, true},
+		{"alu-slot1", isa.ADDI, 1, true},
+		{"shift-slot0", isa.SLL, 0, true},
+		{"shift-slot1", isa.SLL, 1, false},
+		{"muldiv-slot0", isa.MUL, 0, true},
+		{"muldiv-slot1", isa.MUL, 1, false},
+		{"load-slot0", isa.LW, 0, false},
+		{"load-slot1", isa.LW, 1, true},
+		{"store-slot0", isa.SW, 0, false},
+		{"store-slot1", isa.SW, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp, sb := fixture(t)
+			sb.Cycles[1].Slots[tc.slot] = &isa.Inst{Op: tc.op, Rd: 3, Rs: 3}
+			err := sp.Verify()
+			if tc.ok && err != nil {
+				t.Fatalf("legal placement rejected: %v", err)
+			}
+			if !tc.ok && (err == nil || !strings.Contains(err.Error(), "class")) {
+				t.Fatalf("want class-legality error, got %v", err)
+			}
+		})
+	}
+
+	// The branch unit lives on side 0 only: the fixture's terminator moved
+	// into slot 1 must be rejected as a class violation (not merely a
+	// terminator-placement complaint).
+	t.Run("branch-slot1", func(t *testing.T) {
+		sp, sb := fixture(t)
+		sb.Cycles[0].Slots[0], sb.Cycles[0].Slots[1] = sb.Cycles[0].Slots[1], sb.Cycles[0].Slots[0]
+		if err := sp.Verify(); err == nil || !strings.Contains(err.Error(), "class") {
+			t.Fatalf("want class-legality error, got %v", err)
+		}
+	})
+}
+
 func TestFormatSchedule(t *testing.T) {
 	sp, _ := fixture(t)
 	out := sp.Procs["main"].Format()

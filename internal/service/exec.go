@@ -90,9 +90,11 @@ func (s *Server) simulateWorkload(ctx context.Context, req SimulateRequest) (int
 	if err != nil {
 		return domainStatus(err)
 	}
+	s.metrics.recordEngine(res.Engine)
 	return http.StatusOK, SimulateResponse{
 		Workload:           req.Workload,
 		Machine:            model.Name,
+		Engine:             res.Engine,
 		Cycles:             res.Cycles,
 		ScalarCycles:       res.ScalarCycles,
 		Speedup:            res.Speedup,
@@ -121,7 +123,8 @@ func (s *Server) simulateAsm(ctx context.Context, req SimulateRequest) (int, any
 		return 0, nil
 	}
 
-	scalar, eresp := s.asmScalarBaseline(pr, ref)
+	engine := req.Options.engine()
+	scalar, eresp := s.asmScalarBaseline(pr, ref, engine)
 	if eresp != nil {
 		return http.StatusUnprocessableEntity, eresp
 	}
@@ -157,15 +160,17 @@ func (s *Server) simulateAsm(ctx context.Context, req SimulateRequest) (int, any
 	if err := ctx.Err(); err != nil {
 		return 0, nil
 	}
-	res, err := sim.Exec(sp, sim.ExecConfig{MaxCycles: s.execCycleCap()})
+	res, err := sim.Exec(sp, sim.ExecConfig{Engine: engine, MaxCycles: s.execCycleCap()})
 	if err != nil {
 		return http.StatusUnprocessableEntity, errorResponse{fmt.Sprintf("simulation: %v", err)}
 	}
 	if err := verifyAgainst(ref, res.Out, res.MemHash); err != nil {
 		return http.StatusInternalServerError, errorResponse{err.Error()}
 	}
+	s.metrics.recordEngine(engine.String())
 	return http.StatusOK, SimulateResponse{
 		Machine:            model.Name,
+		Engine:             engine.String(),
 		Cycles:             res.Cycles,
 		ScalarCycles:       scalar,
 		Speedup:            ratio(scalar, res.Cycles),
@@ -232,13 +237,13 @@ func selfAccuracy(pr *prog.Program) float64 {
 }
 
 // asmScalarBaseline measures the single-issue R2000 baseline for a
-// prepared assembly program.
-func (s *Server) asmScalarBaseline(pr *prog.Program, ref *sim.Result) (int64, *errorResponse) {
+// prepared assembly program on the requested simulator engine.
+func (s *Server) asmScalarBaseline(pr *prog.Program, ref *sim.Result, engine sim.Engine) (int64, *errorResponse) {
 	sp, err := core.Schedule(prog.Clone(pr), machine.Scalar(), core.Options{LocalOnly: true})
 	if err != nil {
 		return 0, &errorResponse{fmt.Sprintf("scalar baseline schedule: %v", err)}
 	}
-	res, err := sim.Exec(sp, sim.ExecConfig{MaxCycles: s.execCycleCap()})
+	res, err := sim.Exec(sp, sim.ExecConfig{Engine: engine, MaxCycles: s.execCycleCap()})
 	if err != nil {
 		return 0, &errorResponse{fmt.Sprintf("scalar baseline: %v", err)}
 	}

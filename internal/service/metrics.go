@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"boosting/internal/sim"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, chosen to
@@ -76,6 +78,12 @@ type metricsRegistry struct {
 	endpoints map[string]*endpointMetrics
 	panics    atomic.Int64
 
+	// engines counts machine-simulator executions by engine name. Keys
+	// are pre-seeded with every known engine so the exposition always
+	// lists both counters, even at zero.
+	engineMu sync.Mutex
+	engines  map[string]int64
+
 	// Gauges and cache counters are sampled at scrape time.
 	queueDepth func() int64
 	inFlight   func() int64
@@ -87,10 +95,14 @@ func newMetricsRegistry(endpoints []string) *metricsRegistry {
 	m := &metricsRegistry{
 		order:      append([]string(nil), endpoints...),
 		endpoints:  make(map[string]*endpointMetrics, len(endpoints)),
+		engines:    map[string]int64{},
 		queueDepth: func() int64 { return 0 },
 		inFlight:   func() int64 { return 0 },
 		respCache:  func() (int64, int64) { return 0, 0 },
 		pipeCache:  func() (int64, int64) { return 0, 0 },
+	}
+	for _, e := range sim.Engines() {
+		m.engines[e.String()] = 0
 	}
 	for _, ep := range endpoints {
 		m.endpoints[ep] = &endpointMetrics{
@@ -102,6 +114,13 @@ func newMetricsRegistry(endpoints []string) *metricsRegistry {
 }
 
 func (m *metricsRegistry) endpoint(path string) *endpointMetrics { return m.endpoints[path] }
+
+// recordEngine counts one machine-simulator execution on the named engine.
+func (m *metricsRegistry) recordEngine(name string) {
+	m.engineMu.Lock()
+	m.engines[name]++
+	m.engineMu.Unlock()
+}
 
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
@@ -167,6 +186,19 @@ func (m *metricsRegistry) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP boostd_pipeline_cache_misses_total Pipeline artifact-cache misses.\n")
 	fmt.Fprintf(w, "# TYPE boostd_pipeline_cache_misses_total counter\n")
 	fmt.Fprintf(w, "boostd_pipeline_cache_misses_total %d\n", pm)
+
+	fmt.Fprintf(w, "# HELP boostd_engine_requests_total Machine-simulator executions, by simulator engine.\n")
+	fmt.Fprintf(w, "# TYPE boostd_engine_requests_total counter\n")
+	m.engineMu.Lock()
+	engines := make([]string, 0, len(m.engines))
+	for e := range m.engines {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	for _, e := range engines {
+		fmt.Fprintf(w, "boostd_engine_requests_total{engine=%q} %d\n", e, m.engines[e])
+	}
+	m.engineMu.Unlock()
 
 	fmt.Fprintf(w, "# HELP boostd_panics_total Request handlers recovered from a panic.\n")
 	fmt.Fprintf(w, "# TYPE boostd_panics_total counter\n")

@@ -8,6 +8,7 @@ import (
 
 	"boosting"
 	"boosting/internal/core"
+	"boosting/internal/sim"
 )
 
 // OptionsRequest is the wire form of the pipeline's functional options.
@@ -18,6 +19,10 @@ type OptionsRequest struct {
 	NoEquivalence     bool `json:"no_equivalence,omitempty"`
 	NoDisambiguation  bool `json:"no_disambiguation,omitempty"`
 	MaxTraceBlocks    int  `json:"max_trace_blocks,omitempty"`
+	// Engine selects the simulator core: "fast" (default) or "legacy".
+	// The engines are verified byte-identical; the knob exists for
+	// differential testing and as an escape hatch.
+	Engine string `json:"engine,omitempty"`
 }
 
 func (o OptionsRequest) opts() []boosting.Option {
@@ -37,7 +42,17 @@ func (o OptionsRequest) opts() []boosting.Option {
 	if o.MaxTraceBlocks > 0 {
 		opts = append(opts, boosting.WithMaxTraceBlocks(o.MaxTraceBlocks))
 	}
+	if e := o.engine(); e != sim.EngineFast {
+		opts = append(opts, boosting.WithEngine(e))
+	}
 	return opts
+}
+
+// engine resolves the wire string to a sim.Engine; validate has already
+// rejected unknown names, so parse failures cannot reach here.
+func (o OptionsRequest) engine() sim.Engine {
+	e, _ := sim.ParseEngine(o.Engine)
+	return e
 }
 
 func (o OptionsRequest) coreOptions() core.Options {
@@ -52,13 +67,18 @@ func (o OptionsRequest) coreOptions() core.Options {
 // key spells out every field so the response cache never conflates two
 // distinct configurations.
 func (o OptionsRequest) key() string {
-	return fmt.Sprintf("local=%v;inf=%v;noeq=%v;nodis=%v;trace=%d",
-		o.LocalOnly, o.InfiniteRegisters, o.NoEquivalence, o.NoDisambiguation, o.MaxTraceBlocks)
+	// The engine is keyed by its normalized name, so "" and "fast" — which
+	// are the same configuration — share a cache entry.
+	return fmt.Sprintf("local=%v;inf=%v;noeq=%v;nodis=%v;trace=%d;engine=%s",
+		o.LocalOnly, o.InfiniteRegisters, o.NoEquivalence, o.NoDisambiguation, o.MaxTraceBlocks, o.engine())
 }
 
 func (o OptionsRequest) validate() error {
 	if o.MaxTraceBlocks < 0 {
 		return fmt.Errorf("max_trace_blocks must be >= 0, got %d", o.MaxTraceBlocks)
+	}
+	if _, err := sim.ParseEngine(o.Engine); err != nil {
+		return err
 	}
 	return nil
 }
@@ -168,7 +188,11 @@ func (r SimulateRequest) cacheKey() string {
 type SimulateResponse struct {
 	Workload string `json:"workload,omitempty"`
 	Machine  string `json:"machine"`
-	Cycles   int64  `json:"cycles"`
+	// Engine names the simulator core that ran the program ("fast" or
+	// "legacy"); empty for the dynamic machine, which has its own
+	// simulator.
+	Engine string `json:"engine,omitempty"`
+	Cycles int64  `json:"cycles"`
 	// ScalarCycles is the single-issue R2000 baseline on the same
 	// program and input; Speedup is ScalarCycles/Cycles.
 	ScalarCycles int64   `json:"scalar_cycles"`

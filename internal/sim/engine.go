@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Engine selects the scheduled-code executor implementation. Both engines
+// implement identical boosting-hardware semantics and produce byte-identical
+// ExecResults (statistics, output stream, final memory, store stream); they
+// differ only in speed. The zero value is EngineFast, so the fast core is
+// the default everywhere an ExecConfig is zero-initialized.
+type Engine uint8
+
+const (
+	// EngineFast is the pre-decoded executor: the scheduled program is
+	// lowered once into dense arrays (resolved control targets, small-int
+	// operands, pre-classified operation kinds) and run by a steady-state
+	// loop that is allocation-free and performs no map lookups per cycle.
+	EngineFast Engine = iota
+	// EngineLegacy is the original interpretive executor that walks the
+	// machine.SchedProgram structures directly. It is retained as the
+	// differential-testing partner for the fast core and as an escape
+	// hatch.
+	EngineLegacy
+)
+
+// String returns the engine's wire name ("fast" or "legacy").
+func (e Engine) String() string {
+	if e == EngineLegacy {
+		return "legacy"
+	}
+	return "fast"
+}
+
+// ParseEngine resolves a wire name to an Engine. The empty string selects
+// the default (fast) engine.
+func ParseEngine(s string) (Engine, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "fast":
+		return EngineFast, nil
+	case "legacy":
+		return EngineLegacy, nil
+	}
+	return 0, fmt.Errorf("sim: unknown engine %q (want \"fast\" or \"legacy\")", s)
+}
+
+// Engines lists every executor engine, default first.
+func Engines() []Engine { return []Engine{EngineFast, EngineLegacy} }

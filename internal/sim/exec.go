@@ -11,6 +11,10 @@ import (
 
 // ExecConfig parameterizes the scheduled-code cycle simulator.
 type ExecConfig struct {
+	// Engine selects the executor implementation (zero value = the
+	// pre-decoded fast core; EngineLegacy forces the original
+	// interpretive loop). Both produce byte-identical results.
+	Engine Engine
 	// MaxCycles bounds execution (0 = default of 500M cycles).
 	MaxCycles int64
 	// OnFault is consulted on a *precise* (sequential) fault; returning
@@ -119,8 +123,24 @@ type execState struct {
 }
 
 // Exec runs a scheduled program to completion on its model, applying full
-// boosting hardware semantics and counting cycles.
+// boosting hardware semantics and counting cycles. The executor engine is
+// chosen by cfg.Engine: by default the program is lowered once by
+// Predecode and run on the allocation-free fast core; EngineLegacy forces
+// the original interpretive loop. Both engines produce byte-identical
+// results and statistics.
 func Exec(sp *machine.SchedProgram, cfg ExecConfig) (*ExecResult, error) {
+	if cfg.Engine == EngineLegacy {
+		return execLegacy(sp, cfg)
+	}
+	pd, err := Predecode(sp)
+	if err != nil {
+		return nil, err
+	}
+	return pd.Exec(cfg)
+}
+
+// execLegacy is the original structure-walking executor.
+func execLegacy(sp *machine.SchedProgram, cfg ExecConfig) (*ExecResult, error) {
 	mainSP := sp.Procs["main"]
 	if mainSP == nil {
 		return nil, fmt.Errorf("sim: scheduled program has no main")

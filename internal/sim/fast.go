@@ -1,0 +1,698 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"boosting/internal/isa"
+	"boosting/internal/prog"
+)
+
+// This file is the fast execution core: the executor for programs lowered
+// by Predecode. Its steady-state loop is allocation-free — the machine
+// state (register files, shadow file, store buffer, exception buffer,
+// issue-cycle scratch) lives in a pooled fastState whose pieces are reset
+// by generation counter or slice truncation rather than reallocation, and
+// no map lookups or string hashing happen per cycle. It mirrors the
+// semantics of execLegacy in exec.go instruction for instruction: both
+// engines must produce byte-identical ExecResults, which the golden-trace
+// suite and the difftest oracle enforce.
+
+// fastShadow is the boosting shadow register file in dense form: per
+// register a bitmask of outstanding levels (bit n set = level n has an
+// uncommitted value) plus a value slot per level. Squash is O(1): bump the
+// generation counter and truncate the dirty list; a register's mask is
+// only meaningful when its generation matches.
+type fastShadow struct {
+	mask  []uint16 // outstanding-level bitmask per register (bits 1..maxLevel)
+	gen   []uint64 // generation at which mask/vals are valid
+	vals  []uint32 // value per (register, level), stride maxLevel+1
+	dirty []int32  // registers with a nonzero mask in the current generation
+
+	curGen   uint64
+	maxLevel int
+	multi    bool
+	stride   int
+}
+
+func (sh *fastShadow) reset(maxLevel int, multi bool, numRegs int) {
+	sh.maxLevel = maxLevel
+	sh.multi = multi
+	sh.stride = maxLevel + 1
+	if cap(sh.mask) < numRegs {
+		sh.mask = make([]uint16, numRegs)
+		sh.gen = make([]uint64, numRegs)
+	}
+	sh.mask = sh.mask[:numRegs]
+	sh.gen = sh.gen[:numRegs]
+	if need := numRegs * sh.stride; cap(sh.vals) < need {
+		sh.vals = make([]uint32, need)
+	} else {
+		sh.vals = sh.vals[:need]
+	}
+	sh.dirty = sh.dirty[:0]
+	// One bump isolates this run from whatever a previous pooled run left
+	// in gen; the counter never resets, so stale entries can't collide.
+	sh.curGen++
+}
+
+// levels returns the valid outstanding-level mask of r (0 if none).
+func (sh *fastShadow) levels(r int32) uint16 {
+	if sh.gen[r] != sh.curGen {
+		return 0
+	}
+	return sh.mask[r]
+}
+
+// read returns the value of r seen from the given boost level, or ok=false
+// if the sequential register file should be used. Mirrors shadowFile.read:
+// the outstanding value with the largest level ≤ level wins.
+func (sh *fastShadow) read(r int32, level int) (uint32, bool) {
+	m := sh.levels(r) & (1<<(uint(level)+1) - 2)
+	if m == 0 {
+		return 0, false
+	}
+	lv := bits.Len16(m) - 1
+	return sh.vals[int(r)*sh.stride+lv], true
+}
+
+// write records a boosted def of r. Mirrors shadowFile.write, including the
+// single-shadow conflict check and its error text.
+func (sh *fastShadow) write(r int32, level int, v uint32) error {
+	if level <= 0 || level > sh.maxLevel {
+		return fmt.Errorf("shadow write level %d outside hardware range 1..%d", level, sh.maxLevel)
+	}
+	if r == int32(isa.R0) {
+		return nil
+	}
+	if sh.gen[r] != sh.curGen {
+		sh.gen[r] = sh.curGen
+		sh.mask[r] = 0
+		sh.dirty = append(sh.dirty, r)
+	}
+	m := sh.mask[r]
+	if !sh.multi {
+		if other := m &^ (1 << uint(level)); other != 0 {
+			return fmt.Errorf("single-shadow conflict on %s: outstanding level %d, new level %d",
+				isa.Reg(r), bits.TrailingZeros16(other), level)
+		}
+	}
+	sh.mask[r] = m | 1<<uint(level)
+	sh.vals[int(r)*sh.stride+level] = v // newest same-level def wins
+	return nil
+}
+
+// commit applies level-1 values to the sequential register file and shifts
+// deeper levels down one, as shadowFile.commit does.
+func (sh *fastShadow) commit(regs []uint32) {
+	for di := 0; di < len(sh.dirty); {
+		r := sh.dirty[di]
+		m := sh.mask[r]
+		base := int(r) * sh.stride
+		if m&2 != 0 {
+			regs[r] = sh.vals[base+1]
+		}
+		for rem := m &^ 3; rem != 0; {
+			lv := bits.TrailingZeros16(rem)
+			rem &^= 1 << uint(lv)
+			sh.vals[base+lv-1] = sh.vals[base+lv]
+		}
+		m = (m >> 1) &^ 1
+		sh.mask[r] = m
+		if m == 0 {
+			// Invalidate the generation, not just the mask: a later write
+			// must re-enter the dirty list or it would never commit.
+			sh.gen[r] = 0
+			sh.dirty[di] = sh.dirty[len(sh.dirty)-1]
+			sh.dirty = sh.dirty[:len(sh.dirty)-1]
+		} else {
+			di++
+		}
+	}
+}
+
+// count returns the number of outstanding (register, level) entries; it
+// matches the per-entry squash accounting of the legacy shadow file.
+func (sh *fastShadow) count() int {
+	n := 0
+	for _, r := range sh.dirty {
+		n += bits.OnesCount16(sh.mask[r])
+	}
+	return n
+}
+
+// squash discards all speculative register state in O(1).
+func (sh *fastShadow) squash() {
+	sh.curGen++
+	sh.dirty = sh.dirty[:0]
+}
+
+func (sh *fastShadow) outstanding() bool { return len(sh.dirty) > 0 }
+
+// fastState is the pooled machine state of one fast-core execution.
+type fastState struct {
+	pd  *Predecoded
+	cfg *ExecConfig
+	res *ExecResult
+	mem *Memory
+
+	regs     []uint32
+	regReady []int64
+	vals     [][2]uint32 // issue-cycle operand scratch
+	shadow   fastShadow
+	stores   storeBuffer
+	excbuf   exceptionBuffer
+
+	// One-entry page cache for the hot memory path. Only successful
+	// lookups are cached, so pages mapped later (e.g. by an OnFault
+	// handler) are picked up naturally.
+	cachePN   uint32
+	cachePage *page
+
+	maxCycles int64
+}
+
+var fastStatePool = sync.Pool{New: func() any { return new(fastState) }}
+
+func getFastState(pd *Predecoded, cfg *ExecConfig) *fastState {
+	fs := fastStatePool.Get().(*fastState)
+	fs.pd = pd
+	fs.cfg = cfg
+	fs.res = &ExecResult{}
+	fs.mem = SetupMemory(pd.sprog.Prog)
+	if cap(fs.regs) < pd.numRegs {
+		fs.regs = make([]uint32, pd.numRegs)
+		fs.regReady = make([]int64, pd.numRegs)
+	} else {
+		fs.regs = fs.regs[:pd.numRegs]
+		fs.regReady = fs.regReady[:pd.numRegs]
+		clear(fs.regs)
+		clear(fs.regReady)
+	}
+	if cap(fs.vals) < pd.maxPerCycle {
+		fs.vals = make([][2]uint32, pd.maxPerCycle)
+	} else {
+		fs.vals = fs.vals[:pd.maxPerCycle]
+	}
+	fs.shadow.reset(pd.maxLevel, pd.multiShadow, pd.numRegs)
+	fs.stores.entries = fs.stores.entries[:0]
+	fs.stores.cap = pd.storeCap
+	if len(fs.excbuf.bits) < pd.maxLevel+1 {
+		fs.excbuf.bits = make([]bool, pd.maxLevel+1)
+	} else {
+		fs.excbuf.bits = fs.excbuf.bits[:pd.maxLevel+1]
+		clear(fs.excbuf.bits)
+	}
+	fs.cachePage = nil
+	fs.cachePN = 0
+	fs.maxCycles = cfg.MaxCycles
+	if fs.maxCycles == 0 {
+		fs.maxCycles = 500_000_000
+	}
+	fs.regs[isa.SP] = prog.StackTop
+	return fs
+}
+
+func putFastState(fs *fastState) {
+	// Drop per-run pointers so the pool doesn't retain programs or
+	// memories; the flat slices are the point of pooling and stay.
+	fs.pd = nil
+	fs.cfg = nil
+	fs.res = nil
+	fs.mem = nil
+	fs.cachePage = nil
+	fastStatePool.Put(fs)
+}
+
+// Exec runs the pre-decoded program to completion, applying full boosting
+// hardware semantics. It is safe to call concurrently on the same
+// Predecoded value.
+func (pd *Predecoded) Exec(cfg ExecConfig) (*ExecResult, error) {
+	fs := getFastState(pd, &cfg)
+	defer putFastState(fs)
+	res := fs.res
+
+	cur := pd.entry
+	if fb := &pd.blocks[cur]; !fb.scheduled {
+		return res, fmt.Errorf("sim: no schedule for %s block B%d", fb.proc, fb.id)
+	}
+	for {
+		fb := &pd.blocks[cur]
+		next, done, err := fs.runBlock(fb)
+		if err != nil {
+			return res, err
+		}
+		if done {
+			if fs.shadow.outstanding() || fs.stores.outstanding() {
+				return res, fmt.Errorf("sim: speculative state outstanding at halt")
+			}
+			res.MemHash = fs.mem.Snapshot()
+			return res, nil
+		}
+		if res.Cycles > fs.maxCycles {
+			return res, fmt.Errorf("sim: exceeded %d cycles", fs.maxCycles)
+		}
+		if next < 0 {
+			return res, fmt.Errorf("sim: block B%d has no successor", fb.id)
+		}
+		nb := &pd.blocks[next]
+		if !nb.procSched {
+			return res, fmt.Errorf("sim: no schedule for proc %s", nb.proc)
+		}
+		if !nb.scheduled {
+			return res, fmt.Errorf("sim: no schedule for %s block B%d", nb.proc, nb.id)
+		}
+		cur = next
+	}
+}
+
+// fastCtl is the pending control decision of a block's terminator.
+type fastCtl struct {
+	fi     *fastInst
+	taken  bool
+	target int32 // resolved successor for JAL/JR
+}
+
+// runBlock executes one pre-decoded block and resolves its control
+// transfer, mirroring execState.runBlock + finishBlock.
+func (fs *fastState) runBlock(fb *fastBlock) (next int32, done bool, err error) {
+	pd, res := fs.pd, fs.res
+	if fs.cfg.OnBlock != nil {
+		fs.cfg.OnBlock(fb.proc, fb.id)
+	}
+	var ctl *fastCtl
+	var ctlBuf fastCtl
+
+	for ci := fb.cycLo; ci < fb.cycHi; ci++ {
+		cy := pd.cycles[ci]
+		insts := pd.insts[cy.lo:cy.hi]
+
+		// Operand interlock: the whole issue cycle stalls until every
+		// operand of every instruction in it is ready.
+		need := res.Cycles
+		for i := range insts {
+			fi := &insts[i]
+			if fi.use0 >= 0 {
+				if t := fs.regReady[fi.use0]; t > need {
+					need = t
+				}
+			}
+			if fi.use1 >= 0 {
+				if t := fs.regReady[fi.use1]; t > need {
+					need = t
+				}
+			}
+		}
+		if need > res.Cycles {
+			res.Stalls += need - res.Cycles
+			res.Cycles = need
+		}
+
+		// Register reads happen at issue for every slot, before any writes
+		// of this cycle.
+		vals := fs.vals
+		for i := range insts {
+			fi := &insts[i]
+			vals[i][0] = fs.readReg(fi.rs, int(fi.boost))
+			vals[i][1] = fs.readReg(fi.rt, int(fi.boost))
+		}
+
+		for i := range insts {
+			fi := &insts[i]
+			if fi.kind != fkNop {
+				res.Insts++
+			}
+			if fi.boost > 0 {
+				res.BoostedExec++
+			}
+			isCtl, err := fs.execute(fb, fi, vals[i][0], vals[i][1], &ctlBuf)
+			if err != nil {
+				return 0, false, err
+			}
+			if isCtl {
+				if ctl != nil {
+					return 0, false, fmt.Errorf("sim: two control ops in block B%d", fb.id)
+				}
+				ctl = &ctlBuf
+			}
+			if fi.def >= 0 {
+				fs.regReady[fi.def] = res.Cycles + int64(fi.lat)
+			}
+		}
+		res.Cycles++
+	}
+
+	return fs.finishBlock(fb, ctl)
+}
+
+// readReg reads a register as seen from the given boost level.
+func (fs *fastState) readReg(r int32, level int) uint32 {
+	if r == int32(isa.R0) {
+		return 0
+	}
+	if level > 0 {
+		if v, ok := fs.shadow.read(r, level); ok {
+			return v
+		}
+	}
+	return fs.regs[r]
+}
+
+// writeReg writes a register sequentially or into the shadow file.
+func (fs *fastState) writeReg(r int32, level int, v uint32) error {
+	if r == int32(isa.R0) {
+		return nil
+	}
+	if level > 0 {
+		return fs.shadow.write(r, level, v)
+	}
+	fs.regs[r] = v
+	return nil
+}
+
+// memLoad reads through the one-entry page cache; cross-page accesses fall
+// back to the byte-wise Memory path.
+func (fs *fastState) memLoad(addr uint32, size int) (uint32, bool) {
+	off := addr % pageSize
+	if int(off)+size <= pageSize {
+		pn := addr / pageSize
+		p := fs.cachePage
+		if p == nil || fs.cachePN != pn {
+			p = fs.mem.pages[pn]
+			if p == nil {
+				return 0, false
+			}
+			fs.cachePage, fs.cachePN = p, pn
+		}
+		switch size {
+		case 1:
+			return uint32(p[off]), true
+		case 2:
+			return uint32(p[off]) | uint32(p[off+1])<<8, true
+		default:
+			return uint32(p[off]) | uint32(p[off+1])<<8 |
+				uint32(p[off+2])<<16 | uint32(p[off+3])<<24, true
+		}
+	}
+	return fs.mem.Load(addr, size)
+}
+
+// memStore writes through the page cache. The cross-page fallback keeps
+// Memory.Store's partial-write-then-fail behavior on unmapped tails.
+func (fs *fastState) memStore(addr uint32, size int, v uint32) bool {
+	off := addr % pageSize
+	if int(off)+size <= pageSize {
+		pn := addr / pageSize
+		p := fs.cachePage
+		if p == nil || fs.cachePN != pn {
+			p = fs.mem.pages[pn]
+			if p == nil {
+				return false
+			}
+			fs.cachePage, fs.cachePN = p, pn
+		}
+		switch size {
+		case 1:
+			p[off] = byte(v)
+		case 2:
+			p[off] = byte(v)
+			p[off+1] = byte(v >> 8)
+		default:
+			p[off] = byte(v)
+			p[off+1] = byte(v >> 8)
+			p[off+2] = byte(v >> 16)
+			p[off+3] = byte(v >> 24)
+		}
+		return true
+	}
+	return fs.mem.Store(addr, size, v)
+}
+
+// touchCache charges data-cache miss penalties when a cache is modeled.
+func (fs *fastState) touchCache(addr uint32) {
+	if fs.cfg.DataCache == nil {
+		return
+	}
+	if p := fs.cfg.DataCache.Access(addr); p > 0 {
+		fs.res.Cycles += p
+		fs.res.MemStalls += p
+	}
+}
+
+// loadValue reads memory through the level-bounded store-buffer view,
+// bypassing the buffer entirely when it is empty (the common case).
+func (fs *fastState) loadValue(fb *fastBlock, fi *fastInst, addr uint32, size int) (uint32, *Fault) {
+	if size > 1 && addr%uint32(size) != 0 {
+		return 0, &Fault{Kind: FaultAlign, Addr: addr, Proc: fb.proc,
+			Block: fb.id, InstID: int(fi.id), Boosted: fi.boost > 0}
+	}
+	var v uint32
+	var ok bool
+	if len(fs.stores.entries) == 0 {
+		v, ok = fs.memLoad(addr, size)
+	} else {
+		v, ok = fs.stores.read(int(fi.boost), addr, size, fs.mem)
+	}
+	if !ok {
+		return 0, &Fault{Kind: FaultLoad, Addr: addr, Proc: fb.proc,
+			Block: fb.id, InstID: int(fi.id), Boosted: fi.boost > 0}
+	}
+	return v, nil
+}
+
+// preciseFault routes a sequential fault through the user handler; retry
+// re-runs the failing action.
+func (fs *fastState) preciseFault(f *Fault, retry func() *Fault) error {
+	if fs.cfg.OnFault != nil && fs.cfg.OnFault(fs.mem, f) {
+		if f2 := retry(); f2 != nil {
+			fs.res.Fault = f2
+			return f2
+		}
+		return nil
+	}
+	fs.res.Fault = f
+	return f
+}
+
+// execute performs one instruction's function; a and c are the issued
+// operand values. Control decisions are written to *ctl (isCtl=true); the
+// transfer happens at block end.
+func (fs *fastState) execute(fb *fastBlock, fi *fastInst, a, c uint32, ctl *fastCtl) (isCtl bool, err error) {
+	switch fi.kind {
+	case fkALU:
+		v, ok := evalALU(fi.op, a, c, fi.imm)
+		if !ok {
+			if fi.boost > 0 {
+				fs.excbuf.set(int(fi.boost))
+				return false, fs.writeReg(fi.rd, int(fi.boost), 0)
+			}
+			f := &Fault{Kind: FaultDivZero, Proc: fb.proc, Block: fb.id, InstID: int(fi.id)}
+			fs.res.Fault = f
+			return false, f
+		}
+		return false, fs.writeReg(fi.rd, int(fi.boost), v)
+	case fkLoad:
+		addr := a + uint32(fi.imm)
+		size := int(fi.size)
+		fs.touchCache(addr)
+		v, f := fs.loadValue(fb, fi, addr, size)
+		if f != nil {
+			if fi.boost > 0 {
+				fs.excbuf.set(int(fi.boost))
+				return false, fs.writeReg(fi.rd, int(fi.boost), 0)
+			}
+			if fs.cfg.OnFault != nil && fs.cfg.OnFault(fs.mem, f) {
+				v2, f2 := fs.loadValue(fb, fi, addr, size)
+				if f2 != nil {
+					fs.res.Fault = f2
+					return false, f2
+				}
+				return false, fs.writeReg(fi.rd, 0, extend(v2, size, fi.signExt))
+			}
+			fs.res.Fault = f
+			return false, f
+		}
+		return false, fs.writeReg(fi.rd, int(fi.boost), extend(v, size, fi.signExt))
+	case fkStore:
+		addr := a + uint32(fi.imm)
+		size := int(fi.size)
+		fs.touchCache(addr)
+		if fi.boost > 0 {
+			if !fs.pd.storeBuffer {
+				return false, fmt.Errorf("sim: boosted store without store buffer in B%d", fb.id)
+			}
+			// Alignment/mapping faults on boosted stores are postponed.
+			if size > 1 && addr%uint32(size) != 0 || !fs.mem.Mapped(addr) || !fs.mem.Mapped(addr+uint32(size)-1) {
+				fs.excbuf.set(int(fi.boost))
+				return false, nil
+			}
+			if err := fs.stores.write(int(fi.boost), addr, size, c); err != nil {
+				return false, fmt.Errorf("sim: B%d of %s: %w", fb.id, fb.proc, err)
+			}
+			return false, nil
+		}
+		if size > 1 && addr%uint32(size) != 0 {
+			f := &Fault{Kind: FaultAlign, Addr: addr, Proc: fb.proc, Block: fb.id, InstID: int(fi.id)}
+			return false, fs.preciseFault(f, func() *Fault {
+				if !fs.memStore(addr, size, c) {
+					return &Fault{Kind: FaultStore, Addr: addr, Proc: fb.proc, Block: fb.id, InstID: int(fi.id)}
+				}
+				return nil
+			})
+		}
+		if !fs.memStore(addr, size, c) {
+			f := &Fault{Kind: FaultStore, Addr: addr, Proc: fb.proc, Block: fb.id, InstID: int(fi.id)}
+			return false, fs.preciseFault(f, func() *Fault {
+				if !fs.memStore(addr, size, c) {
+					return f
+				}
+				return nil
+			})
+		}
+		if fs.cfg.OnStore != nil {
+			fs.cfg.OnStore(addr, size, c)
+		}
+		return false, nil
+	case fkBranch:
+		*ctl = fastCtl{fi: fi, taken: branchTaken(fi.op, a, c)}
+		return true, nil
+	case fkJ:
+		*ctl = fastCtl{fi: fi}
+		return true, nil
+	case fkJAL:
+		if fs.shadow.outstanding() || fs.stores.outstanding() {
+			return false, fmt.Errorf("sim: speculative state outstanding at call in B%d", fb.id)
+		}
+		if fi.target < 0 {
+			return false, fmt.Errorf("sim: call to undefined %q", fi.sym)
+		}
+		if err := fs.writeReg(fi.rd, 0, fi.link); err != nil {
+			return false, err
+		}
+		*ctl = fastCtl{fi: fi, target: fi.target}
+		return true, nil
+	case fkJR:
+		if fs.shadow.outstanding() || fs.stores.outstanding() {
+			return false, fmt.Errorf("sim: speculative state outstanding at return in B%d", fb.id)
+		}
+		idx := a - retTokenBase
+		if a < retTokenBase || int(idx) >= len(fs.pd.blocks) {
+			return false, fmt.Errorf("sim: jr to invalid token %#x", a)
+		}
+		*ctl = fastCtl{fi: fi, target: int32(idx)}
+		return true, nil
+	case fkOut:
+		if fi.boost > 0 {
+			return false, fmt.Errorf("sim: boosted OUT is not supported by any model")
+		}
+		fs.res.Out = append(fs.res.Out, a)
+		return false, nil
+	case fkHalt:
+		*ctl = fastCtl{fi: fi}
+		return true, nil
+	default: // fkNop
+		return false, nil
+	}
+}
+
+// finishBlock resolves the block's control decision: commit or squash
+// speculative state at conditional branches, dispatch recovery code on
+// postponed exceptions, and compute the dense successor index.
+func (fs *fastState) finishBlock(fb *fastBlock, ctl *fastCtl) (next int32, done bool, err error) {
+	res := fs.res
+	switch {
+	case ctl == nil:
+		// Fall-through block.
+		if fb.nsucc != 1 {
+			return 0, false, fmt.Errorf("sim: block B%d has no successor", fb.id)
+		}
+		return fb.succ0, false, nil
+	case ctl.fi.kind == fkHalt:
+		return 0, true, nil
+	case ctl.fi.kind == fkJ:
+		return fb.succ0, false, nil
+	case ctl.fi.kind == fkJAL, ctl.fi.kind == fkJR:
+		return ctl.target, false, nil
+	default: // conditional branch
+		res.Branches++
+		correct := ctl.taken == ctl.fi.pred
+		succ := fb.succ0
+		if ctl.taken {
+			succ = fb.succ1
+		}
+		if correct {
+			res.Correct++
+			var commitFault *Fault
+			fs.shadow.commit(fs.regs)
+			if f := fs.stores.commit(fs.mem, fs.cfg.OnStore); f != nil {
+				commitFault = f
+			}
+			if fs.excbuf.shift() || commitFault != nil {
+				return fs.recover(fb, ctl.fi, succ)
+			}
+			return succ, false, nil
+		}
+		// Incorrect prediction: discard all speculative state.
+		droppedStores := len(fs.stores.entries)
+		droppedRegs := fs.shadow.count()
+		res.Squashed += int64(droppedStores + droppedRegs)
+		if !fs.cfg.Inject.SkipShadowSquash {
+			fs.shadow.squash()
+		}
+		if !fs.cfg.Inject.SkipStoreSquash {
+			fs.stores.squash()
+		}
+		fs.excbuf.clear()
+		if fs.cfg.OnSquash != nil {
+			leaked := len(fs.stores.entries) + fs.shadow.count()
+			fs.cfg.OnSquash(SquashInfo{
+				BranchID: int(ctl.fi.id),
+				Regs:     droppedRegs,
+				Stores:   droppedStores,
+				Leaked:   leaked,
+			})
+		}
+		return succ, false, nil
+	}
+}
+
+// recover implements the boosted exception handler (paper §2.3) on the
+// pre-decoded recovery stream; see execState.recover for the semantics.
+func (fs *fastState) recover(fb *fastBlock, bi *fastInst, succ int32) (int32, bool, error) {
+	res := fs.res
+	res.Recoveries++
+	fs.shadow.squash()
+	fs.stores.squash()
+	fs.excbuf.clear()
+	res.Cycles += int64(fs.pd.excOverhead)
+
+	if bi.recLo < 0 {
+		return 0, false, fmt.Errorf(
+			"sim: boosted exception at branch %d in B%d of %s but no recovery code",
+			bi.id, fb.id, fb.proc)
+	}
+	var ctlBuf fastCtl
+	for ri := bi.recLo; ri < bi.recHi; ri++ {
+		fi := &fs.pd.rec[ri]
+		res.Cycles++
+		res.Insts++
+		a := fs.readReg(fi.rs, int(fi.boost))
+		c := fs.readReg(fi.rt, int(fi.boost))
+		// execute consults the user fault handler itself for sequential
+		// faults; an error here means the fault went unhandled.
+		isCtl, err := fs.execute(fb, fi, a, c, &ctlBuf)
+		if err != nil {
+			return 0, false, err
+		}
+		if isCtl {
+			return 0, false, fmt.Errorf("sim: control op in recovery code")
+		}
+		if fi.def >= 0 {
+			fs.regReady[fi.def] = res.Cycles + int64(fi.lat)
+		}
+	}
+	// Recovery ends with an unconditional jump to the predicted target.
+	res.Cycles++
+	return succ, false, nil
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+
+	"boosting/internal/isa"
+	"boosting/internal/machine"
+	"boosting/internal/prog"
+)
+
+// This file is the Lower/Predecode pass behind the fast execution core:
+// it flattens a machine.SchedProgram into dense arrays the executor in
+// fast.go can walk without pointer chasing, map lookups or per-cycle
+// allocation. Every block of every procedure gets a dense index (assigned
+// in the same order buildLinkTable assigns return tokens, so a return
+// token IS a dense block index plus retTokenBase), control targets are
+// resolved to those indices, operands become small ints, and per-op
+// facts the legacy loop recomputes every cycle — functional-unit kind,
+// memory access size/extension, result latency, use/def registers — are
+// computed once here.
+
+// Operation kinds the fast executor dispatches on. They collapse the
+// per-instruction switch of the legacy loop into a dense jump.
+const (
+	fkALU uint8 = iota
+	fkLoad
+	fkStore
+	fkBranch
+	fkJ
+	fkJAL
+	fkJR
+	fkOut
+	fkHalt
+	fkNop
+)
+
+// fastInst is one pre-decoded instruction.
+type fastInst struct {
+	op      isa.Op
+	kind    uint8
+	boost   uint8
+	size    uint8 // memory access size in bytes
+	signExt bool  // loads: sign-extend
+	pred    bool  // branches: static prediction
+	lat     int8  // result latency
+	rd      int32 // destination register (0 = R0/none for value writes)
+	rs, rt  int32 // source registers (0 = R0)
+	imm     int32
+	id      int32 // stable instruction ID (fault reports, squash info)
+	// use0/use1/def drive the interlock and ready bookkeeping. -1 means
+	// "no register in this role"; R0 is a valid (if architecturally
+	// inert) participant, exactly as in the legacy loop.
+	use0, use1, def int32
+	// target is the dense block index of the control transfer: the
+	// callee entry for JAL (-1 = undefined callee). J/branch successors
+	// live on the block instead.
+	target int32
+	link   uint32 // JAL: return token to write into rd
+	sym    string // JAL: callee name (error reporting)
+	// recLo/recHi bound this branch's boosted-exception recovery code in
+	// Predecoded.rec (-1 = no recovery code emitted for this branch).
+	recLo, recHi int32
+}
+
+// fastCycle is one issue cycle: insts[lo:hi] issue together. NOPs and
+// empty slots are dropped at predecode (they read R0 and write nothing),
+// but the cycle itself still costs one machine cycle.
+type fastCycle struct{ lo, hi int32 }
+
+// fastBlock is one pre-decoded basic block.
+type fastBlock struct {
+	proc         string
+	id           int
+	procSched    bool // the owning procedure has a schedule
+	scheduled    bool // this block has a schedule
+	cycLo, cycHi int32
+	nsucc        uint8
+	succ0, succ1 int32 // dense successor indices (-1 = none)
+}
+
+// Predecoded is a scheduled program lowered for the fast execution core.
+// It is immutable after Predecode and safe for concurrent Exec calls.
+type Predecoded struct {
+	sprog  *machine.SchedProgram
+	blocks []fastBlock
+	cycles []fastCycle
+	insts  []fastInst
+	rec    []fastInst // recovery-code pool, indexed by fastInst.recLo/recHi
+
+	entry       int32 // dense index of main's entry block
+	numRegs     int
+	maxPerCycle int // widest issue cycle after NOP dropping
+
+	// Boosting-hardware configuration, copied out of the model.
+	maxLevel    int
+	multiShadow bool
+	storeBuffer bool
+	storeCap    int
+	excOverhead int
+}
+
+// Predecode lowers a scheduled program for the fast execution core. The
+// result may be reused across many Exec calls (each run gets its own
+// pooled machine state).
+func Predecode(sp *machine.SchedProgram) (*Predecoded, error) {
+	mainSP := sp.Procs["main"]
+	if mainSP == nil {
+		return nil, fmt.Errorf("sim: scheduled program has no main")
+	}
+	pd := &Predecoded{
+		sprog:       sp,
+		numRegs:     int(maxRegProgram(sp.Prog)) + 1,
+		maxLevel:    sp.Model.Boost.MaxLevel,
+		multiShadow: sp.Model.Boost.MultiShadow,
+		storeBuffer: sp.Model.Boost.StoreBuffer,
+		storeCap:    sp.Model.Boost.StoreBufferSize,
+		excOverhead: sp.Model.ExceptionOverhead,
+	}
+
+	// Pass 1: assign dense block indices in link-table order, so return
+	// tokens resolve by arithmetic (token - retTokenBase = dense index).
+	idx := map[blockKey]int32{}
+	for _, p := range sp.Prog.ProcList() {
+		for _, b := range p.Blocks {
+			idx[blockKey{p.Name, b.ID}] = int32(len(pd.blocks))
+			pd.blocks = append(pd.blocks, fastBlock{proc: p.Name, id: b.ID})
+		}
+	}
+	pd.entry = idx[blockKey{"main", mainSP.Proc.Entry.ID}]
+
+	// Pass 2: lower every scheduled block.
+	for _, p := range sp.Prog.ProcList() {
+		schedProc := sp.Procs[p.Name]
+		for _, b := range p.Blocks {
+			fb := &pd.blocks[idx[blockKey{p.Name, b.ID}]]
+			fb.nsucc = uint8(len(b.Succs))
+			fb.succ0, fb.succ1 = -1, -1
+			if len(b.Succs) > 0 {
+				fb.succ0 = idx[blockKey{p.Name, b.Succs[0].ID}]
+			}
+			if len(b.Succs) > 1 {
+				fb.succ1 = idx[blockKey{p.Name, b.Succs[1].ID}]
+			}
+			if schedProc == nil {
+				continue
+			}
+			fb.procSched = true
+			sb := schedProc.Blocks[b.ID]
+			if sb == nil {
+				continue
+			}
+			fb.scheduled = true
+			fb.cycLo = int32(len(pd.cycles))
+			for ci := range sb.Cycles {
+				lo := int32(len(pd.insts))
+				for _, in := range sb.Cycles[ci].Slots {
+					// Empty slots and sequential NOPs have no architectural
+					// or statistical effect and are dropped; a boosted NOP
+					// still counts toward BoostedExec, so it stays.
+					if in == nil || (in.Op == isa.NOP && in.Boost == 0) {
+						continue
+					}
+					fi, err := pd.lowerInst(sp, schedProc, p.Name, b, in, idx)
+					if err != nil {
+						return nil, err
+					}
+					pd.insts = append(pd.insts, fi)
+				}
+				hi := int32(len(pd.insts))
+				if w := int(hi - lo); w > pd.maxPerCycle {
+					pd.maxPerCycle = w
+				}
+				pd.cycles = append(pd.cycles, fastCycle{lo, hi})
+			}
+			fb.cycHi = int32(len(pd.cycles))
+		}
+	}
+	return pd, nil
+}
+
+// lowerInst pre-decodes one instruction of block b in procedure proc.
+func (pd *Predecoded) lowerInst(sp *machine.SchedProgram, schedProc *machine.SchedProc,
+	proc string, b *prog.Block, in *isa.Inst, idx map[blockKey]int32) (fastInst, error) {
+	fi := lowerCommon(in)
+	switch fi.kind {
+	case fkJAL:
+		fi.sym = in.Sym
+		if callee := sp.Prog.Procs[in.Sym]; callee != nil {
+			fi.target = idx[blockKey{callee.Name, callee.Entry.ID}]
+		}
+		// The return continuation is the calling block's first successor;
+		// its token is retTokenBase plus the dense block index, exactly as
+		// buildLinkTable assigns it.
+		if len(b.Succs) > 0 {
+			fi.link = retTokenBase + uint32(idx[blockKey{proc, b.Succs[0].ID}])
+		}
+	case fkBranch:
+		if rec := schedProc.Recovery[in.ID]; rec != nil {
+			fi.recLo = int32(len(pd.rec))
+			for i := range rec {
+				pd.rec = append(pd.rec, lowerCommon(&rec[i]))
+			}
+			fi.recHi = int32(len(pd.rec))
+		}
+	}
+	return fi, nil
+}
+
+// lowerCommon fills the operand/classification fields shared by block and
+// recovery instructions.
+func lowerCommon(in *isa.Inst) fastInst {
+	fi := fastInst{
+		op:     in.Op,
+		boost:  uint8(in.Boost),
+		pred:   in.Pred,
+		lat:    int8(isa.Latency(in.Op)),
+		rd:     int32(in.Rd),
+		rs:     int32(in.Rs),
+		rt:     int32(in.Rt),
+		imm:    in.Imm,
+		id:     int32(in.ID),
+		use0:   -1,
+		use1:   -1,
+		def:    -1,
+		target: -1,
+		recLo:  -1,
+		recHi:  -1,
+	}
+	switch {
+	case in.Op == isa.NOP:
+		fi.kind = fkNop
+	case in.Op == isa.HALT:
+		fi.kind = fkHalt
+	case in.Op == isa.OUT:
+		fi.kind = fkOut
+	case in.Op == isa.J:
+		fi.kind = fkJ
+	case in.Op == isa.JAL:
+		fi.kind = fkJAL
+	case in.Op == isa.JR:
+		fi.kind = fkJR
+	case isa.IsCondBranch(in.Op):
+		fi.kind = fkBranch
+	case isa.IsLoad(in.Op):
+		fi.kind = fkLoad
+		size, signExt := memAccess(in.Op)
+		fi.size, fi.signExt = uint8(size), signExt
+	case isa.IsStore(in.Op):
+		fi.kind = fkStore
+		size, _ := memAccess(in.Op)
+		fi.size = uint8(size)
+	default:
+		fi.kind = fkALU
+	}
+	var buf [2]isa.Reg
+	uses := in.Uses(buf[:0])
+	if len(uses) > 0 {
+		fi.use0 = int32(uses[0])
+	}
+	if len(uses) > 1 {
+		fi.use1 = int32(uses[1])
+	}
+	defs := in.Defs(buf[:0])
+	if len(defs) > 0 {
+		fi.def = int32(defs[0])
+	}
+	return fi
+}

@@ -1,0 +1,189 @@
+package sim_test
+
+// Throughput benchmarks for the simulator cores, plus the BENCH_simcore.json
+// writer and the committed-baseline regression gate that CI runs.
+//
+//	go test -bench BenchmarkSimCore -benchmem ./internal/sim/   ad-hoc numbers
+//	make bench-simcore                                          rewrite BENCH_simcore.json
+//	make bench-simcore-check                                    fail on >15% fast-core regression
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"boosting/internal/core"
+	"boosting/internal/machine"
+	"boosting/internal/prog"
+	"boosting/internal/sim"
+)
+
+// simcoreWorkloads are the benchmark programs: the two longest-running
+// kernels, on the deepest boosting model, where executor overhead
+// dominates.
+var simcoreWorkloads = []string{"eqntott", "espresso"}
+
+func scheduleBoost7(tb testing.TB, name string) *machine.SchedProgram {
+	tb.Helper()
+	master := compileWorkload(tb, name)
+	sp, err := core.Schedule(prog.Clone(master), machine.Boost7(), core.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sp
+}
+
+// BenchmarkSimCore measures whole-run simulation throughput of both
+// engines on the long kernels, reporting allocations and normalized
+// ns per simulated machine cycle.
+func BenchmarkSimCore(b *testing.B) {
+	for _, name := range simcoreWorkloads {
+		sp := scheduleBoost7(b, name)
+		for _, engine := range sim.Engines() {
+			b.Run(engine.String()+"/"+name, func(b *testing.B) {
+				b.ReportAllocs()
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					res, err := sim.Exec(sp, sim.ExecConfig{Engine: engine})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.Cycles
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(cycles), "ns/simcycle")
+			})
+		}
+	}
+}
+
+// engineBench is one engine's measurement in BENCH_simcore.json.
+type engineBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerCycle  float64 `json:"ns_per_cycle"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// workloadBench is one workload's measurement pair.
+type workloadBench struct {
+	Model   string      `json:"model"`
+	Cycles  int64       `json:"cycles"`
+	Fast    engineBench `json:"fast"`
+	Legacy  engineBench `json:"legacy"`
+	Speedup float64     `json:"speedup"`
+}
+
+type simcoreBenchFile struct {
+	GeneratedBy string                   `json:"generated_by"`
+	Workloads   map[string]workloadBench `json:"workloads"`
+}
+
+// measureEngine times reps whole-program runs and counts steady-state
+// allocations for one engine.
+func measureEngine(tb testing.TB, sp *machine.SchedProgram, engine sim.Engine, reps int) (engineBench, int64) {
+	tb.Helper()
+	run := func() int64 {
+		res, err := sim.Exec(sp, sim.ExecConfig{Engine: engine})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return res.Cycles
+	}
+	cycles := run() // warm pools and caches
+	allocs := testing.AllocsPerRun(2, func() { run() })
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		run()
+	}
+	nsPerOp := float64(time.Since(start).Nanoseconds()) / float64(reps)
+	return engineBench{
+		NsPerOp:     nsPerOp,
+		NsPerCycle:  nsPerOp / float64(cycles),
+		AllocsPerOp: allocs,
+	}, cycles
+}
+
+// TestWriteSimcoreBenchJSON measures both engines on the long kernels and
+// writes BENCH_simcore.json (path in SIMCORE_BENCH_JSON; skipped when
+// unset so `go test ./...` stays quiet). It fails outright if the fast
+// core has lost its headline properties — <3x over legacy or an
+// allocating steady state — so a regressed baseline cannot be committed.
+func TestWriteSimcoreBenchJSON(t *testing.T) {
+	out := os.Getenv("SIMCORE_BENCH_JSON")
+	if out == "" {
+		t.Skip("set SIMCORE_BENCH_JSON=path to write the simulator-core benchmark file")
+	}
+	file := simcoreBenchFile{
+		GeneratedBy: "go test -run TestWriteSimcoreBenchJSON ./internal/sim/ (make bench-simcore)",
+		Workloads:   map[string]workloadBench{},
+	}
+	for _, name := range simcoreWorkloads {
+		sp := scheduleBoost7(t, name)
+		fast, cycles := measureEngine(t, sp, sim.EngineFast, 5)
+		legacy, _ := measureEngine(t, sp, sim.EngineLegacy, 3)
+		wb := workloadBench{
+			Model:   "Boost7",
+			Cycles:  cycles,
+			Fast:    fast,
+			Legacy:  legacy,
+			Speedup: legacy.NsPerOp / fast.NsPerOp,
+		}
+		file.Workloads[name] = wb
+		t.Logf("%s: fast %.2fms (%.0f allocs), legacy %.2fms (%.0f allocs), %.2fx",
+			name, fast.NsPerOp/1e6, fast.AllocsPerOp, legacy.NsPerOp/1e6, legacy.AllocsPerOp, wb.Speedup)
+		if wb.Speedup < 3 {
+			t.Errorf("%s: fast core is only %.2fx over legacy, want >= 3x", name, wb.Speedup)
+		}
+		if fast.AllocsPerOp > 256 {
+			t.Errorf("%s: fast core allocates %.0f objects per run; steady state should be allocation-free", name, fast.AllocsPerOp)
+		}
+	}
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimcoreBenchRegression re-measures the fast core and fails if it
+// runs >15% slower than the committed BENCH_simcore.json baseline (path
+// in SIMCORE_BENCH_BASELINE; skipped when unset). The comparison is on
+// ns/op of the same machine-independent workloads, so run it on hardware
+// comparable to what produced the baseline — CI regenerates the baseline
+// when it moves for a justified reason.
+func TestSimcoreBenchRegression(t *testing.T) {
+	base := os.Getenv("SIMCORE_BENCH_BASELINE")
+	if base == "" {
+		t.Skip("set SIMCORE_BENCH_BASELINE=path to compare against a committed baseline")
+	}
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want simcoreBenchFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	const tolerance = 1.15
+	for _, name := range simcoreWorkloads {
+		wb, ok := want.Workloads[name]
+		if !ok {
+			t.Errorf("baseline %s lacks workload %s; regenerate with make bench-simcore", base, name)
+			continue
+		}
+		sp := scheduleBoost7(t, name)
+		got, _ := measureEngine(t, sp, sim.EngineFast, 5)
+		ratio := got.NsPerOp / wb.Fast.NsPerOp
+		t.Logf("%s: fast %.2fms vs baseline %.2fms (%.2fx)", name, got.NsPerOp/1e6, wb.Fast.NsPerOp/1e6, ratio)
+		if ratio > tolerance {
+			t.Errorf("%s: fast core regressed to %.2fx the committed baseline (tolerance %.2fx): %s",
+				name, ratio, tolerance, fmt.Sprintf("%.2fms vs %.2fms", got.NsPerOp/1e6, wb.Fast.NsPerOp/1e6))
+		}
+		if got.AllocsPerOp > 256 {
+			t.Errorf("%s: fast core allocates %.0f objects per run; steady state should be allocation-free", name, got.AllocsPerOp)
+		}
+	}
+}

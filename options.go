@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"boosting/internal/core"
+	"boosting/internal/sim"
 )
 
 // Option is a functional option for the Pipeline. Options passed to
@@ -18,6 +19,7 @@ type config struct {
 	core        core.Options
 	infiniteReg bool
 	parallelism int
+	engine      sim.Engine
 }
 
 // apply layers opts on top of a copy of the receiver.
@@ -71,6 +73,19 @@ func WithMaxTraceBlocks(n int) Option {
 func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
 }
+
+// WithEngine selects the cycle-simulator engine. The default
+// (sim.EngineFast) is the pre-decoded allocation-free core;
+// sim.EngineLegacy forces the original interpretive executor. Both
+// produce byte-identical results — the option exists as an escape hatch
+// and for differential testing.
+func WithEngine(e sim.Engine) Option {
+	return func(c *config) { c.engine = e }
+}
+
+// WithLegacyEngine forces the original interpretive executor; shorthand
+// for WithEngine(sim.EngineLegacy).
+func WithLegacyEngine() Option { return WithEngine(sim.EngineLegacy) }
 
 // Ablation is one named scheduler-ablation bundle: a baseline or a
 // configuration with one optimization disabled (or one resource

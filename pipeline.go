@@ -139,7 +139,7 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Compiled, model *machine.Mod
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("boosting: simulate %s on %s: %w", c.Workload, model, err)
 	}
-	res, err := sim.Exec(sp, sim.ExecConfig{})
+	res, err := sim.Exec(sp, sim.ExecConfig{Engine: cfg.engine})
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +151,7 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Compiled, model *machine.Mod
 		return nil, err
 	}
 	return &Result{
+		Engine:             cfg.engine.String(),
 		Cycles:             res.Cycles,
 		ScalarCycles:       scalar,
 		Speedup:            float64(scalar) / float64(res.Cycles),
@@ -211,7 +212,9 @@ func (p *Pipeline) CacheStats() (hits, misses int64) {
 	return ch + sh, cm + sm
 }
 
-// scalarCycles memoizes the R2000 baseline per workload.
+// scalarCycles memoizes the R2000 baseline per workload. The memo key is
+// engine-free on purpose: the engines are proven cycle-identical, so the
+// baseline is shared across engine selections.
 func (p *Pipeline) scalarCycles(ctx context.Context, workload string) (int64, error) {
 	return p.scalars.Do(ctx, "scalar|"+workload, func() (int64, error) {
 		c, err := p.Compile(ctx, workload)
