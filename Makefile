@@ -6,11 +6,13 @@ GO ?= go
 # coverage so refactors that shed tests fail fast; raise as coverage grows.
 COVER_FLOOR_SIM ?= 78
 COVER_FLOOR_CORE ?= 90
+COVER_FLOOR_DATAFLOW ?= 90
+COVER_FLOOR_PASSES ?= 95
 COVER_FLOOR_MACHINE ?= 75
 COVER_FLOOR_DYNSCHED ?= 75
 COVER_FLOOR_WORKLOADS ?= 75
 
-.PHONY: all test test-short test-race bench bench-json bench-simcore bench-simcore-check experiments fuzz fuzz-quick fuzz-smoke cover vet clean
+.PHONY: all test test-short test-race bench bench-json bench-simcore bench-simcore-check bench-compile bench-compile-check experiments fuzz fuzz-quick fuzz-smoke cover vet clean
 
 all: vet test test-race fuzz-quick
 
@@ -45,6 +47,20 @@ bench-simcore:
 bench-simcore-check:
 	SIMCORE_BENCH_BASELINE=$(CURDIR)/BENCH_simcore.json $(GO) test -run TestSimcoreBenchRegression -count=1 -v ./internal/sim/
 
+# bench-compile measures trace-scheduler compile time (analysis cache on
+# vs off) over every workload × {NoBoost, MinBoost3, Boost7} and rewrites
+# the committed BENCH_compile.json baseline. It fails if caching does not
+# improve aggregate compile time, so a baseline that lost the
+# optimization cannot be committed.
+bench-compile:
+	COMPILE_BENCH_JSON=$(CURDIR)/BENCH_compile.json $(GO) test -run TestWriteCompileBenchJSON -count=1 ./internal/core/
+	@echo "wrote BENCH_compile.json"
+
+# bench-compile-check re-measures cached compile time and fails if it runs
+# >15% slower than the committed BENCH_compile.json baseline. CI runs this.
+bench-compile-check:
+	COMPILE_BENCH_BASELINE=$(CURDIR)/BENCH_compile.json $(GO) test -run TestCompileBenchRegression -count=1 -v ./internal/core/
+
 experiments:
 	$(GO) run ./cmd/experiments -all
 
@@ -71,9 +87,11 @@ fuzz-smoke:
 
 # cover enforces statement-coverage floors on the packages the
 # differential oracle and golden-trace suite lean on: the simulator, the
-# scheduler, the machine models, the dynamic scheduler and the workloads.
+# scheduler and its analysis/pass managers, the machine models, the
+# dynamic scheduler and the workloads.
 cover:
 	@set -e; for spec in internal/sim:$(COVER_FLOOR_SIM) internal/core:$(COVER_FLOOR_CORE) \
+			internal/dataflow:$(COVER_FLOOR_DATAFLOW) internal/passes:$(COVER_FLOOR_PASSES) \
 			internal/machine:$(COVER_FLOOR_MACHINE) internal/dynsched:$(COVER_FLOOR_DYNSCHED) \
 			internal/workloads:$(COVER_FLOOR_WORKLOADS); do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \

@@ -48,8 +48,30 @@ import (
 
 	"boosting/internal/core"
 	"boosting/internal/machine"
+	"boosting/internal/passes"
 	"boosting/internal/workloads"
 )
+
+// CompileStats is the structured per-pass report of one compile: every
+// pass's name and wall time, with the "schedule" row expanded into the
+// trace scheduler's stage rows (trace-select, ddg-build, list-schedule,
+// recovery-emit) and carrying the full SchedulerStats payload. It is an
+// alias of the internal pass-manager schema, following the precedent of
+// machine.Model being exposed directly.
+type CompileStats = passes.CompileStats
+
+// PassStats is one row of a CompileStats report.
+type PassStats = passes.PassStats
+
+// SchedulerStats is the trace scheduler's counter set: traces formed,
+// motions attempted/placed, rejections bucketed by reason, boosted
+// instruction counts per level, compensation copies, recovery
+// instructions, per-stage times and analysis-cache activity.
+type SchedulerStats = core.Stats
+
+// RejectReasons lists every motion-rejection bucket that can appear in
+// SchedulerStats.Rejections.
+func RejectReasons() []string { return core.RejectReasons() }
 
 // Workload names accepted by Compile/CompileAndRun and Workloads().
 const (
@@ -99,6 +121,10 @@ type Result struct {
 	// "legacy"); the engines are verified byte-identical, so it only
 	// records which core did the work.
 	Engine string
+	// Compile is the per-pass report of this run's schedule (the
+	// memoized artifact build reports separately via
+	// Compiled.CompileStats).
+	Compile *CompileStats
 	// Cycles is the machine cycles consumed on the test input.
 	Cycles int64
 	// ScalarCycles is the R2000 baseline on the same input.

@@ -6,101 +6,181 @@
 // Usage:
 //
 //	boostcc -workload grep -model MinBoost3
-//	boostcc -workload xlisp -model Boost7 -src      # also print the IR
-//	boostcc -asm prog.s -model Boost1               # compile an .s file
+//	boostcc -workload xlisp -model Boost7 -src       # also print the IR
+//	boostcc -asm prog.s -model Boost1                # compile an .s file
+//	boostcc -workload grep -pass-stats               # per-pass report
+//	boostcc -asm prog.s -verify-each                 # verify IR between passes
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 
 	"boosting"
 	"boosting/internal/core"
+	"boosting/internal/passes"
 	"boosting/internal/profile"
 	"boosting/internal/prog"
 	"boosting/internal/regalloc"
 )
 
 func main() {
-	workload := flag.String("workload", "", "workload name: "+strings.Join(boosting.Workloads(), ", "))
-	asmFile := flag.String("asm", "", "assembly file to compile instead of a workload")
-	model := flag.String("model", "MinBoost3", "machine model")
-	src := flag.Bool("src", false, "also print the program IR before scheduling")
-	local := flag.Bool("local", false, "basic-block scheduling only")
-	inf := flag.Bool("inf", false, "infinite register model (skip register allocation)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "boostcc:", err)
-		os.Exit(1)
+// run is the testable command body. Exit codes: 0 success, 1 compile or
+// verification failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("boostcc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "", "workload name: "+strings.Join(boosting.Workloads(), ", "))
+	asmFile := fs.String("asm", "", "assembly file to compile instead of a workload")
+	model := fs.String("model", "MinBoost3", "machine model: R2000, NoBoost, Squashing, Boost1, MinBoost3, Boost7")
+	src := fs.Bool("src", false, "also print the program IR before scheduling")
+	local := fs.Bool("local", false, "basic-block scheduling only")
+	inf := fs.Bool("inf", false, "infinite register model (skip register allocation)")
+	passStats := fs.Bool("pass-stats", false, "print per-pass compile timings and scheduler counters")
+	verifyEach := fs.Bool("verify-each", false, "run the IR verifier between compile passes")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "boostcc: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if (*workload == "") == (*asmFile == "") {
+		fmt.Fprintln(stderr, "boostcc: pass exactly one of -workload or -asm")
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "boostcc:", err)
+		return 1
+	}
 
 	m, err := boosting.ModelByName(*model)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
+	pm := passes.NewManager()
+	pm.VerifyEach = *verifyEach
 	var pr *prog.Program
-	switch {
-	case *asmFile != "":
+	if *asmFile != "" {
 		// Assembly input bypasses the workload pipeline: parse, then run
-		// the same allocate/profile stages by hand.
-		text, err := os.ReadFile(*asmFile)
-		if err != nil {
-			fail(err)
-		}
-		pr, err = prog.Parse(string(text))
-		if err != nil {
-			fail(err)
-		}
-		if !*inf {
-			if _, err := regalloc.Allocate(pr); err != nil {
-				fail(err)
+		// the same allocate/profile stages as named passes.
+		err = pm.Run("parse", func() error {
+			text, err := os.ReadFile(*asmFile)
+			if err != nil {
+				return err
 			}
+			pr, err = prog.Parse(string(text))
+			return err
+		})
+		if err == nil && !*inf {
+			err = pm.Run("regalloc", func() error {
+				_, err := regalloc.Allocate(pr)
+				return err
+			}, pr)
 		}
-		if err := profile.Annotate(pr); err != nil {
-			fail(err)
+		if err == nil {
+			err = pm.Run("profile", func() error {
+				return profile.Annotate(pr)
+			}, pr)
 		}
-	case *workload != "":
-		var opts []boosting.Option
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		opts := []boosting.Option{}
 		if *inf {
 			opts = append(opts, boosting.WithInfiniteRegisters())
 		}
+		if *verifyEach {
+			opts = append(opts, boosting.WithVerifyEach())
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
 		c, err := boosting.NewPipeline().Compile(ctx, *workload, opts...)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		pr = c.Program()
-	default:
-		fail(fmt.Errorf("pass -workload or -asm"))
+		pm.Stats().Add(c.CompileStats())
 	}
 
 	if *src {
-		fmt.Println("== program IR ==")
-		fmt.Println(prog.FormatProgram(pr))
+		fmt.Fprintln(stdout, "== program IR ==")
+		fmt.Fprintln(stdout, prog.FormatProgram(pr))
 	}
 
-	sp, err := core.Schedule(pr, m, core.Options{LocalOnly: *local})
+	sp, err := pm.Schedule(pr, m, core.Options{LocalOnly: *local})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("== schedule for %s (object growth %.2fx) ==\n", m, sp.ObjectGrowth())
+	fmt.Fprintf(stdout, "== schedule for %s (object growth %.2fx) ==\n", m, sp.ObjectGrowth())
 	for _, name := range pr.Order {
-		fmt.Print(sp.Procs[name].Format())
+		fmt.Fprint(stdout, sp.Procs[name].Format())
 	}
 	for _, name := range pr.Order {
 		p := sp.Procs[name]
 		for id, rec := range p.Recovery {
-			fmt.Printf(".recovery for branch %d in %s:\n", id, name)
+			fmt.Fprintf(stdout, ".recovery for branch %d in %s:\n", id, name)
 			for i := range rec {
-				fmt.Printf("\t%s\n", rec[i].String())
+				fmt.Fprintf(stdout, "\t%s\n", rec[i].String())
 			}
 		}
 	}
+	if *passStats {
+		printPassStats(stdout, pm.Stats())
+	}
+	return 0
+}
+
+// printPassStats renders the compile report: one row per pass (scheduler
+// stage rows indented under "schedule"), then the scheduler's counters.
+func printPassStats(w io.Writer, cs *boosting.CompileStats) {
+	fmt.Fprintf(w, "== pass stats (total %.6fs) ==\n", cs.TotalSeconds)
+	for _, row := range cs.Passes {
+		name := row.Name
+		switch name {
+		case "trace-select", "ddg-build", "list-schedule", "recovery-emit":
+			name = "  " + name
+		}
+		fmt.Fprintf(w, "%-16s %10.6fs\n", name, row.Seconds)
+	}
+	st := cs.Sched()
+	if st == nil {
+		return
+	}
+	fmt.Fprintf(w, "traces           %d formed over %d blocks\n", st.TracesFormed, st.TraceBlocks)
+	fmt.Fprintf(w, "motions          %d attempted, %d placed (%d boosted)\n",
+		st.MotionsAttempted, st.MotionsPlaced, st.BoostedPlaced())
+	for l, c := range st.BoostedByLevel {
+		if l > 0 && c > 0 {
+			fmt.Fprintf(w, "  level %-2d       %d\n", l, c)
+		}
+	}
+	if len(st.Rejections) > 0 {
+		reasons := make([]string, 0, len(st.Rejections))
+		for r := range st.Rejections {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		fmt.Fprintln(w, "rejections")
+		for _, r := range reasons {
+			fmt.Fprintf(w, "  %-24s %d\n", r, st.Rejections[r])
+		}
+	}
+	fmt.Fprintf(w, "compensation     %d copies, %d edge splits\n", st.CompensationCopies, st.EdgeSplits)
+	fmt.Fprintf(w, "recovery         %d sites, %d insts\n", st.RecoverySites, st.RecoveryInsts)
+	a := st.Analysis
+	fmt.Fprintf(w, "analysis cache   %d cfg + %d liveness + %d loop computes, %d hits, %d invalidations\n",
+		a.CFGComputes, a.LivenessComputes, a.LoopComputes, a.Hits, a.Invalidations)
 }

@@ -44,11 +44,30 @@ func TestCompileAndRunMatchesPipelineRun(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Pipeline.Run: %v", err)
 			}
+			// Pass timings are measured, so the Compile reports can never
+			// compare equal; check they agree on shape, then compare the
+			// deterministic remainder.
+			if legacy.Compile == nil || staged.Compile == nil {
+				t.Fatalf("missing compile report: legacy=%v staged=%v", legacy.Compile, staged.Compile)
+			}
+			if lp, sp := passNames(legacy.Compile), passNames(staged.Compile); !reflect.DeepEqual(lp, sp) {
+				t.Errorf("pass lists differ:\nlegacy: %v\nstaged: %v", lp, sp)
+			}
+			legacy.Compile, staged.Compile = nil, nil
 			if !reflect.DeepEqual(legacy, staged) {
 				t.Errorf("results differ:\nlegacy: %+v\nstaged: %+v", legacy, staged)
 			}
 		})
 	}
+}
+
+// passNames projects a compile report onto its deterministic part.
+func passNames(cs *CompileStats) []string {
+	names := make([]string, len(cs.Passes))
+	for i, p := range cs.Passes {
+		names[i] = p.Name
+	}
+	return names
 }
 
 func TestRunDynamicMatchesStagedPipeline(t *testing.T) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"boosting/internal/dataflow"
 	"boosting/internal/ddg"
 	"boosting/internal/isa"
 	"boosting/internal/prog"
@@ -27,10 +28,11 @@ type dupEdge struct {
 }
 
 // planMotion decides whether node n (living in trace block n.BlockIdx) may
-// move up to trace block bi, and with what bookkeeping. It returns nil if
-// the motion is not allowed under the current machine model. shadowZone
-// reports whether the candidate slot lies in the branch-issue or delay
-// cycle of block bi (the Squashing model's only boosting positions).
+// move up to trace block bi, and with what bookkeeping. It returns a nil
+// plan and a Reject* bucket name if the motion is not allowed under the
+// current machine model. shadowZone reports whether the candidate slot
+// lies in the branch-issue or delay cycle of block bi (the Squashing
+// model's only boosting positions).
 //
 // This is the paper's Figure 5 algorithm, evaluated for the whole path at
 // once: equivalence pairs move without compensation; motion out of the top
@@ -38,11 +40,12 @@ type dupEdge struct {
 // bottom of a block with multiple successors boosts when the speculation
 // is unsafe (the op can fault, or is a store or an OUT) or illegal (the
 // destination is live into the non-predicted successor).
-func (s *scheduler) planMotion(st *traceState, n *ddg.Node, bi int, shadowZone bool) *motionPlan {
+func (s *scheduler) planMotion(st *traceState, n *ddg.Node, bi int, shadowZone bool) (*motionPlan, string) {
 	oi := n.BlockIdx
 	op := n.Inst.Op
 	trace := st.trace
 	dest, hasDest := n.Inst.Dest()
+	lv := s.am.Liveness()
 
 	branches := 0
 	needBoost := false
@@ -74,11 +77,11 @@ func (s *scheduler) planMotion(st *traceState, n *ddg.Node, bi int, shadowZone b
 			if isa.CanExcept(op) || isa.IsStore(op) || op == isa.OUT {
 				needBoost = true // unsafe speculative movement
 			}
-			if hasDest && dest != isa.R0 && s.lv.In[off.ID].Has(int(dest)) {
+			if hasDest && dest != isa.R0 && lv.In[off.ID].Has(int(dest)) {
 				needBoost = true // illegal speculative movement
 			}
 		default:
-			return nil // calls/returns/halts are never crossed
+			return nil, RejectCallBoundary // calls/returns/halts are never crossed
 		}
 	}
 
@@ -86,34 +89,35 @@ func (s *scheduler) planMotion(st *traceState, n *ddg.Node, bi int, shadowZone b
 	// at all, needs no boosting and no duplication (paper Figure 5's
 	// "move I to bottom of pair").
 	if branches > 0 && !s.opts.DisableEquivalence &&
-		s.info.ControlEquivalent(trace[bi], trace[oi]) &&
+		s.am.CFG().ControlEquivalent(trace[bi], trace[oi]) &&
 		s.dataEquivalent(st, n, bi, oi) {
 		if s.shadowVisible(st, n, bi, 0) && s.flattenSafe(st, n, bi) {
-			return &motionPlan{level: 0, endIdx: -1}
+			return &motionPlan{level: 0, endIdx: -1}, ""
 		}
 		// Otherwise fall through: the motion may still be possible as a
 		// boosted motion below.
 	}
 
 	if branches > 0 && op == isa.OUT {
-		return nil // observable output is never speculated
+		return nil, RejectObservableOut // observable output is never speculated
 	}
 
 	// boostAllowed checks the machine model's constraints for boosting
-	// this instruction across the crossed branches.
-	boostAllowed := func() bool {
+	// this instruction across the crossed branches, reporting the first
+	// violated constraint's rejection bucket.
+	boostAllowed := func() (bool, string) {
 		b := s.model.Boost
 		if degenerate || branches > b.MaxLevel {
-			return false
+			return false, RejectShadowLimit
 		}
 		if isa.IsStore(op) && !b.StoreBuffer {
-			return false // Option 1: no shadow store buffer
+			return false, RejectStoreBuffer // Option 1: no shadow store buffer
 		}
 		if b.SquashOnly {
 			// Option 3: only into the shadow of this block's own branch.
 			tbi := trace[bi].Terminator()
 			if !shadowZone || branches != 1 || tbi == nil || !isa.IsCondBranch(tbi.Op) {
-				return false
+				return false, RejectSquashZone
 			}
 		}
 		if !b.MultiShadow && hasDest && dest != isa.R0 {
@@ -123,14 +127,16 @@ func (s *scheduler) planMotion(st *traceState, n *ddg.Node, bi int, shadowZone b
 			for _, br := range st.boosted {
 				if br.dest == dest && br.endIdx != endIdx &&
 					bi <= br.endIdx && br.startIdx <= endIdx {
-					return false
+					return false, RejectShadowConflict
 				}
 			}
 		}
-		return true
+		return true, ""
 	}
-	if needBoost && !boostAllowed() {
-		return nil
+	if needBoost {
+		if ok, why := boostAllowed(); !ok {
+			return nil, why
+		}
 	}
 
 	// Compensation: every crossed join block needs copies on its
@@ -162,7 +168,8 @@ func (s *scheduler) planMotion(st *traceState, n *ddg.Node, bi int, shadowZone b
 			continue
 		}
 		if countCondBranches(trace[k:oi]) > 0 {
-			return nil // copy would execute on paths that bypass the origin
+			// The copy would execute on paths that bypass the origin.
+			return nil, RejectCompBoost
 		}
 		// Conscientious-scheduling gate (paper §3.2: "the scheduler is
 		// aware of the compensation costs of each code motion"). Copies
@@ -178,10 +185,10 @@ func (s *scheduler) planMotion(st *traceState, n *ddg.Node, bi int, shadowZone b
 		}
 		if needSplit {
 			if 4*offCount > onCount {
-				return nil
+				return nil, RejectCompCost
 			}
 		} else if offCount > onCount {
-			return nil
+			return nil, RejectCompCost
 		}
 		dups = append(dups, edges...)
 	}
@@ -195,8 +202,11 @@ func (s *scheduler) planMotion(st *traceState, n *ddg.Node, bi int, shadowZone b
 		// Upgrade to a boosted motion (shadow writes leave the branch's
 		// sequential operands untouched and the linearization keeps the
 		// label), or give up.
-		if branches == 0 || !boostAllowed() {
-			return nil
+		if branches == 0 {
+			return nil, RejectTermOperand
+		}
+		if ok, why := boostAllowed(); !ok {
+			return nil, why
 		}
 		level = branches
 	}
@@ -207,16 +217,19 @@ func (s *scheduler) planMotion(st *traceState, n *ddg.Node, bi int, shadowZone b
 		// branch count always restores visibility (its level is then at
 		// least any producer's remaining level), and boosting a safe and
 		// legal motion is always semantically sound.
-		if level > 0 || branches == 0 || !boostAllowed() {
-			return nil
+		if level > 0 || branches == 0 {
+			return nil, RejectShadowVisibility
+		}
+		if ok, why := boostAllowed(); !ok {
+			return nil, why
 		}
 		level = branches
 		if !s.shadowVisible(st, n, bi, level) {
-			return nil
+			return nil, RejectShadowVisibility
 		}
 	}
 
-	return &motionPlan{level: level, endIdx: endIdx, dupEdges: dups}
+	return &motionPlan{level: level, endIdx: endIdx, dupEdges: dups}, ""
 }
 
 // flattenSafe reports whether a sequential (level-0) placement of n in
@@ -383,17 +396,28 @@ func blockConflicts(x *prog.Block, n *ddg.Node, uses []isa.Reg, dest isa.Reg, ha
 	return false
 }
 
-// duplicate places compensation copies of n on the given off-trace edges,
-// then refreshes dataflow information (the copies change liveness on the
-// off-trace paths).
+// duplicate places compensation copies of n on the given off-trace edges
+// and declares the mutation to the analysis manager: appending into an
+// existing block only perturbs liveness on the off-trace paths, while a
+// fresh edge split changes the CFG itself and clobbers everything.
 func (s *scheduler) duplicate(n *ddg.Node, edges []dupEdge) {
+	split := false
 	for _, e := range edges {
-		target := s.compTarget(e)
+		target, didSplit := s.compTarget(e)
+		if didSplit {
+			split = true
+			s.stats.EdgeSplits++
+		}
 		in := n.Inst
 		in.Boost = 0
 		target.Insts = insertBeforeTerminator(target.Insts, in)
+		s.stats.CompensationCopies++
 	}
-	s.refresh()
+	if split {
+		s.am.Invalidate(dataflow.KindAll)
+	} else {
+		s.am.Invalidate(dataflow.KindLiveness)
+	}
 }
 
 // appendable reports whether a compensation copy may be appended directly
@@ -409,15 +433,16 @@ func (s *scheduler) appendable(x *prog.Block) bool {
 
 // compTarget returns the block that receives a compensation copy for the
 // edge: the predecessor itself when the copy may live at its end,
-// otherwise a block freshly split into the edge.
-func (s *scheduler) compTarget(e dupEdge) *prog.Block {
+// otherwise a block freshly split into the edge (split reports the latter
+// case, a structural CFG edit).
+func (s *scheduler) compTarget(e dupEdge) (target *prog.Block, split bool) {
 	x := e.from
 	if s.appendable(x) {
-		return x
+		return x, false
 	}
 	key := splitKey{x.ID, e.slot, e.to.ID}
 	if nb := s.splits[key]; nb != nil && !s.scheduled[nb.ID] {
-		return nb
+		return nb, false
 	}
 	nb := s.p.NewBlockAfter(fmt.Sprintf("comp.%d.%d", x.ID, e.to.ID))
 	nb.Succs = []*prog.Block{e.to}
@@ -426,7 +451,7 @@ func (s *scheduler) compTarget(e dupEdge) *prog.Block {
 	if s.region != nil {
 		s.region.Blocks[nb] = true
 	}
-	return nb
+	return nb, true
 }
 
 // inCurrentTrace reports whether b is part of the trace being scheduled.
@@ -476,6 +501,8 @@ func (s *scheduler) emitRecovery(st *traceState) {
 		}
 		if len(rec) > 0 {
 			s.sp.Recovery[t.ID] = rec
+			s.stats.RecoverySites++
+			s.stats.RecoveryInsts += int64(len(rec))
 		}
 	}
 }

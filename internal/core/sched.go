@@ -63,6 +63,13 @@ type Options struct {
 	NoDisambiguation bool
 	// MaxTraceBlocks bounds trace length (0 = default 32).
 	MaxTraceBlocks int
+
+	// uncachedAnalyses restores the pre-pass-manager behavior of
+	// invalidating every analysis before each trace, forcing full
+	// recomputation. Schedules are identical either way (the analyses
+	// are deterministic); the compile benchmark flips this to measure
+	// what the caching saves.
+	uncachedAnalyses bool
 }
 
 // Schedule compiles a program for the given machine model. The program is
@@ -70,29 +77,43 @@ type Options struct {
 // who need the original should prog.Clone first. Branch prediction bits
 // must already be set (package profile).
 func Schedule(pr *prog.Program, model *machine.Model, opts Options) (*machine.SchedProgram, error) {
+	sprog, _, err := ScheduleWithStats(pr, model, opts)
+	return sprog, err
+}
+
+// ScheduleWithStats is Schedule plus the scheduler's observability
+// counters: per-stage wall time, motion attempts/placements/rejections,
+// boosting depth and analysis-cache activity. Collecting them never
+// changes scheduling decisions.
+func ScheduleWithStats(pr *prog.Program, model *machine.Model, opts Options) (*machine.SchedProgram, *Stats, error) {
 	if opts.MaxTraceBlocks == 0 {
 		opts.MaxTraceBlocks = 32
 	}
+	stats := NewStats()
 	sprog := &machine.SchedProgram{
 		Prog:  pr,
 		Model: model,
 		Procs: map[string]*machine.SchedProc{},
 	}
 	for _, p := range pr.ProcList() {
-		sp, err := scheduleProc(pr, p, model, opts)
+		sp, err := scheduleProc(pr, p, model, opts, stats)
 		if err != nil {
-			return nil, fmt.Errorf("core: scheduling %s: %w", p.Name, err)
+			return nil, nil, fmt.Errorf("core: scheduling %s: %w", p.Name, err)
 		}
 		sprog.Procs[p.Name] = sp
 	}
 	if err := sprog.Verify(); err != nil {
-		return nil, fmt.Errorf("core: schedule verification: %w", err)
+		return nil, nil, fmt.Errorf("core: schedule verification: %w", err)
 	}
-	return sprog, nil
+	return sprog, stats, nil
 }
 
 // scheduleProc runs region-by-region trace scheduling over one procedure.
-func scheduleProc(pr *prog.Program, p *prog.Proc, model *machine.Model, opts Options) (*machine.SchedProc, error) {
+// All dataflow analyses go through a dataflow.Manager: computed lazily,
+// served from cache while the IR generation is unchanged, and invalidated
+// at the scheduler's two mutation points (compensation bookkeeping and
+// the trace rewrite) instead of recomputed before every trace.
+func scheduleProc(pr *prog.Program, p *prog.Proc, model *machine.Model, opts Options, stats *Stats) (*machine.SchedProc, error) {
 	sp := &machine.SchedProc{
 		Proc:     p,
 		Blocks:   map[int]*machine.SchedBlock{},
@@ -104,12 +125,13 @@ func scheduleProc(pr *prog.Program, p *prog.Proc, model *machine.Model, opts Opt
 		model:     model,
 		opts:      opts,
 		sp:        sp,
+		stats:     stats,
+		am:        dataflow.NewManager(p),
 		scheduled: map[int]bool{},
 		splits:    map[splitKey]*prog.Block{},
 	}
 
-	s.refresh()
-	regions := dataflow.Regions(s.info)
+	regions := s.am.Regions()
 	for _, reg := range regions {
 		if err := s.scheduleRegion(reg); err != nil {
 			return nil, err
@@ -125,6 +147,7 @@ func scheduleProc(pr *prog.Program, p *prog.Proc, model *machine.Model, opts Opt
 			return nil, err
 		}
 	}
+	stats.Analysis.Add(s.am.Stats())
 	return sp, nil
 }
 
@@ -135,8 +158,12 @@ func scheduleProc(pr *prog.Program, p *prog.Proc, model *machine.Model, opts Opt
 func (s *scheduler) scheduleRegion(reg *dataflow.Region) error {
 	s.region = reg
 	for {
-		s.refresh()
+		if s.opts.uncachedAnalyses {
+			s.am.Invalidate(dataflow.KindAll)
+		}
+		stop := stageTimer(&s.stats.TraceSelectSeconds)
 		trace := s.selectTrace(reg)
+		stop()
 		if trace == nil {
 			return nil
 		}
@@ -146,20 +173,13 @@ func (s *scheduler) scheduleRegion(reg *dataflow.Region) error {
 	}
 }
 
-// refresh recomputes CFG orderings and liveness after structural edits.
-func (s *scheduler) refresh() {
-	s.p.RecomputePreds()
-	s.info = dataflow.Analyze(s.p)
-	s.lv = dataflow.ComputeLiveness(s.p)
-}
-
 // selectTrace picks the next unscheduled block in reverse postorder as the
 // seed and grows the trace along predicted successors (paper §3.2.1),
 // stopping at: a block outside the region or ending in a call/return/halt,
 // a block already in the trace (loop edge), or an already-scheduled block.
 func (s *scheduler) selectTrace(reg *dataflow.Region) []*prog.Block {
 	var seed *prog.Block
-	for _, b := range s.info.RPO {
+	for _, b := range s.am.CFG().RPO {
 		if !b.Recovery && !s.scheduled[b.ID] && s.inRegion(reg, b) {
 			seed = b
 			break

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"time"
+
+	"boosting/internal/dataflow"
+)
+
+// Motion-rejection reasons. Every way planMotion/bestForeign can turn a
+// candidate down is bucketed under one of these names in Stats.Rejections
+// (RejectReasons lists them all; the per-reason test table in
+// stats_test.go triggers each one).
+const (
+	// RejectSlotLegality: the candidate's instruction class cannot issue
+	// from the free slot under consideration (e.g. memory op in a
+	// non-memory slot of the 2-issue machine).
+	RejectSlotLegality = "slot-legality"
+	// RejectMemoryDep: an unsatisfied memory dependence (load/store
+	// ordering) keeps the candidate from issuing this cycle.
+	RejectMemoryDep = "memory-dep"
+	// RejectDependence: an unsatisfied register dependence or latency
+	// keeps the candidate from issuing this cycle.
+	RejectDependence = "dependence"
+	// RejectCallBoundary: the motion would cross a call, return or halt.
+	RejectCallBoundary = "call-boundary"
+	// RejectObservableOut: observable output (OUT) is never speculated
+	// across a conditional branch.
+	RejectObservableOut = "observable-out"
+	// RejectShadowLimit: the motion needs more boosting levels than the
+	// machine's shadow structures provide (or the crossed branch is
+	// degenerate — both targets rejoin the trace — so boosting across it
+	// is impossible).
+	RejectShadowLimit = "shadow-limit"
+	// RejectStoreBuffer: a speculative store needs a shadow store buffer
+	// the machine does not have.
+	RejectStoreBuffer = "store-buffer"
+	// RejectSquashZone: squash-only hardware boosts solely into the
+	// shadow of the placement block's own branch; this candidate is
+	// outside that zone.
+	RejectSquashZone = "squash-zone"
+	// RejectShadowConflict: single-shadow hardware already has an
+	// in-flight boosted value of the same register with a different
+	// commit point.
+	RejectShadowConflict = "shadow-conflict"
+	// RejectCompBoost: a compensation copy at a crossed join would need
+	// to be boosted itself (further conditional branches remain between
+	// the join and the origin block); the scheduler rejects instead.
+	RejectCompBoost = "compensation-needs-boost"
+	// RejectCompCost: the conscientious-scheduling gate — compensation
+	// on the off-trace edges costs more than the trace is worth.
+	RejectCompCost = "compensation-cost"
+	// RejectTermOperand: a plain motion would define a register the
+	// placement block's terminator reads, which the sequential
+	// linearization cannot express, and no boost upgrade is possible.
+	RejectTermOperand = "terminator-operand"
+	// RejectShadowVisibility: the candidate depends on a still-
+	// speculative producer whose remaining shadow level exceeds what
+	// this placement could see.
+	RejectShadowVisibility = "shadow-visibility"
+)
+
+// RejectReasons lists every motion-rejection bucket.
+func RejectReasons() []string {
+	return []string{
+		RejectSlotLegality, RejectMemoryDep, RejectDependence,
+		RejectCallBoundary, RejectObservableOut, RejectShadowLimit,
+		RejectStoreBuffer, RejectSquashZone, RejectShadowConflict,
+		RejectCompBoost, RejectCompCost, RejectTermOperand,
+		RejectShadowVisibility,
+	}
+}
+
+// Stats aggregates scheduler activity across one Schedule call: per-stage
+// wall time, trace formation, code-motion outcomes bucketed by rejection
+// reason, boosting depth, compensation and recovery volume, and the
+// analysis manager's recompute/hit counters. Counters are observational
+// only — collecting them never changes scheduling decisions, so schedules
+// are byte-identical with or without a consumer reading them.
+type Stats struct {
+	// TracesFormed counts scheduled traces (including the single-block
+	// traces of the unreachable-code escape path); TraceBlocks is the
+	// total number of basic blocks they covered.
+	TracesFormed int64 `json:"traces_formed"`
+	TraceBlocks  int64 `json:"trace_blocks"`
+
+	// MotionsAttempted counts motion plans evaluated (planMotion calls);
+	// MotionsPlaced counts foreign instructions actually moved up.
+	MotionsAttempted int64 `json:"motions_attempted"`
+	MotionsPlaced    int64 `json:"motions_placed"`
+
+	// Rejections buckets every turned-down candidate by reason (see the
+	// Reject* constants).
+	Rejections map[string]int64 `json:"rejections,omitempty"`
+
+	// BoostedByLevel[l] counts placed foreign motions with boosting
+	// level l; index 0 is plain (non-speculative) global motion.
+	BoostedByLevel []int64 `json:"boosted_by_level,omitempty"`
+
+	// CompensationCopies counts duplicated instructions on off-trace
+	// edges; EdgeSplits counts compensation blocks freshly split into an
+	// edge for them.
+	CompensationCopies int64 `json:"compensation_copies"`
+	EdgeSplits         int64 `json:"edge_splits"`
+
+	// RecoverySites counts conditional branches that received recovery
+	// code; RecoveryInsts the total recovery instructions emitted.
+	RecoverySites int64 `json:"recovery_sites"`
+	RecoveryInsts int64 `json:"recovery_insts"`
+
+	// Per-stage wall time, in seconds, across all procedures.
+	TraceSelectSeconds  float64 `json:"trace_select_seconds"`
+	DDGBuildSeconds     float64 `json:"ddg_build_seconds"`
+	ListScheduleSeconds float64 `json:"list_schedule_seconds"`
+	RecoveryEmitSeconds float64 `json:"recovery_emit_seconds"`
+
+	// Analysis aggregates the per-procedure analysis managers' cache
+	// activity: recomputations scale with IR mutations, not traces.
+	Analysis dataflow.ManagerStats `json:"analysis"`
+}
+
+// NewStats returns an empty Stats with the rejection map allocated.
+func NewStats() *Stats {
+	return &Stats{Rejections: map[string]int64{}}
+}
+
+// reject buckets one turned-down motion candidate.
+func (st *Stats) reject(reason string) { st.Rejections[reason]++ }
+
+// placed records one foreign motion landing with the given boost level.
+func (st *Stats) placed(level int) {
+	st.MotionsPlaced++
+	for len(st.BoostedByLevel) <= level {
+		st.BoostedByLevel = append(st.BoostedByLevel, 0)
+	}
+	st.BoostedByLevel[level]++
+}
+
+// Merge accumulates other's counters and stage times into st
+// (aggregation across compiles).
+func (st *Stats) Merge(other *Stats) {
+	if other == nil {
+		return
+	}
+	st.TracesFormed += other.TracesFormed
+	st.TraceBlocks += other.TraceBlocks
+	st.MotionsAttempted += other.MotionsAttempted
+	st.MotionsPlaced += other.MotionsPlaced
+	if st.Rejections == nil {
+		st.Rejections = map[string]int64{}
+	}
+	for k, v := range other.Rejections {
+		st.Rejections[k] += v
+	}
+	for l, c := range other.BoostedByLevel {
+		for len(st.BoostedByLevel) <= l {
+			st.BoostedByLevel = append(st.BoostedByLevel, 0)
+		}
+		st.BoostedByLevel[l] += c
+	}
+	st.CompensationCopies += other.CompensationCopies
+	st.EdgeSplits += other.EdgeSplits
+	st.RecoverySites += other.RecoverySites
+	st.RecoveryInsts += other.RecoveryInsts
+	st.TraceSelectSeconds += other.TraceSelectSeconds
+	st.DDGBuildSeconds += other.DDGBuildSeconds
+	st.ListScheduleSeconds += other.ListScheduleSeconds
+	st.RecoveryEmitSeconds += other.RecoveryEmitSeconds
+	st.Analysis.Add(other.Analysis)
+}
+
+// BoostedPlaced sums placed motions with level >= 1.
+func (st *Stats) BoostedPlaced() int64 {
+	var n int64
+	for l, c := range st.BoostedByLevel {
+		if l > 0 {
+			n += c
+		}
+	}
+	return n
+}
+
+// stage is a tiny wall-clock accumulator: defer stats.stageTimer(&sec)()
+// adds the elapsed time to the bound field.
+func stageTimer(acc *float64) func() {
+	start := time.Now()
+	return func() { *acc += time.Since(start).Seconds() }
+}

@@ -25,9 +25,12 @@ type scheduler struct {
 	model *machine.Model
 	opts  Options
 	sp    *machine.SchedProc
+	stats *Stats
 
-	info *dataflow.CFGInfo
-	lv   *dataflow.Liveness
+	// am memoizes dominance, liveness and regions for p, keyed by the
+	// procedure's IR generation; the scheduler declares its mutations
+	// through am.Invalidate instead of recomputing per trace.
+	am *dataflow.Manager
 
 	scheduled map[int]bool
 	splits    map[splitKey]*prog.Block
@@ -79,11 +82,15 @@ func (s *scheduler) scheduleTrace(trace []*prog.Block) error {
 		}
 		fmt.Printf("TRACE %v\n", ids)
 	}
+	s.stats.TracesFormed++
+	s.stats.TraceBlocks += int64(len(trace))
 	s.curTrace = map[int]bool{}
 	for _, b := range trace {
 		s.curTrace[b.ID] = true
 	}
+	stop := stageTimer(&s.stats.DDGBuildSeconds)
 	g := ddg.Build(trace, ddg.Options{NoDisambiguation: s.opts.NoDisambiguation})
+	stop()
 	st := &traceState{
 		trace:   trace,
 		g:       g,
@@ -91,17 +98,27 @@ func (s *scheduler) scheduleTrace(trace []*prog.Block) error {
 		placed:  map[*ddg.Node]*placement{},
 		instSeq: map[*isa.Inst]int{},
 	}
+	stop = stageTimer(&s.stats.ListScheduleSeconds)
 	for bi := range trace {
 		if err := s.scheduleBlock(st, bi); err != nil {
+			stop()
 			return err
 		}
 	}
+	stop()
+	stop = stageTimer(&s.stats.RecoveryEmitSeconds)
 	s.emitRecovery(st)
+	stop()
 	for bi, b := range trace {
 		s.sp.Blocks[b.ID] = st.sblocks[bi]
 		s.scheduled[b.ID] = true
 	}
+	stop = stageTimer(&s.stats.ListScheduleSeconds)
 	rewriteTraceInsts(st)
+	stop()
+	// The rewrite replaces the trace blocks' instruction lists with the
+	// scheduled code; edges are untouched, so only liveness goes stale.
+	s.am.Invalidate(dataflow.KindLiveness)
 	return nil
 }
 
@@ -132,6 +149,18 @@ func (st *traceState) ready(n *ddg.Node, abs int) bool {
 		}
 	}
 	return true
+}
+
+// notReadyReason buckets a failed ready() check: memory-dep if any
+// unsatisfied edge is a memory dependence, plain dependence otherwise.
+func (st *traceState) notReadyReason(n *ddg.Node, abs int) string {
+	for _, e := range n.Preds {
+		p := st.placed[e.From]
+		if (p == nil || p.abs+e.Latency > abs) && e.Kind == ddg.DepMem {
+			return RejectMemoryDep
+		}
+	}
+	return RejectDependence
 }
 
 // scheduleBlock emits the machine schedule for trace block bi.
@@ -369,6 +398,7 @@ func (s *scheduler) fillForeign(st *traceState, bi int, sb *machine.SchedBlock,
 		}
 		s.place(st, n, bi, sb, cy, slot, cycle, abs, plan.level)
 		free[slot] = false
+		s.stats.placed(plan.level)
 		if plan.level > 0 {
 			st.boosted = append(st.boosted, boostRec{
 				node:     n,
@@ -409,6 +439,7 @@ func (s *scheduler) bestForeign(st *traceState, bi, slot, abs int, shadowZone bo
 		}
 		c := isa.ClassOf(n.Inst.Op)
 		if c != isa.ClassNone && !s.model.Slots[slot].Has(c) {
+			s.stats.reject(RejectSlotLegality)
 			continue
 		}
 		isMem := c == isa.ClassMem
@@ -416,10 +447,13 @@ func (s *scheduler) bestForeign(st *traceState, bi, slot, abs int, shadowZone bo
 			continue // never displace a memory candidate from the memory port
 		}
 		if !st.ready(n, abs) {
+			s.stats.reject(st.notReadyReason(n, abs))
 			continue
 		}
-		plan := s.planMotion(st, n, bi, shadowZone)
+		s.stats.MotionsAttempted++
+		plan, why := s.planMotion(st, n, bi, shadowZone)
 		if plan == nil {
+			s.stats.reject(why)
 			continue
 		}
 		score := st.height[n] - 3*plan.level

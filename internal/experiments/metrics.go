@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"boosting/internal/core"
 )
 
 // Metrics aggregates per-stage counters for one Store. Every field is
@@ -17,6 +19,13 @@ type Metrics struct {
 
 	schedules  atomic.Int64 // core.Schedule invocations
 	scheduleNS atomic.Int64
+
+	// Scheduler stage breakdown, accumulated from core.ScheduleWithStats:
+	// where inside the schedule pass the compile time actually went.
+	traceSelectNS atomic.Int64
+	ddgBuildNS    atomic.Int64
+	listSchedNS   atomic.Int64
+	recoveryNS    atomic.Int64
 
 	sims      atomic.Int64 // machine-simulator runs
 	simNS     atomic.Int64
@@ -34,9 +43,17 @@ func (m *Metrics) recordBuild(d time.Duration) {
 	m.buildNS.Add(int64(d))
 }
 
-func (m *Metrics) recordSchedule(d time.Duration) {
+// recordSchedule counts one schedule pass; st, when non-nil, attributes
+// the pass's time to the scheduler's internal stages.
+func (m *Metrics) recordSchedule(d time.Duration, st *core.Stats) {
 	m.schedules.Add(1)
 	m.scheduleNS.Add(int64(d))
+	if st != nil {
+		m.traceSelectNS.Add(int64(st.TraceSelectSeconds * float64(time.Second)))
+		m.ddgBuildNS.Add(int64(st.DDGBuildSeconds * float64(time.Second)))
+		m.listSchedNS.Add(int64(st.ListScheduleSeconds * float64(time.Second)))
+		m.recoveryNS.Add(int64(st.RecoveryEmitSeconds * float64(time.Second)))
+	}
 }
 
 func (m *Metrics) recordSim(d time.Duration, cycles, boosted, squashed int64) {
@@ -59,34 +76,44 @@ type Snapshot struct {
 	// Builds counts workload compilations (build + register allocation +
 	// profile transfer). With the memoizing store this equals the number
 	// of unique (workload, regalloc-mode) pairs ever requested.
-	Builds      int64         `json:"builds"`
-	BuildTime   time.Duration `json:"build_time_ns"`
-	Schedules   int64         `json:"schedules"`
-	SchedTime   time.Duration `json:"schedule_time_ns"`
-	Simulations int64         `json:"simulations"`
-	SimTime     time.Duration `json:"simulate_time_ns"`
-	SimCycles   int64         `json:"simulated_cycles"`
-	RefRuns     int64         `json:"reference_runs"`
-	RefTime     time.Duration `json:"reference_time_ns"`
-	BoostedExec int64         `json:"boosted_executed"`
-	Squashed    int64         `json:"squashed"`
-	CacheHits   int64         `json:"cache_hits"`
-	CacheMisses int64         `json:"cache_misses"`
+	Builds    int64         `json:"builds"`
+	BuildTime time.Duration `json:"build_time_ns"`
+	Schedules int64         `json:"schedules"`
+	SchedTime time.Duration `json:"schedule_time_ns"`
+	// Scheduler stage breakdown of SchedTime (sub-spans of the schedule
+	// pass, not additional time).
+	TraceSelectTime time.Duration `json:"trace_select_time_ns"`
+	DDGBuildTime    time.Duration `json:"ddg_build_time_ns"`
+	ListSchedTime   time.Duration `json:"list_schedule_time_ns"`
+	RecoveryTime    time.Duration `json:"recovery_emit_time_ns"`
+	Simulations     int64         `json:"simulations"`
+	SimTime         time.Duration `json:"simulate_time_ns"`
+	SimCycles       int64         `json:"simulated_cycles"`
+	RefRuns         int64         `json:"reference_runs"`
+	RefTime         time.Duration `json:"reference_time_ns"`
+	BoostedExec     int64         `json:"boosted_executed"`
+	Squashed        int64         `json:"squashed"`
+	CacheHits       int64         `json:"cache_hits"`
+	CacheMisses     int64         `json:"cache_misses"`
 }
 
 func (m *Metrics) snapshot() Snapshot {
 	return Snapshot{
-		Builds:      m.builds.Load(),
-		BuildTime:   time.Duration(m.buildNS.Load()),
-		Schedules:   m.schedules.Load(),
-		SchedTime:   time.Duration(m.scheduleNS.Load()),
-		Simulations: m.sims.Load(),
-		SimTime:     time.Duration(m.simNS.Load()),
-		SimCycles:   m.simCycles.Load(),
-		RefRuns:     m.refRuns.Load(),
-		RefTime:     time.Duration(m.refNS.Load()),
-		BoostedExec: m.boosted.Load(),
-		Squashed:    m.squashed.Load(),
+		Builds:          m.builds.Load(),
+		BuildTime:       time.Duration(m.buildNS.Load()),
+		Schedules:       m.schedules.Load(),
+		SchedTime:       time.Duration(m.scheduleNS.Load()),
+		TraceSelectTime: time.Duration(m.traceSelectNS.Load()),
+		DDGBuildTime:    time.Duration(m.ddgBuildNS.Load()),
+		ListSchedTime:   time.Duration(m.listSchedNS.Load()),
+		RecoveryTime:    time.Duration(m.recoveryNS.Load()),
+		Simulations:     m.sims.Load(),
+		SimTime:         time.Duration(m.simNS.Load()),
+		SimCycles:       m.simCycles.Load(),
+		RefRuns:         m.refRuns.Load(),
+		RefTime:         time.Duration(m.refNS.Load()),
+		BoostedExec:     m.boosted.Load(),
+		Squashed:        m.squashed.Load(),
 	}
 }
 
@@ -119,6 +146,13 @@ func (s Snapshot) String() string {
 	}
 	row("build", s.Builds, s.BuildTime)
 	row("schedule", s.Schedules, s.SchedTime)
+	stage := func(name string, d time.Duration) {
+		fmt.Fprintf(&b, "  %-8s %21s total\n", name, d.Round(time.Microsecond))
+	}
+	stage("select", s.TraceSelectTime)
+	stage("ddg", s.DDGBuildTime)
+	stage("list", s.ListSchedTime)
+	stage("recovery", s.RecoveryTime)
 	row("simulate", s.Simulations, s.SimTime)
 	row("reference", s.RefRuns, s.RefTime)
 	fmt.Fprintf(&b, "%-10s %8d cycles (%.3g cycles/sec)\n", "simulated", s.SimCycles, s.CyclesPerSec())

@@ -178,11 +178,11 @@ func (st *Store) scheduleAndExec(ctx context.Context, w *workloads.Workload, mod
 		return nil, err
 	}
 	start := time.Now()
-	sp, err := core.Schedule(test, model, opts)
+	sp, cst, err := core.ScheduleWithStats(test, model, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", w.Name, model.Name, err)
 	}
-	st.metrics.recordSchedule(time.Since(start))
+	st.metrics.recordSchedule(time.Since(start), cst)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -245,11 +245,11 @@ func (st *Store) objectGrowth(ctx context.Context, w *workloads.Workload, model 
 			return 0, err
 		}
 		start := time.Now()
-		sp, err := core.Schedule(test, model, opts)
+		sp, cst, err := core.ScheduleWithStats(test, model, opts)
 		if err != nil {
 			return 0, err
 		}
-		st.metrics.recordSchedule(time.Since(start))
+		st.metrics.recordSchedule(time.Since(start), cst)
 		return sp.ObjectGrowth(), nil
 	})
 }
@@ -269,10 +269,11 @@ func (st *Store) dynMeasure(ctx context.Context, w *workloads.Workload, renaming
 			// instruction list into schedule order and adds compensation
 			// blocks; the result is an ordinary sequential program.
 			start := time.Now()
-			if _, err := core.Schedule(test, machine.NoBoost(), core.Options{}); err != nil {
+			_, cst, err := core.ScheduleWithStats(test, machine.NoBoost(), core.Options{})
+			if err != nil {
 				return 0, err
 			}
-			st.metrics.recordSchedule(time.Since(start))
+			st.metrics.recordSchedule(time.Since(start), cst)
 		}
 		if err := ctx.Err(); err != nil {
 			return 0, err
@@ -327,11 +328,11 @@ func (st *Store) unrolled(ctx context.Context, w *workloads.Workload) (int64, er
 			return 0, err
 		}
 		start = time.Now()
-		sp, err := core.Schedule(test, machine.MinBoost3(), core.Options{})
+		sp, cst, err := core.ScheduleWithStats(test, machine.MinBoost3(), core.Options{})
 		if err != nil {
 			return 0, err
 		}
-		st.metrics.recordSchedule(time.Since(start))
+		st.metrics.recordSchedule(time.Since(start), cst)
 		start = time.Now()
 		res, err := sim.Exec(sp, sim.ExecConfig{Engine: st.Engine})
 		if err != nil {

@@ -1,0 +1,215 @@
+package passes
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"boosting/internal/core"
+	"boosting/internal/machine"
+	"boosting/internal/profile"
+	"boosting/internal/prog"
+)
+
+const countdownAsm = `
+.proc main
+entry:
+	li v1, 3
+	li v2, 0
+	;fallthrough -> loop
+loop:
+	add v2, v2, v1
+	addi v1, v1, -1
+	bgtz v1, loop, done
+done:
+	out v2
+	halt
+`
+
+func buildProfiled(t *testing.T) *prog.Program {
+	t.Helper()
+	pr, err := prog.Parse(countdownAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := profile.Annotate(pr); err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// TestRunRecordsPasses checks the basic bookkeeping: each Run appends a
+// named, timed row and TotalSeconds accumulates.
+func TestRunRecordsPasses(t *testing.T) {
+	m := NewManager()
+	if err := m.Run("first", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run("second", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	cs := m.Stats()
+	if len(cs.Passes) != 2 {
+		t.Fatalf("recorded %d passes, want 2", len(cs.Passes))
+	}
+	for _, name := range []string{"first", "second"} {
+		row := cs.Find(name)
+		if row == nil {
+			t.Fatalf("no row for pass %q", name)
+		}
+		if row.Seconds < 0 {
+			t.Errorf("pass %q has negative time %v", name, row.Seconds)
+		}
+	}
+	if cs.Find("third") != nil {
+		t.Error("Find returned a row for a pass that never ran")
+	}
+	if cs.Sched() != nil {
+		t.Error("Sched() non-nil without a schedule pass")
+	}
+	if want := cs.Passes[0].Seconds + cs.Passes[1].Seconds; cs.TotalSeconds != want {
+		t.Errorf("TotalSeconds = %v, want %v", cs.TotalSeconds, want)
+	}
+}
+
+// TestRunWrapsErrors checks that a failing pass is still recorded and its
+// error comes back wrapped with the pass name.
+func TestRunWrapsErrors(t *testing.T) {
+	m := NewManager()
+	sentinel := errors.New("boom")
+	err := m.Run("explode", func() error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap the pass error", err)
+	}
+	if !strings.Contains(err.Error(), "passes: explode:") {
+		t.Errorf("error %q lacks the pass-name prefix", err)
+	}
+	if m.Stats().Find("explode") == nil {
+		t.Error("failed pass was not recorded")
+	}
+}
+
+// TestRunVerifyEach checks that VerifyEach runs the program verifier
+// after a pass and attributes a corrupted CFG to that pass.
+func TestRunVerifyEach(t *testing.T) {
+	pr := buildProfiled(t)
+	m := NewManager()
+	m.VerifyEach = true
+	if err := m.Run("harmless", func() error { return nil }, pr); err != nil {
+		t.Fatalf("verified pass on a healthy program failed: %v", err)
+	}
+	err := m.Run("corrupt", func() error {
+		// A conditional branch must have two successors; drop one.
+		loop := pr.Main().Blocks[1]
+		loop.Succs = loop.Succs[:1]
+		return nil
+	}, pr)
+	if err == nil {
+		t.Fatal("verifier accepted a corrupted CFG")
+	}
+	if !strings.Contains(err.Error(), "verify after corrupt") {
+		t.Errorf("error %q does not name the corrupting pass", err)
+	}
+}
+
+// TestScheduleStageRows checks the trace-scheduling pass: stage rows plus
+// a "schedule" row carrying the full scheduler counter set, with the
+// stage times bounded by the schedule time.
+func TestScheduleStageRows(t *testing.T) {
+	pr := buildProfiled(t)
+	m := NewManager()
+	m.VerifyEach = true
+	sp, err := m.Schedule(pr, machine.MinBoost3(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp == nil {
+		t.Fatal("Schedule returned no program")
+	}
+	cs := m.Stats()
+	for _, name := range []string{"trace-select", "ddg-build", "list-schedule", "recovery-emit", "schedule"} {
+		if cs.Find(name) == nil {
+			t.Errorf("no row for %q", name)
+		}
+	}
+	st := cs.Sched()
+	if st == nil {
+		t.Fatal("schedule row carries no scheduler stats")
+	}
+	if st.TracesFormed == 0 {
+		t.Error("scheduler stats report no traces")
+	}
+	sched := cs.Find("schedule")
+	for _, stage := range []string{"trace-select", "ddg-build", "list-schedule", "recovery-emit"} {
+		if row := cs.Find(stage); row.Seconds > sched.Seconds {
+			t.Errorf("stage %q (%vs) exceeds its enclosing schedule pass (%vs)",
+				stage, row.Seconds, sched.Seconds)
+		}
+	}
+	// Stage rows are sub-spans: only the schedule row counts toward the
+	// total.
+	if cs.TotalSeconds != sched.Seconds {
+		t.Errorf("TotalSeconds = %v, want the schedule row's %v", cs.TotalSeconds, sched.Seconds)
+	}
+}
+
+// TestScheduleErrorRecorded checks that a failing schedule still records
+// a timed "schedule" row and returns the raw scheduler error.
+func TestScheduleErrorRecorded(t *testing.T) {
+	pr := buildProfiled(t)
+	// A model whose single slot accepts no instruction class cannot place
+	// anything: the list scheduler fails to converge.
+	bad := &machine.Model{Name: "bad", IssueWidth: 1, Slots: make([]machine.ClassSet, 1)}
+	m := NewManager()
+	if _, err := m.Schedule(pr, bad, core.Options{}); err == nil {
+		t.Fatal("scheduling on a slotless model succeeded")
+	}
+	if m.Stats().Find("schedule") == nil {
+		t.Error("failed schedule pass was not recorded")
+	}
+	if m.Stats().Sched() != nil {
+		t.Error("failed schedule pass carries scheduler counters")
+	}
+}
+
+// TestCompileStatsAdd checks the aggregation used by the experiments
+// engine and boostd metrics: same-named rows accumulate, new rows append,
+// scheduler counters merge.
+func TestCompileStatsAdd(t *testing.T) {
+	var agg CompileStats
+	agg.Add(nil) // no-op
+
+	for i := 0; i < 2; i++ {
+		pr := buildProfiled(t)
+		m := NewManager()
+		if err := m.Run("parse", func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Schedule(pr, machine.MinBoost3(), core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		agg.Add(m.Stats())
+	}
+
+	if got := len(agg.Passes); got != 6 {
+		t.Errorf("aggregate has %d rows, want 6 (parse + 4 stages + schedule)", got)
+	}
+	st := agg.Sched()
+	if st == nil {
+		t.Fatal("aggregate lost the scheduler counters")
+	}
+	single := CompileStats{}
+	m := NewManager()
+	pr := buildProfiled(t)
+	if _, err := m.Schedule(pr, machine.MinBoost3(), core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	single.Add(m.Stats())
+	if st.TracesFormed != 2*single.Sched().TracesFormed {
+		t.Errorf("merged TracesFormed = %d, want twice %d",
+			st.TracesFormed, single.Sched().TracesFormed)
+	}
+	if agg.TotalSeconds <= 0 {
+		t.Error("aggregate TotalSeconds not accumulated")
+	}
+}

@@ -138,13 +138,28 @@ type Proc struct {
 	Name   string
 	Blocks []*Block
 	Entry  *Block
+
+	// gen counts observable IR mutations of this procedure. Cached
+	// analyses (dataflow.Manager) key their validity against it: any
+	// edit to Insts, Succs or the block set must be followed by a bump —
+	// either NoteMutation directly or dataflow.Manager.Invalidate, which
+	// bumps and selectively retags the caches it manages.
+	gen uint64
 }
+
+// Generation returns the procedure's IR mutation counter.
+func (p *Proc) Generation() uint64 { return p.gen }
+
+// NoteMutation records that the procedure's IR changed, invalidating any
+// analysis cached against the previous generation.
+func (p *Proc) NoteMutation() { p.gen++ }
 
 // NewBlockAfter creates an empty block owned by the procedure, appended to
 // Blocks. The caller wires up edges.
 func (p *Proc) NewBlockAfter(label string) *Block {
 	b := &Block{ID: p.nextBlockID(), Label: label}
 	p.Blocks = append(p.Blocks, b)
+	p.NoteMutation()
 	return b
 }
 

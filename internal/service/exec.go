@@ -13,6 +13,7 @@ import (
 	"boosting/internal/experiments"
 	"boosting/internal/isa"
 	"boosting/internal/machine"
+	"boosting/internal/passes"
 	"boosting/internal/profile"
 	"boosting/internal/prog"
 	"boosting/internal/regalloc"
@@ -27,20 +28,65 @@ import (
 // serveHeavy checks ctx after compute returns.
 
 // compile schedules an assembly program for a machine model and returns
-// the machine-schedule listing plus schedule statistics.
+// the machine-schedule listing plus schedule statistics and the per-pass
+// compile report. The stages mirror prepareAsm, but run as named passes
+// so the response (and the boostd_compile_pass_seconds metric) can
+// attribute compile time to each of them.
 func (s *Server) compile(ctx context.Context, req CompileRequest) (int, any) {
 	model, _ := boosting.ModelByName(req.Model)
-	pr, _, status, eresp := s.prepareAsm(ctx, req.Asm, req.Options.InfiniteRegisters)
-	if eresp != nil {
-		return status, eresp
+	pm := passes.NewManager()
+	var (
+		pr       *prog.Program
+		stageErr error
+	)
+	// run times fn as a named pass; stageErr keeps the raw error so the
+	// response message stays "stage: cause" rather than the manager's
+	// wrapped form.
+	run := func(name string, fn func() error) bool {
+		_ = pm.Run(name, func() error {
+			stageErr = fn()
+			return stageErr
+		})
+		return stageErr == nil
+	}
+
+	if !run("parse", func() error {
+		var err error
+		pr, err = prog.Parse(req.Asm)
+		return err
+	}) {
+		return http.StatusBadRequest, errorResponse{fmt.Sprintf("parse: %v", stageErr)}
+	}
+	if !req.Options.InfiniteRegisters {
+		if !run("regalloc", func() error {
+			_, err := regalloc.Allocate(pr)
+			return err
+		}) {
+			return http.StatusUnprocessableEntity, errorResponse{fmt.Sprintf("regalloc: %v", stageErr)}
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return 0, nil
 	}
-	sp, err := core.Schedule(pr, model, req.Options.coreOptions())
+	// The bounded reference run proves the program halts before
+	// profile.Annotate re-runs it without a step limit.
+	if !run("reference-run", func() error {
+		_, err := sim.Run(pr, sim.RefConfig{MaxSteps: s.cfg.MaxRefSteps})
+		return err
+	}) {
+		return http.StatusUnprocessableEntity, errorResponse{fmt.Sprintf("reference run: %v", stageErr)}
+	}
+	if !run("profile", func() error { return profile.Annotate(pr) }) {
+		return http.StatusUnprocessableEntity, errorResponse{fmt.Sprintf("profile: %v", stageErr)}
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil
+	}
+	sp, err := pm.Schedule(pr, model, req.Options.coreOptions())
 	if err != nil {
 		return http.StatusUnprocessableEntity, errorResponse{fmt.Sprintf("schedule: %v", err)}
 	}
+	s.metrics.recordCompilePasses(pm.Stats())
 	var sb strings.Builder
 	for _, name := range pr.Order {
 		sb.WriteString(sp.Procs[name].Format())
@@ -51,6 +97,7 @@ func (s *Server) compile(ctx context.Context, req CompileRequest) (int, any) {
 		Insts:        sp.NumInsts(),
 		Procs:        len(sp.Procs),
 		ObjectGrowth: sp.ObjectGrowth(),
+		PassStats:    pm.Stats(),
 	}
 }
 

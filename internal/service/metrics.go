@@ -8,8 +8,23 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"boosting"
 	"boosting/internal/sim"
 )
+
+// compilePassNames lists every pass the /v1/compile endpoint runs, in
+// pipeline order. The metrics registry pre-seeds these so the
+// boostd_compile_pass_seconds exposition is complete from startup.
+var compilePassNames = []string{
+	"parse", "regalloc", "reference-run", "profile",
+	"trace-select", "ddg-build", "list-schedule", "recovery-emit", "schedule",
+}
+
+// passTotals accumulates one pass's compile time across requests.
+type passTotals struct {
+	seconds float64
+	count   int64
+}
 
 // latencyBuckets are the histogram upper bounds in seconds, chosen to
 // resolve both the sub-millisecond cache-hit path and multi-second grid
@@ -84,6 +99,12 @@ type metricsRegistry struct {
 	engineMu sync.Mutex
 	engines  map[string]int64
 
+	// compilePasses accumulates per-pass compile seconds from /v1/compile
+	// requests, pre-seeded with every known pass name. Cached responses do
+	// not re-record: the metric counts compiles that actually ran.
+	passMu        sync.Mutex
+	compilePasses map[string]passTotals
+
 	// Gauges and cache counters are sampled at scrape time.
 	queueDepth func() int64
 	inFlight   func() int64
@@ -93,16 +114,20 @@ type metricsRegistry struct {
 
 func newMetricsRegistry(endpoints []string) *metricsRegistry {
 	m := &metricsRegistry{
-		order:      append([]string(nil), endpoints...),
-		endpoints:  make(map[string]*endpointMetrics, len(endpoints)),
-		engines:    map[string]int64{},
-		queueDepth: func() int64 { return 0 },
-		inFlight:   func() int64 { return 0 },
-		respCache:  func() (int64, int64) { return 0, 0 },
-		pipeCache:  func() (int64, int64) { return 0, 0 },
+		order:         append([]string(nil), endpoints...),
+		endpoints:     make(map[string]*endpointMetrics, len(endpoints)),
+		engines:       map[string]int64{},
+		compilePasses: map[string]passTotals{},
+		queueDepth:    func() int64 { return 0 },
+		inFlight:      func() int64 { return 0 },
+		respCache:     func() (int64, int64) { return 0, 0 },
+		pipeCache:     func() (int64, int64) { return 0, 0 },
 	}
 	for _, e := range sim.Engines() {
 		m.engines[e.String()] = 0
+	}
+	for _, p := range compilePassNames {
+		m.compilePasses[p] = passTotals{}
 	}
 	for _, ep := range endpoints {
 		m.endpoints[ep] = &endpointMetrics{
@@ -120,6 +145,22 @@ func (m *metricsRegistry) recordEngine(name string) {
 	m.engineMu.Lock()
 	m.engines[name]++
 	m.engineMu.Unlock()
+}
+
+// recordCompilePasses folds one compile's per-pass report into the
+// cumulative boostd_compile_pass_seconds totals.
+func (m *metricsRegistry) recordCompilePasses(cs *boosting.CompileStats) {
+	if cs == nil {
+		return
+	}
+	m.passMu.Lock()
+	for _, row := range cs.Passes {
+		t := m.compilePasses[row.Name]
+		t.seconds += row.Seconds
+		t.count++
+		m.compilePasses[row.Name] = t
+	}
+	m.passMu.Unlock()
 }
 
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
@@ -199,6 +240,21 @@ func (m *metricsRegistry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "boostd_engine_requests_total{engine=%q} %d\n", e, m.engines[e])
 	}
 	m.engineMu.Unlock()
+
+	fmt.Fprintf(w, "# HELP boostd_compile_pass_seconds Compile time by pass across /v1/compile requests (cached responses excluded).\n")
+	fmt.Fprintf(w, "# TYPE boostd_compile_pass_seconds summary\n")
+	m.passMu.Lock()
+	names := make([]string, 0, len(m.compilePasses))
+	for n := range m.compilePasses {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := m.compilePasses[n]
+		fmt.Fprintf(w, "boostd_compile_pass_seconds_sum{pass=%q} %s\n", n, formatFloat(t.seconds))
+		fmt.Fprintf(w, "boostd_compile_pass_seconds_count{pass=%q} %d\n", n, t.count)
+	}
+	m.passMu.Unlock()
 
 	fmt.Fprintf(w, "# HELP boostd_panics_total Request handlers recovered from a panic.\n")
 	fmt.Fprintf(w, "# TYPE boostd_panics_total counter\n")

@@ -122,6 +122,12 @@ type CompileResponse struct {
 	Procs int `json:"procs"`
 	// ObjectGrowth is scheduled size (with recovery code) over original.
 	ObjectGrowth float64 `json:"object_growth"`
+	// PassStats is the per-pass compile report: parse, regalloc,
+	// reference-run and profile rows, then the scheduler's stage rows and
+	// the "schedule" row with the full scheduler counter set. Timings are
+	// measured on the compile that actually ran; a cached response repeats
+	// the original measurement byte-for-byte.
+	PassStats *boosting.CompileStats `json:"pass_stats,omitempty"`
 }
 
 // SimulateRequest asks /v1/simulate to compile and execute either a named

@@ -129,6 +129,19 @@ func TestCompileEndpoint(t *testing.T) {
 		t.Errorf("suspicious compile response: insts=%d procs=%d listing=%d bytes",
 			cr.Insts, cr.Procs, len(cr.Listing))
 	}
+	if cr.PassStats == nil {
+		t.Fatal("compile response missing pass_stats")
+	}
+	for _, pass := range []string{"parse", "regalloc", "reference-run", "profile", "schedule"} {
+		if cr.PassStats.Find(pass) == nil {
+			t.Errorf("pass_stats missing %q row", pass)
+		}
+	}
+	if st := cr.PassStats.Sched(); st == nil {
+		t.Error("pass_stats schedule row missing scheduler counters")
+	} else if st.TracesFormed <= 0 {
+		t.Errorf("scheduler counters report %d traces formed", st.TracesFormed)
+	}
 
 	resp, b2 := post(t, ts, "/v1/compile", string(body))
 	if resp.StatusCode != http.StatusOK {
@@ -139,6 +152,18 @@ func TestCompileEndpoint(t *testing.T) {
 	}
 	if !bytes.Equal(b1, b2) {
 		t.Errorf("cached compile response differs from original")
+	}
+
+	// The cached second request must not re-record pass metrics: one
+	// compile ran, so every pass counter reads exactly 1.
+	_, mb := get(t, ts, "/metrics")
+	for _, want := range []string{
+		`boostd_compile_pass_seconds_count{pass="parse"} 1`,
+		`boostd_compile_pass_seconds_count{pass="schedule"} 1`,
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }
 
@@ -583,6 +608,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"boostd_queue_depth 0",
 		"boostd_in_flight 0",
 		"boostd_cache_misses_total 1",
+		`boostd_compile_pass_seconds_count{pass="schedule"} 0`,
 		"boostd_panics_total 0",
 	} {
 		if !strings.Contains(string(body), want) {

@@ -20,6 +20,7 @@ type config struct {
 	infiniteReg bool
 	parallelism int
 	engine      sim.Engine
+	verifyEach  bool
 }
 
 // apply layers opts on top of a copy of the receiver.
@@ -86,6 +87,13 @@ func WithEngine(e sim.Engine) Option {
 // WithLegacyEngine forces the original interpretive executor; shorthand
 // for WithEngine(sim.EngineLegacy).
 func WithLegacyEngine() Option { return WithEngine(sim.EngineLegacy) }
+
+// WithVerifyEach runs the prog verifier between compile passes,
+// attributing any broken CFG invariant to the pass that introduced it
+// (debugging aid; boostcc -verify-each).
+func WithVerifyEach() Option {
+	return func(c *config) { c.verifyEach = true }
+}
 
 // Ablation is one named scheduler-ablation bundle: a baseline or a
 // configuration with one optimization disabled (or one resource

@@ -9,6 +9,7 @@ import (
 	"boosting/internal/core"
 	"boosting/internal/dynsched"
 	"boosting/internal/machine"
+	"boosting/internal/passes"
 	"boosting/internal/profile"
 	"boosting/internal/prog"
 	"boosting/internal/regalloc"
@@ -62,6 +63,7 @@ type Compiled struct {
 	master *prog.Program
 	ref    *sim.Result
 	acc    float64
+	stats  *CompileStats
 }
 
 // Program returns a private, mutation-safe clone of the compiled test
@@ -71,6 +73,12 @@ func (c *Compiled) Program() *prog.Program { return prog.Clone(c.master) }
 // PredictionAccuracy is the static predictor's accuracy on the test
 // input.
 func (c *Compiled) PredictionAccuracy() float64 { return c.acc }
+
+// CompileStats reports the per-pass timings of the artifact build
+// (workload construction, register allocation, profiling, reference
+// run). The artifact is memoized, so the report describes the build that
+// actually ran, not the call that hit the cache.
+func (c *Compiled) CompileStats() *CompileStats { return c.stats }
 
 // Compile builds the named workload's train/test pair, register-
 // allocates it (unless WithInfiniteRegisters), transfers branch
@@ -87,25 +95,42 @@ func (p *Pipeline) Compile(ctx context.Context, workload string, opts ...Option)
 		if err != nil {
 			return nil, err
 		}
-		train := w.BuildTrain()
-		test := w.BuildTest()
-		if alloc {
-			if _, err := regalloc.Allocate(train); err != nil {
-				return nil, fmt.Errorf("boosting: %s: regalloc train: %w", workload, err)
-			}
-			if _, err := regalloc.Allocate(test); err != nil {
-				return nil, fmt.Errorf("boosting: %s: regalloc test: %w", workload, err)
-			}
+		pm := passes.NewManager()
+		pm.VerifyEach = cfg.verifyEach
+		var train, test *prog.Program
+		err = pm.Run("build", func() error {
+			train, test = w.BuildTrain(), w.BuildTest()
+			return nil
+		})
+		if err == nil && alloc {
+			err = pm.Run("regalloc", func() error {
+				if _, err := regalloc.Allocate(train); err != nil {
+					return fmt.Errorf("train: %w", err)
+				}
+				if _, err := regalloc.Allocate(test); err != nil {
+					return fmt.Errorf("test: %w", err)
+				}
+				return nil
+			}, train, test)
 		}
-		if err := profile.Annotate(train); err != nil {
-			return nil, fmt.Errorf("boosting: %s: profile: %w", workload, err)
+		if err == nil {
+			err = pm.Run("profile", func() error {
+				if err := profile.Annotate(train); err != nil {
+					return err
+				}
+				return profile.Transfer(train, test)
+			}, train, test)
 		}
-		if err := profile.Transfer(train, test); err != nil {
-			return nil, fmt.Errorf("boosting: %s: transfer: %w", workload, err)
+		var ref *sim.Result
+		if err == nil {
+			err = pm.Run("reference-run", func() error {
+				var rerr error
+				ref, rerr = sim.Run(test, sim.RefConfig{})
+				return rerr
+			})
 		}
-		ref, err := sim.Run(test, sim.RefConfig{})
 		if err != nil {
-			return nil, fmt.Errorf("boosting: %s: reference run: %w", workload, err)
+			return nil, fmt.Errorf("boosting: %s: %w", workload, err)
 		}
 		acc, err := profile.Accuracy(test)
 		if err != nil {
@@ -118,6 +143,7 @@ func (p *Pipeline) Compile(ctx context.Context, workload string, opts ...Option)
 			master:            test,
 			ref:               ref,
 			acc:               acc,
+			stats:             pm.Stats(),
 		}, nil
 	})
 }
@@ -132,7 +158,9 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Compiled, model *machine.Mod
 		return nil, fmt.Errorf("boosting: simulate %s on %s: %w", c.Workload, model, err)
 	}
 	test := c.Program()
-	sp, err := core.Schedule(test, model, cfg.core)
+	pm := passes.NewManager()
+	pm.VerifyEach = cfg.verifyEach
+	sp, err := pm.Schedule(test, model, cfg.core)
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +180,7 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Compiled, model *machine.Mod
 	}
 	return &Result{
 		Engine:             cfg.engine.String(),
+		Compile:            pm.Stats(),
 		Cycles:             res.Cycles,
 		ScalarCycles:       scalar,
 		Speedup:            float64(scalar) / float64(res.Cycles),
