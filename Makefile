@@ -12,7 +12,7 @@ COVER_FLOOR_MACHINE ?= 75
 COVER_FLOOR_DYNSCHED ?= 75
 COVER_FLOOR_WORKLOADS ?= 75
 
-.PHONY: all test test-short test-race bench bench-json bench-simcore bench-simcore-check bench-compile bench-compile-check experiments fuzz fuzz-quick fuzz-smoke cover vet clean
+.PHONY: all test test-short test-race bench bench-json bench-simcore bench-simcore-check bench-compile bench-compile-check bench-artifact experiments fuzz fuzz-quick fuzz-smoke cover vet clean
 
 all: vet test test-race fuzz-quick
 
@@ -61,6 +61,15 @@ bench-compile:
 bench-compile-check:
 	COMPILE_BENCH_BASELINE=$(CURDIR)/BENCH_compile.json $(GO) test -run TestCompileBenchRegression -count=1 -v ./internal/core/
 
+# bench-artifact measures warm-start latency — cold compile vs decoding
+# an artifact from the disk store vs fetching it from a boostd peer — and
+# rewrites BENCH_artifact.json. It fails if a disk-warm start is not at
+# least 5x faster than a cold compile, so a baseline that lost the point
+# of the artifact cache cannot be committed.
+bench-artifact:
+	ARTIFACT_BENCH_JSON=$(CURDIR)/BENCH_artifact.json $(GO) test -run TestWriteArtifactBenchJSON -count=1 .
+	@echo "wrote BENCH_artifact.json"
+
 experiments:
 	$(GO) run ./cmd/experiments -all
 
@@ -70,6 +79,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRecipeDecode -fuzztime=30s ./internal/difftest/
 	$(GO) test -fuzz=FuzzOracle -fuzztime=60s ./internal/difftest/
 	$(GO) test -fuzz=FuzzFastCore -fuzztime=60s ./internal/difftest/
+	$(GO) test -fuzz=FuzzArtifactDecode -fuzztime=30s ./internal/artifact/
 
 # fuzz-quick is the pre-commit-sized differential campaign: ten seconds
 # of random programs plus the reproducer corpus. `make all` runs it; use

@@ -1,0 +1,183 @@
+package boosting_test
+
+// Artifact warm-start benchmarks: how long until a pipeline can serve a
+// compiled workload, starting cold (full build), from a disk artifact
+// store, and from a boostd peer. Writes BENCH_artifact.json and gates
+// the point of the subsystem: a disk-warm start must be at least 5×
+// faster than a cold compile.
+//
+//	make bench-artifact    rewrite BENCH_artifact.json
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"boosting"
+	"boosting/internal/artifact"
+	"boosting/internal/machine"
+)
+
+// artifactBenchPhase is one start mode's latency distribution.
+type artifactBenchPhase struct {
+	P50Ns float64 `json:"p50_ns"`
+	P99Ns float64 `json:"p99_ns"`
+}
+
+type artifactBenchFile struct {
+	GeneratedBy string `json:"generated_by"`
+	Workload    string `json:"workload"`
+	Iterations  int    `json:"iterations"`
+	// ColdCompile is a full build (workload construction, register
+	// allocation, profiling, reference run); DiskWarm and PeerWarm decode
+	// an artifact instead.
+	ColdCompile artifactBenchPhase `json:"cold_compile"`
+	DiskWarm    artifactBenchPhase `json:"disk_warm"`
+	PeerWarm    artifactBenchPhase `json:"peer_warm"`
+	// DiskSpeedupP50 is cold p50 over disk-warm p50 — gated ≥ 5.
+	DiskSpeedupP50 float64 `json:"disk_speedup_p50"`
+	PeerSpeedupP50 float64 `json:"peer_speedup_p50"`
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func summarize(samples []float64) artifactBenchPhase {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return artifactBenchPhase{P50Ns: percentile(s, 0.50), P99Ns: percentile(s, 0.99)}
+}
+
+// TestWriteArtifactBenchJSON measures the three start modes and writes
+// BENCH_artifact.json (path in ARTIFACT_BENCH_JSON; skipped when unset
+// so `go test ./...` stays quiet). It fails if a disk-warm start is not
+// at least 5× faster than a cold compile at the median — the disk store
+// exists to skip compilation, and a baseline that lost that property
+// cannot be committed.
+func TestWriteArtifactBenchJSON(t *testing.T) {
+	out := os.Getenv("ARTIFACT_BENCH_JSON")
+	if out == "" {
+		t.Skip("set ARTIFACT_BENCH_JSON=path to write the artifact benchmark file")
+	}
+	const iterations = 15
+	ctx := context.Background()
+	workload := boosting.WorkloadGrep
+	model := machine.MinBoost3()
+	key := "compile|" + workload + "|alloc=true"
+
+	// Seed a populated store: one full compile + simulate so the stored
+	// artifact carries the model's schedule.
+	seedDir := t.TempDir()
+	seedStore, err := artifact.OpenStore(seedDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCache := artifact.NewCache(seedStore, nil)
+	seedPipe := boosting.NewPipeline(boosting.WithArtifactCache(seedCache))
+	seeded, err := seedPipe.Compile(ctx, workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seedPipe.Simulate(ctx, seeded, model); err != nil {
+		t.Fatal(err)
+	}
+	encoded, err := seeded.Artifact().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seedCache.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/artifact/"+key {
+			w.Write(encoded)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer peer.Close()
+
+	// timeCompile measures one pipeline's time-to-compiled; the cache (or
+	// its absence) decides which path that takes.
+	timeCompile := func(ac boosting.ArtifactCache, wantSource string) float64 {
+		var opts []boosting.Option
+		if ac != nil {
+			opts = append(opts, boosting.WithArtifactCache(ac))
+		}
+		p := boosting.NewPipeline(opts...)
+		start := time.Now()
+		c, err := p.Compile(ctx, workload)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Source() != wantSource {
+			t.Fatalf("compile source = %q, want %q", c.Source(), wantSource)
+		}
+		return float64(elapsed.Nanoseconds())
+	}
+
+	var cold, diskWarm, peerWarm []float64
+	for i := 0; i < iterations; i++ {
+		cold = append(cold, timeCompile(nil, "compile"))
+
+		store, err := artifact.OpenStore(seedDir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc := artifact.NewCache(store, nil)
+		diskWarm = append(diskWarm, timeCompile(dc, "disk"))
+		if _, err := dc.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Peer-warm: an empty local store, the artifact only on the peer.
+		emptyStore, err := artifact.OpenStore(t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := artifact.NewCache(emptyStore, artifact.NewPeerClient([]string{peer.URL}, 5*time.Second))
+		peerWarm = append(peerWarm, timeCompile(pc, "peer"))
+		if _, err := pc.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	file := artifactBenchFile{
+		GeneratedBy: "go test -run TestWriteArtifactBenchJSON . (make bench-artifact)",
+		Workload:    workload,
+		Iterations:  iterations,
+		ColdCompile: summarize(cold),
+		DiskWarm:    summarize(diskWarm),
+		PeerWarm:    summarize(peerWarm),
+	}
+	file.DiskSpeedupP50 = file.ColdCompile.P50Ns / file.DiskWarm.P50Ns
+	file.PeerSpeedupP50 = file.ColdCompile.P50Ns / file.PeerWarm.P50Ns
+	t.Logf("cold compile: p50 %.3fms p99 %.3fms", file.ColdCompile.P50Ns/1e6, file.ColdCompile.P99Ns/1e6)
+	t.Logf("disk warm:    p50 %.3fms p99 %.3fms (%.1fx)", file.DiskWarm.P50Ns/1e6, file.DiskWarm.P99Ns/1e6, file.DiskSpeedupP50)
+	t.Logf("peer warm:    p50 %.3fms p99 %.3fms (%.1fx)", file.PeerWarm.P50Ns/1e6, file.PeerWarm.P99Ns/1e6, file.PeerSpeedupP50)
+
+	if file.DiskWarm.P50Ns*5 > file.ColdCompile.P50Ns {
+		t.Errorf("disk-warm start is only %.2fx faster than a cold compile (want >= 5x): warm p50 %.3fms, cold p50 %.3fms",
+			file.DiskSpeedupP50, file.DiskWarm.P50Ns/1e6, file.ColdCompile.P50Ns/1e6)
+	}
+
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@
 //	internal/workloads  the seven benchmark kernels
 //	internal/hwcost     shadow register file hardware cost model
 //	internal/cache      singleflight memoization + data-cache model
+//	internal/artifact   serializable compile artifacts: codec, disk store, peer fetch
 //	internal/experiments concurrent tables/figures harness
 //
 // # Quick start

@@ -10,6 +10,8 @@
 //	boostcc -asm prog.s -model Boost1                # compile an .s file
 //	boostcc -workload grep -pass-stats               # per-pass report
 //	boostcc -asm prog.s -verify-each                 # verify IR between passes
+//	boostcc -workload grep -emit grep.bsta           # save a compile artifact
+//	boostcc -load grep.bsta -model MinBoost3         # warm-start from one
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"boosting"
 	"boosting/internal/core"
+	"boosting/internal/machine"
 	"boosting/internal/passes"
 	"boosting/internal/profile"
 	"boosting/internal/prog"
@@ -47,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	inf := fs.Bool("inf", false, "infinite register model (skip register allocation)")
 	passStats := fs.Bool("pass-stats", false, "print per-pass compile timings and scheduler counters")
 	verifyEach := fs.Bool("verify-each", false, "run the IR verifier between compile passes")
+	emit := fs.String("emit", "", "write the compiled workload and its schedule as a binary artifact to this file (requires -workload)")
+	load := fs.String("load", "", "warm-start from a previously emitted artifact instead of compiling")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -54,8 +59,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "boostcc: unexpected arguments: %v\n", fs.Args())
 		return 2
 	}
-	if (*workload == "") == (*asmFile == "") {
+	if *load != "" {
+		if *workload != "" || *asmFile != "" {
+			fmt.Fprintln(stderr, "boostcc: -load replaces -workload/-asm")
+			return 2
+		}
+	} else if (*workload == "") == (*asmFile == "") {
 		fmt.Fprintln(stderr, "boostcc: pass exactly one of -workload or -asm")
+		return 2
+	}
+	if *emit != "" && *workload == "" {
+		fmt.Fprintln(stderr, "boostcc: -emit requires -workload")
 		return 2
 	}
 
@@ -71,8 +85,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	pm := passes.NewManager()
 	pm.VerifyEach = *verifyEach
-	var pr *prog.Program
-	if *asmFile != "" {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var (
+		pr  *prog.Program
+		c   *boosting.Compiled
+		art *boosting.Artifact
+	)
+	switch {
+	case *asmFile != "":
 		// Assembly input bypasses the workload pipeline: parse, then run
 		// the same allocate/profile stages as named passes.
 		err = pm.Run("parse", func() error {
@@ -97,7 +118,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-	} else {
+	case *load != "":
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			return fail(err)
+		}
+		if art, err = boosting.DecodeArtifact(data); err != nil {
+			return fail(err)
+		}
+		if c, err = boosting.NewPipeline().CompileFromArtifact(ctx, art); err != nil {
+			return fail(err)
+		}
+		pr = c.Program()
+		pm.Stats().Add(c.CompileStats())
+		fmt.Fprintf(stdout, "boostcc: loaded artifact for %s (%d recorded schedules)\n",
+			c.Workload, len(art.Variants))
+	default:
 		opts := []boosting.Option{}
 		if *inf {
 			opts = append(opts, boosting.WithInfiniteRegisters())
@@ -105,9 +141,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *verifyEach {
 			opts = append(opts, boosting.WithVerifyEach())
 		}
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		defer stop()
-		c, err := boosting.NewPipeline().Compile(ctx, *workload, opts...)
+		var err error
+		c, err = boosting.NewPipeline().Compile(ctx, *workload, opts...)
 		if err != nil {
 			return fail(err)
 		}
@@ -120,15 +155,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, prog.FormatProgram(pr))
 	}
 
-	sp, err := pm.Schedule(pr, m, core.Options{LocalOnly: *local})
-	if err != nil {
-		return fail(err)
+	copts := core.Options{LocalOnly: *local}
+	var sp *machine.SchedProgram
+	if art != nil {
+		if v := art.FindVariant(m, copts); v != nil {
+			sp = v.Sched
+			fmt.Fprintln(stdout, "boostcc: reusing recorded schedule from artifact")
+		}
+	}
+	if sp == nil {
+		var err error
+		sp, err = pm.Schedule(pr, m, copts)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if *emit != "" {
+		a := c.Artifact()
+		a.AddVariant(sp, copts, pm.Stats())
+		data, err := a.Encode()
+		if err != nil {
+			return fail(err)
+		}
+		if err := os.WriteFile(*emit, data, 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "boostcc: wrote artifact to %s (%d bytes)\n", *emit, len(data))
 	}
 	fmt.Fprintf(stdout, "== schedule for %s (object growth %.2fx) ==\n", m, sp.ObjectGrowth())
-	for _, name := range pr.Order {
+	for _, name := range sp.Prog.Order {
 		fmt.Fprint(stdout, sp.Procs[name].Format())
 	}
-	for _, name := range pr.Order {
+	for _, name := range sp.Prog.Order {
 		p := sp.Procs[name]
 		for id, rec := range p.Recovery {
 			fmt.Fprintf(stdout, ".recovery for branch %d in %s:\n", id, name)

@@ -24,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +48,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 	gridCap := fs.Int("grid-cap", 1024, "max cells per /v1/grid sweep")
+	artifactDir := fs.String("artifact-dir", "", "directory for the content-addressed compile-artifact store (empty disables it)")
+	artifactMax := fs.Int64("artifact-max", 256<<20, "artifact store size cap in bytes (oldest entries evicted)")
+	peers := fs.String("peers", "", "comma-separated base URLs of peer boostd daemons to try on artifact-cache misses")
+	peerTimeout := fs.Duration("peer-timeout", 5*time.Second, "per-peer artifact fetch deadline")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -58,14 +63,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "boostd: -inflight/-max-body/-grid-cap must be >= 1, -queue >= 0, -timeout/-drain > 0")
 		return 2
 	}
+	if *artifactMax < 1 || *peerTimeout <= 0 {
+		fmt.Fprintln(stderr, "boostd: -artifact-max must be >= 1 and -peer-timeout > 0")
+		return 2
+	}
 
-	srv := service.New(service.Config{
-		MaxInFlight:    *inflight,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		GridCellCap:    *gridCap,
+	srv, err := service.New(service.Config{
+		MaxInFlight:      *inflight,
+		QueueDepth:       *queue,
+		RequestTimeout:   *timeout,
+		MaxBodyBytes:     *maxBody,
+		GridCellCap:      *gridCap,
+		ArtifactDir:      *artifactDir,
+		ArtifactMaxBytes: *artifactMax,
+		Peers:            splitPeers(*peers),
+		PeerTimeout:      *peerTimeout,
 	})
+	if err != nil {
+		fmt.Fprintln(stderr, "boostd:", err)
+		return 1
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "boostd:", err)
@@ -100,6 +117,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "boostd: drain incomplete:", err)
 		return 1
 	}
+	// Flush in-flight artifact writes so a restart warm-starts from disk.
+	persisted, cerr := srv.Close()
+	if cerr != nil {
+		fmt.Fprintln(stderr, "boostd: artifact store:", cerr)
+		return 1
+	}
+	if *artifactDir != "" {
+		fmt.Fprintf(stdout, "boostd: %d artifacts persisted\n", persisted)
+	}
 	fmt.Fprintln(stdout, "boostd: drained, exiting")
 	return 0
+}
+
+// splitPeers parses the -peers flag: a comma-separated URL list with
+// empty elements ignored.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

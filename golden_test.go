@@ -133,6 +133,14 @@ func execDigest(t *testing.T, master *prog.Program, model *machine.Model, engine
 	if err != nil {
 		t.Fatalf("%s: schedule: %v", model.Name, err)
 	}
+	return schedDigest(t, model.Name, sp, engine)
+}
+
+// schedDigest executes an already-scheduled program and digests every
+// observable stream (also used by the artifact round-trip suite, which
+// feeds it schedules decoded from their binary encoding).
+func schedDigest(t *testing.T, label string, sp *machine.SchedProgram, engine sim.Engine) goldenDigest {
+	t.Helper()
 	storeHash := fnv.New64a()
 	storeCount := 0
 	squashEvents := 0
@@ -149,7 +157,7 @@ func execDigest(t *testing.T, master *prog.Program, model *machine.Model, engine
 		OnSquash: func(sim.SquashInfo) { squashEvents++ },
 	})
 	if err != nil {
-		t.Fatalf("%s on %s engine: %v", model.Name, engine, err)
+		t.Fatalf("%s on %s engine: %v", label, engine, err)
 	}
 	return goldenDigest{
 		Cycles:       res.Cycles,

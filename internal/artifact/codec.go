@@ -1,0 +1,216 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The binary codec underneath artifact encoding: a little-endian,
+// varint-based writer/reader pair. The writer cannot fail; the reader is
+// defensive to the last byte — every read is bounds-checked, every length
+// prefix is validated against the bytes that remain, and malformed input
+// surfaces as an error wrapping ErrCorrupt, never a panic or an
+// attacker-sized allocation. Decode paths (disk cache, peer fetch, fuzz
+// targets) all funnel through it.
+
+// writer accumulates an encoded payload.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) bytes() []byte { return w.buf }
+
+func (w *writer) u8(v uint8) { w.buf = append(w.buf, v) }
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+func (w *writer) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+func (w *writer) varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *writer) blob(b []byte) {
+	w.uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// reader consumes an encoded payload. The first malformed read latches
+// err; subsequent reads return zero values, so decode functions can read
+// a whole section and check r.err once.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func newReader(data []byte) *reader { return &reader{data: data} }
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s (offset %d)", ErrCorrupt, fmt.Sprintf(format, args...), r.off)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
+// done reports whether the reader consumed the payload exactly.
+func (r *reader) done() bool { return r.err == nil && r.off == len(r.data) }
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 1 {
+		r.fail("unexpected end of input reading byte")
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) bool() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("invalid boolean byte")
+		return false
+	}
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 8 {
+		r.fail("unexpected end of input reading u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("malformed uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("malformed varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// length reads a length prefix and validates it against the remaining
+// input, with at least minBytesPerItem bytes required per counted item.
+// This caps every slice allocation at the size of the input itself.
+func (r *reader) length(what string, minBytesPerItem int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minBytesPerItem < 1 {
+		minBytesPerItem = 1
+	}
+	if v > uint64(r.remaining()/minBytesPerItem) {
+		r.fail("%s count %d exceeds remaining input", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) blob() []byte {
+	n := r.length("blob", 1)
+	if r.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.data[r.off:r.off+n])
+	r.off += n
+	return b
+}
+
+func (r *reader) str() string {
+	n := r.length("string", 1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// int32v reads a varint constrained to the int32 range (register numbers,
+// immediates, block IDs).
+func (r *reader) int32v(what string) int32 {
+	v := r.varint()
+	if r.err == nil && (v < math.MinInt32 || v > math.MaxInt32) {
+		r.fail("%s %d out of int32 range", what, v)
+	}
+	return int32(v)
+}
+
+// count64 reads a non-negative varint (profile counts, cycle totals).
+func (r *reader) count64(what string) int64 {
+	v := r.varint()
+	if r.err == nil && v < 0 {
+		r.fail("%s must be non-negative, got %d", what, v)
+	}
+	return v
+}
+
+// Typed decode failures. Decode classifies every rejection as exactly one
+// of these so callers (disk store, peer client, tests) can distinguish
+// damaged bytes from honest version or architecture skew.
+var (
+	// ErrCorrupt marks input whose checksum, framing or structure is
+	// damaged.
+	ErrCorrupt = errors.New("artifact: corrupt input")
+	// ErrVersion marks an artifact written by an incompatible encoding
+	// version.
+	ErrVersion = errors.New("artifact: unsupported version")
+	// ErrISA marks an artifact built against a different instruction-set
+	// definition (op table, latencies, classes).
+	ErrISA = errors.New("artifact: ISA fingerprint mismatch")
+)

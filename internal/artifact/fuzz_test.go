@@ -1,0 +1,62 @@
+package artifact
+
+import (
+	"bytes"
+	"testing"
+
+	"boosting/internal/core"
+	"boosting/internal/machine"
+)
+
+// FuzzArtifactDecode throws arbitrary bytes at both public decoders.
+// The invariants: never panic, never allocate unboundedly, and anything
+// that decodes successfully must re-encode to the exact input bytes (the
+// encoding is canonical). Seeds cover the valid encodings and their
+// common corruptions so the fuzzer starts at the interesting frontier.
+func FuzzArtifactDecode(f *testing.F) {
+	a := testArtifact(f)
+	enc, err := a.Encode()
+	if err != nil {
+		f.Fatalf("encode: %v", err)
+	}
+	sp := testSched(f, testProgram(f), machine.MinBoost3(), core.Options{})
+	spEnc, err := EncodeSchedProgram(sp)
+	if err != nil {
+		f.Fatalf("encode sched: %v", err)
+	}
+	f.Add(enc)
+	f.Add(spEnc)
+	f.Add([]byte{})
+	f.Add([]byte("BSTA"))
+	f.Add([]byte("BSTV"))
+	truncated := enc[:len(enc)/2]
+	f.Add(truncated)
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)/3] ^= 0x01
+	f.Add(flipped)
+	resealed := append([]byte(nil), enc...)
+	resealed[len(magic)]++ // wrong version
+	reseal(resealed)
+	f.Add(resealed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if a, err := Decode(data); err == nil {
+			out, err := a.Encode()
+			if err != nil {
+				t.Fatalf("decoded artifact fails to re-encode: %v", err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatal("accepted input is not the canonical encoding of its own decode")
+			}
+		}
+		if sp, err := DecodeSchedProgram(data); err == nil {
+			out, err := EncodeSchedProgram(sp)
+			if err != nil {
+				t.Fatalf("decoded schedule fails to re-encode: %v", err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatal("accepted schedule input is not the canonical encoding of its own decode")
+			}
+		}
+	})
+}

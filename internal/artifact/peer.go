@@ -1,0 +1,154 @@
+package artifact
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PeerClient fetches encoded artifacts from sibling boostd nodes. Each
+// peer gets its own request timeout and a small circuit breaker: after
+// breakerThreshold consecutive transport failures the peer is skipped
+// for breakerCooldown before being probed again, so one dead sibling
+// costs one timeout per cooldown window instead of one per miss. A 404
+// is an honest miss, not a failure.
+type PeerClient struct {
+	peers   []*peerState
+	timeout time.Duration
+	client  *http.Client
+	// maxBody bounds how many bytes a peer response may carry; a peer
+	// (even a trusted one) must not be able to balloon our memory.
+	maxBody int64
+}
+
+type peerState struct {
+	base string
+
+	mu       sync.Mutex
+	failures int
+	downTil  time.Time
+}
+
+const (
+	breakerThreshold = 3
+	breakerCooldown  = 30 * time.Second
+	defaultPeerBody  = 64 << 20
+)
+
+// NewPeerClient builds a client over the given peer base URLs (e.g.
+// "http://host:8080"); empty entries are dropped. timeout bounds each
+// individual peer request (0 = 5s).
+func NewPeerClient(peers []string, timeout time.Duration) *PeerClient {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	pc := &PeerClient{
+		timeout: timeout,
+		client:  &http.Client{},
+		maxBody: defaultPeerBody,
+	}
+	for _, p := range peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			continue
+		}
+		pc.peers = append(pc.peers, &peerState{base: p})
+	}
+	return pc
+}
+
+// NumPeers returns the number of configured peers.
+func (pc *PeerClient) NumPeers() int {
+	if pc == nil {
+		return 0
+	}
+	return len(pc.peers)
+}
+
+// Fetch asks each available peer in order for the artifact stored under
+// key, returning the first hit. It returns (nil, false) when every peer
+// misses, is down, or is cooling off.
+func (pc *PeerClient) Fetch(ctx context.Context, key string) ([]byte, bool) {
+	if pc == nil {
+		return nil, false
+	}
+	for _, p := range pc.peers {
+		if !p.available() {
+			continue
+		}
+		data, err := pc.fetchOne(ctx, p, key)
+		switch {
+		case err == nil && data != nil:
+			p.succeed()
+			return data, true
+		case err == nil: // clean miss
+			p.succeed()
+		default:
+			p.fail()
+		}
+		if ctx.Err() != nil {
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// fetchOne performs one peer request. It returns (nil, nil) for a miss
+// and a non-nil error only for transport-level failures that should
+// count against the breaker.
+func (pc *PeerClient) fetchOne(ctx context.Context, p *peerState, key string) ([]byte, error) {
+	rctx, cancel := context.WithTimeout(ctx, pc.timeout)
+	defer cancel()
+	u := p.base + "/v1/artifact/" + url.PathEscape(key)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := pc.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, pc.maxBody+1))
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(data)) > pc.maxBody {
+			return nil, fmt.Errorf("peer response exceeds %d bytes", pc.maxBody)
+		}
+		return data, nil
+	case http.StatusNotFound:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("peer returned %s", resp.Status)
+	}
+}
+
+func (p *peerState) available() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return time.Now().After(p.downTil)
+}
+
+func (p *peerState) succeed() {
+	p.mu.Lock()
+	p.failures = 0
+	p.mu.Unlock()
+}
+
+func (p *peerState) fail() {
+	p.mu.Lock()
+	p.failures++
+	if p.failures >= breakerThreshold {
+		p.downTil = time.Now().Add(breakerCooldown)
+		p.failures = 0
+	}
+	p.mu.Unlock()
+}

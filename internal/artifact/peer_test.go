@@ -1,0 +1,158 @@
+package artifact
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// peerServer serves a fixed key→payload map over the boostd artifact
+// wire protocol and counts requests.
+func peerServer(t *testing.T, entries map[string][]byte) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		key, err := url.PathUnescape(strings.TrimPrefix(r.URL.EscapedPath(), "/v1/artifact/"))
+		if err != nil {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		data, ok := entries[key]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(data)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestPeerFetchHit(t *testing.T) {
+	want := []byte("peer payload")
+	ts, _ := peerServer(t, map[string][]byte{"compile|grep|alloc=true": want})
+	pc := NewPeerClient([]string{ts.URL}, time.Second)
+	got, ok := pc.Fetch(context.Background(), "compile|grep|alloc=true")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Fetch = %q, %v; want %q, true", got, ok, want)
+	}
+}
+
+func TestPeerFetchMiss(t *testing.T) {
+	ts, hits := peerServer(t, nil)
+	pc := NewPeerClient([]string{ts.URL}, time.Second)
+	for i := 0; i < breakerThreshold+2; i++ {
+		if _, ok := pc.Fetch(context.Background(), "absent"); ok {
+			t.Fatal("Fetch reported a hit for an absent key")
+		}
+	}
+	// Clean 404 misses must not trip the circuit breaker.
+	if got := hits.Load(); got != int64(breakerThreshold+2) {
+		t.Errorf("peer saw %d requests, want %d (404s must not open the breaker)", got, breakerThreshold+2)
+	}
+}
+
+func TestPeerBreakerOpensOnFailures(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	pc := NewPeerClient([]string{ts.URL}, time.Second)
+	for i := 0; i < breakerThreshold+5; i++ {
+		if _, ok := pc.Fetch(context.Background(), "k"); ok {
+			t.Fatal("Fetch succeeded against a failing peer")
+		}
+	}
+	if got := hits.Load(); got != int64(breakerThreshold) {
+		t.Errorf("failing peer saw %d requests, want %d (breaker must open)", got, breakerThreshold)
+	}
+}
+
+func TestPeerSecondPeerServes(t *testing.T) {
+	want := []byte("from the second peer")
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(down.Close)
+	up, _ := peerServer(t, map[string][]byte{"k": want})
+	pc := NewPeerClient([]string{down.URL, up.URL}, time.Second)
+	got, ok := pc.Fetch(context.Background(), "k")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Fetch = %q, %v; want %q, true", got, ok, want)
+	}
+}
+
+func TestPeerNilClient(t *testing.T) {
+	var pc *PeerClient
+	if pc.NumPeers() != 0 {
+		t.Error("nil client reports peers")
+	}
+	pc = NewPeerClient(nil, 0)
+	if _, ok := pc.Fetch(context.Background(), "k"); ok {
+		t.Error("peerless client reported a hit")
+	}
+}
+
+func TestTieredCacheDiskAndPeer(t *testing.T) {
+	ctx := context.Background()
+	a := testArtifact(t)
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	const key = "compile|codec-test|alloc=true"
+	up, _ := peerServer(t, map[string][]byte{key: enc})
+
+	store, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	c := NewCache(store, NewPeerClient([]string{up.URL}, time.Second))
+	defer c.Close()
+
+	// Cold: no disk entry, peer serves, the cache adopts it.
+	got, source, err := c.Get(ctx, key)
+	if err != nil || got == nil || source != "peer" {
+		t.Fatalf("Get = %v, %q, %v; want artifact, \"peer\", nil", got, source, err)
+	}
+	if got.Workload != a.Workload {
+		t.Errorf("peer artifact workload = %q, want %q", got.Workload, a.Workload)
+	}
+
+	// Warm: the adopted entry now serves from disk.
+	c.Flush()
+	if _, source, _ = c.Get(ctx, key); source != "disk" {
+		t.Fatalf("second Get source = %q, want \"disk\"", source)
+	}
+	if raw, ok := c.GetRaw(key); !ok || !bytes.Equal(raw, enc) {
+		t.Error("GetRaw does not serve the adopted bytes")
+	}
+
+	// Missing everywhere: a clean miss, not an error.
+	if got, source, err := c.Get(ctx, "absent"); got != nil || source != "" || err != nil {
+		t.Fatalf("miss Get = %v, %q, %v; want nil, \"\", nil", got, source, err)
+	}
+
+	// A corrupt disk entry falls through (and is dropped), not served.
+	c.Put(ctx, "bad", a)
+	c.Flush()
+	store.Put("bad", []byte("garbage, not an artifact"))
+	c.Flush()
+	if got, _, _ := c.Get(ctx, "bad"); got != nil {
+		t.Fatal("Get decoded a corrupt disk entry")
+	}
+
+	st := c.Stats()
+	if st.PeerHits != 1 || st.DiskHits != 1 || st.Misses < 1 || st.BadDecode != 1 {
+		t.Errorf("Stats = %+v; want PeerHits=1 DiskHits=1 Misses>=1 BadDecode=1", st)
+	}
+}

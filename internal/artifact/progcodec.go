@@ -1,0 +1,370 @@
+package artifact
+
+import (
+	"sort"
+
+	"boosting/internal/isa"
+	"boosting/internal/machine"
+	"boosting/internal/passes"
+	"boosting/internal/prog"
+)
+
+// Codecs for the compiler IR: instructions, whole programs, machine
+// models and machine schedules. Programs serialize procedures in Order;
+// within a procedure, CFG edges and the entry block are encoded as
+// indices into the procedure's block list and re-wired to pointers on
+// decode. Schedules serialize against their own program image (scheduling
+// rewrites the CFG), referencing blocks by index the same way. All
+// map-shaped state (scheduled blocks, recovery sites) is encoded in
+// sorted key order so encoding is deterministic.
+
+func encodeInst(w *writer, in *isa.Inst) {
+	w.u8(uint8(in.Op))
+	w.varint(int64(in.Rd))
+	w.varint(int64(in.Rs))
+	w.varint(int64(in.Rt))
+	w.varint(int64(in.Imm))
+	w.str(in.Sym)
+	w.bool(in.Pred)
+	w.varint(int64(in.Boost))
+	w.uvarint(uint64(len(in.Dirs)))
+	for _, d := range in.Dirs {
+		w.u8(uint8(d))
+	}
+	w.varint(int64(in.ID))
+}
+
+func decodeInst(r *reader) isa.Inst {
+	var in isa.Inst
+	op := r.u8()
+	if r.err == nil && int(op) >= isa.NumOps {
+		r.fail("opcode %d out of range", op)
+		return in
+	}
+	in.Op = isa.Op(op)
+	in.Rd = isa.Reg(r.int32v("register"))
+	in.Rs = isa.Reg(r.int32v("register"))
+	in.Rt = isa.Reg(r.int32v("register"))
+	in.Imm = r.int32v("immediate")
+	in.Sym = r.str()
+	in.Pred = r.bool()
+	in.Boost = int(r.count64("boost level"))
+	nDirs := r.length("branch dirs", 1)
+	for i := 0; i < nDirs && r.err == nil; i++ {
+		d := r.u8()
+		if r.err == nil && d > uint8(isa.DirX) {
+			r.fail("branch direction %d out of range", d)
+			break
+		}
+		in.Dirs = append(in.Dirs, isa.BranchDir(d))
+	}
+	in.ID = int(r.varint())
+	return in
+}
+
+func encodeProgram(w *writer, pr *prog.Program) error {
+	w.uvarint(uint64(len(pr.Order)))
+	for _, name := range pr.Order {
+		p := pr.Procs[name]
+		w.str(name)
+		if err := encodeProc(w, p); err != nil {
+			return err
+		}
+	}
+	w.blob(pr.Data)
+	w.varint(int64(pr.BSS))
+	nextID, numVirt := pr.Counters()
+	w.varint(int64(nextID))
+	w.varint(int64(numVirt))
+	return nil
+}
+
+func encodeProc(w *writer, p *prog.Proc) error {
+	index := make(map[*prog.Block]int, len(p.Blocks))
+	for i, b := range p.Blocks {
+		index[b] = i
+	}
+	w.uvarint(uint64(len(p.Blocks)))
+	for _, b := range p.Blocks {
+		w.varint(int64(b.ID))
+		w.str(b.Label)
+		w.bool(b.Recovery)
+		w.varint(b.Count)
+		w.varint(b.TakenCount)
+		w.uvarint(uint64(len(b.Insts)))
+		for i := range b.Insts {
+			encodeInst(w, &b.Insts[i])
+		}
+		w.uvarint(uint64(len(b.Succs)))
+		for _, s := range b.Succs {
+			w.uvarint(uint64(index[s]))
+		}
+	}
+	w.uvarint(uint64(index[p.Entry]))
+	return nil
+}
+
+func decodeProgram(r *reader) *prog.Program {
+	pr := prog.New()
+	nProcs := r.length("procedures", 2)
+	for i := 0; i < nProcs && r.err == nil; i++ {
+		name := r.str()
+		p := decodeProc(r, name)
+		if r.err != nil {
+			break
+		}
+		if _, dup := pr.Procs[name]; dup {
+			r.fail("duplicate procedure %q", name)
+			break
+		}
+		pr.AddProc(p)
+	}
+	pr.Data = r.blob()
+	pr.BSS = int(r.count64("bss size"))
+	nextID := r.count64("inst id counter")
+	numVirt := r.int32v("virtual reg counter")
+	if r.err == nil && numVirt < 0 {
+		r.fail("virtual reg counter must be non-negative, got %d", numVirt)
+	}
+	pr.RestoreCounters(int(nextID), numVirt)
+	return pr
+}
+
+func decodeProc(r *reader, name string) *prog.Proc {
+	p := &prog.Proc{Name: name}
+	nBlocks := r.length("blocks", 6)
+	// succIdx[i] holds block i's successor indices, wired to pointers
+	// after all blocks exist.
+	succIdx := make([][]int, nBlocks)
+	seenID := make(map[int]bool, nBlocks)
+	for i := 0; i < nBlocks && r.err == nil; i++ {
+		b := &prog.Block{}
+		b.ID = int(r.count64("block id"))
+		if r.err == nil && seenID[b.ID] {
+			r.fail("duplicate block id %d in proc %q", b.ID, name)
+			break
+		}
+		seenID[b.ID] = true
+		b.Label = r.str()
+		b.Recovery = r.bool()
+		b.Count = r.count64("block count")
+		b.TakenCount = r.count64("taken count")
+		nInsts := r.length("instructions", 8)
+		b.Insts = make([]isa.Inst, 0, nInsts)
+		for j := 0; j < nInsts && r.err == nil; j++ {
+			b.Insts = append(b.Insts, decodeInst(r))
+		}
+		nSuccs := r.length("successors", 1)
+		for j := 0; j < nSuccs && r.err == nil; j++ {
+			idx := r.uvarint()
+			if r.err == nil && idx >= uint64(nBlocks) {
+				r.fail("successor index %d out of range", idx)
+				break
+			}
+			succIdx[i] = append(succIdx[i], int(idx))
+		}
+		p.Blocks = append(p.Blocks, b)
+	}
+	entry := r.uvarint()
+	if r.err != nil {
+		return p
+	}
+	if entry >= uint64(len(p.Blocks)) {
+		r.fail("entry index %d out of range", entry)
+		return p
+	}
+	p.Entry = p.Blocks[entry]
+	for i, b := range p.Blocks {
+		for _, si := range succIdx[i] {
+			b.Succs = append(b.Succs, p.Blocks[si])
+		}
+	}
+	p.RecomputePreds()
+	return p
+}
+
+func encodeModel(w *writer, m *machine.Model) {
+	w.str(m.Name)
+	w.varint(int64(m.IssueWidth))
+	w.uvarint(uint64(len(m.Slots)))
+	for _, s := range m.Slots {
+		w.uvarint(uint64(s))
+	}
+	w.varint(int64(m.Boost.MaxLevel))
+	w.bool(m.Boost.StoreBuffer)
+	w.varint(int64(m.Boost.StoreBufferSize))
+	w.bool(m.Boost.MultiShadow)
+	w.bool(m.Boost.SquashOnly)
+	w.varint(int64(m.ExceptionOverhead))
+}
+
+func decodeModel(r *reader) *machine.Model {
+	m := &machine.Model{}
+	m.Name = r.str()
+	m.IssueWidth = int(r.count64("issue width"))
+	nSlots := r.length("slots", 1)
+	for i := 0; i < nSlots && r.err == nil; i++ {
+		s := r.uvarint()
+		if r.err == nil && s > 0xFFFF {
+			r.fail("slot class set %d out of u16 range", s)
+			break
+		}
+		m.Slots = append(m.Slots, machine.ClassSet(s))
+	}
+	if r.err == nil && m.IssueWidth != len(m.Slots) {
+		r.fail("issue width %d does not match %d slots", m.IssueWidth, len(m.Slots))
+	}
+	m.Boost.MaxLevel = int(r.count64("max boost level"))
+	m.Boost.StoreBuffer = r.bool()
+	m.Boost.StoreBufferSize = int(r.count64("store buffer size"))
+	m.Boost.MultiShadow = r.bool()
+	m.Boost.SquashOnly = r.bool()
+	m.ExceptionOverhead = int(r.count64("exception overhead"))
+	return m
+}
+
+// encodeVariantBody serializes a scheduled program — its own program
+// image, its machine model, and per-procedure schedules — plus an
+// optional schedule-pass report.
+func encodeVariantBody(w *writer, sp *machine.SchedProgram, stats *passes.CompileStats) error {
+	if err := encodeProgram(w, sp.Prog); err != nil {
+		return err
+	}
+	encodeModel(w, sp.Model)
+	w.uvarint(uint64(len(sp.Prog.Order)))
+	for _, name := range sp.Prog.Order {
+		w.str(name)
+		if err := encodeSchedProc(w, sp.Prog.Procs[name], sp.Procs[name]); err != nil {
+			return err
+		}
+	}
+	return encodeStats(w, stats)
+}
+
+func encodeSchedProc(w *writer, p *prog.Proc, sc *machine.SchedProc) error {
+	index := make(map[int]int, len(p.Blocks)) // block ID → index in p.Blocks
+	for i, b := range p.Blocks {
+		index[b.ID] = i
+	}
+	ids := make([]int, 0, len(sc.Blocks))
+	for id := range sc.Blocks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	w.uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		sb := sc.Blocks[id]
+		w.uvarint(uint64(index[sb.Block.ID]))
+		w.uvarint(uint64(len(sb.Cycles)))
+		for ci := range sb.Cycles {
+			slots := sb.Cycles[ci].Slots
+			w.uvarint(uint64(len(slots)))
+			for _, in := range slots {
+				if in == nil {
+					w.bool(false)
+					continue
+				}
+				w.bool(true)
+				encodeInst(w, in)
+			}
+		}
+	}
+	sites := make([]int, 0, len(sc.Recovery))
+	for id := range sc.Recovery {
+		sites = append(sites, id)
+	}
+	sort.Ints(sites)
+	w.uvarint(uint64(len(sites)))
+	for _, id := range sites {
+		w.varint(int64(id))
+		rec := sc.Recovery[id]
+		w.uvarint(uint64(len(rec)))
+		for i := range rec {
+			encodeInst(w, &rec[i])
+		}
+	}
+	return nil
+}
+
+func decodeVariantBody(r *reader) (*machine.SchedProgram, *passes.CompileStats) {
+	pr := decodeProgram(r)
+	model := decodeModel(r)
+	sp := &machine.SchedProgram{Prog: pr, Model: model, Procs: map[string]*machine.SchedProc{}}
+	nProcs := r.length("scheduled procedures", 2)
+	for i := 0; i < nProcs && r.err == nil; i++ {
+		name := r.str()
+		if r.err != nil {
+			break
+		}
+		p, ok := pr.Procs[name]
+		if !ok {
+			r.fail("schedule references unknown procedure %q", name)
+			break
+		}
+		if _, dup := sp.Procs[name]; dup {
+			r.fail("duplicate schedule for procedure %q", name)
+			break
+		}
+		sp.Procs[name] = decodeSchedProc(r, p)
+	}
+	stats := decodeStats(r)
+	if r.err != nil {
+		return nil, nil
+	}
+	return sp, stats
+}
+
+func decodeSchedProc(r *reader, p *prog.Proc) *machine.SchedProc {
+	sc := &machine.SchedProc{
+		Proc:     p,
+		Blocks:   map[int]*machine.SchedBlock{},
+		Recovery: map[int][]isa.Inst{},
+	}
+	nBlocks := r.length("scheduled blocks", 2)
+	for i := 0; i < nBlocks && r.err == nil; i++ {
+		idx := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if idx >= uint64(len(p.Blocks)) {
+			r.fail("scheduled block index %d out of range", idx)
+			break
+		}
+		b := p.Blocks[idx]
+		if _, dup := sc.Blocks[b.ID]; dup {
+			r.fail("duplicate schedule for block %d", b.ID)
+			break
+		}
+		sb := &machine.SchedBlock{Block: b}
+		nCycles := r.length("cycles", 1)
+		for ci := 0; ci < nCycles && r.err == nil; ci++ {
+			nSlots := r.length("slots", 1)
+			cy := machine.Cycle{Slots: make([]*isa.Inst, 0, nSlots)}
+			for si := 0; si < nSlots && r.err == nil; si++ {
+				if !r.bool() {
+					cy.Slots = append(cy.Slots, nil)
+					continue
+				}
+				in := decodeInst(r)
+				cy.Slots = append(cy.Slots, &in)
+			}
+			sb.Cycles = append(sb.Cycles, cy)
+		}
+		sc.Blocks[b.ID] = sb
+	}
+	nSites := r.length("recovery sites", 2)
+	for i := 0; i < nSites && r.err == nil; i++ {
+		id := int(r.varint())
+		if _, dup := sc.Recovery[id]; r.err == nil && dup {
+			r.fail("duplicate recovery site %d", id)
+			break
+		}
+		nInsts := r.length("recovery instructions", 8)
+		rec := make([]isa.Inst, 0, nInsts)
+		for j := 0; j < nInsts && r.err == nil; j++ {
+			rec = append(rec, decodeInst(r))
+		}
+		sc.Recovery[id] = rec
+	}
+	return sc
+}

@@ -1,0 +1,339 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Store is a content-addressed disk cache of encoded artifacts. Each
+// entry is one file named by the SHA-256 of its cache key, framed as
+//
+//	magic "BSTS" | uvarint key length | key | payload | u64 crc64
+//
+// so the store can enumerate keys and detect torn or bit-rotted files
+// without understanding artifact semantics. Writes are asynchronous
+// (Put returns immediately) but durable once flushed: a single writer
+// goroutine writes each entry to a temp file, fsyncs it, renames it into
+// place and fsyncs the directory, so a crash never leaves a torn entry
+// visible — at worst a stray .tmp file the next Open sweeps away. When
+// the store grows past its byte budget the least-recently-used entries
+// (by file mtime, bumped on every Get hit) are evicted.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	index map[string]*storeEntry // key → entry
+	size  int64                  // sum of entry sizes
+
+	reqs      chan putReq
+	writerWG  sync.WaitGroup
+	closed    bool
+	persisted int64 // entries durably written this process
+	writeErr  error // first write failure, reported by Close
+}
+
+type storeEntry struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+type putReq struct {
+	key  string
+	data []byte
+	done chan struct{} // non-nil for flush markers (data == nil)
+}
+
+const storeMagic = "BSTS"
+
+// storePath names the entry file for a key.
+func (s *Store) storePath(key string) string {
+	return filepath.Join(s.dir, hashKey(key)+".art")
+}
+
+// OpenStore opens (creating if needed) a disk store rooted at dir with
+// the given byte budget (0 = unbounded). Existing entries are indexed;
+// corrupt or torn files — wrong magic, bad checksum, stray temp files —
+// are deleted on sight.
+func OpenStore(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		index:    map[string]*storeEntry{},
+		reqs:     make(chan putReq, 64),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("artifact store: %w", err)
+	}
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		if filepath.Ext(path) != ".art" {
+			os.Remove(path) // stray temp file from a crashed writer
+			continue
+		}
+		key, data, err := readEntry(path)
+		if err != nil {
+			os.Remove(path)
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		s.index[key] = &storeEntry{path: path, size: int64(len(data)), mtime: info.ModTime()}
+		s.size += int64(len(data))
+	}
+	s.evictLocked()
+	s.writerWG.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// Get returns the encoded artifact stored under key, or (nil, false). A
+// hit bumps the entry's recency; a corrupt entry is deleted and reported
+// as a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	e, ok := s.index[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	gotKey, data, err := readEntry(e.path)
+	if err != nil || gotKey != key {
+		s.drop(key)
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(e.path, now, now)
+	s.mu.Lock()
+	if cur, ok := s.index[key]; ok {
+		cur.mtime = now
+	}
+	s.mu.Unlock()
+	return data, true
+}
+
+// Put schedules data to be stored under key. It returns immediately; the
+// write becomes durable by the next Flush (or Close). A Put after Close
+// is a silent no-op.
+func (s *Store) Put(key string, data []byte) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+	s.reqs <- putReq{key: key, data: data}
+}
+
+// Flush blocks until every Put issued before it has been written and
+// synced.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+	done := make(chan struct{})
+	s.reqs <- putReq{done: done}
+	<-done
+}
+
+// Close flushes pending writes and stops the writer. It returns the
+// number of artifacts durably persisted by this process and the first
+// write error, if any. Close is idempotent.
+func (s *Store) Close() (persisted int64, err error) {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.reqs)
+	}
+	s.mu.Unlock()
+	s.writerWG.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persisted, s.writeErr
+}
+
+// Keys returns the stored keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Persisted returns the number of artifacts durably written so far.
+func (s *Store) Persisted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persisted
+}
+
+// writer is the single goroutine that performs disk writes.
+func (s *Store) writer() {
+	defer s.writerWG.Done()
+	for req := range s.reqs {
+		if req.done != nil {
+			close(req.done)
+			continue
+		}
+		if err := s.write(req.key, req.data); err != nil {
+			s.mu.Lock()
+			if s.writeErr == nil {
+				s.writeErr = err
+			}
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		s.persisted++
+		if old, ok := s.index[req.key]; ok {
+			s.size -= old.size
+		}
+		s.index[req.key] = &storeEntry{
+			path:  s.storePath(req.key),
+			size:  int64(len(req.data)),
+			mtime: time.Now(),
+		}
+		s.size += int64(len(req.data))
+		s.evictLocked()
+		s.mu.Unlock()
+	}
+}
+
+// write performs one durable entry write: temp file, fsync, rename,
+// directory fsync.
+func (s *Store) write(key string, data []byte) error {
+	framed := frameEntry(key, data)
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("artifact store: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(framed); err != nil {
+		cleanup()
+		return fmt.Errorf("artifact store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("artifact store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("artifact store: %w", err)
+	}
+	if err := os.Rename(tmpName, s.storePath(key)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("artifact store: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync() // best effort: make the rename itself durable
+		d.Close()
+	}
+	return nil
+}
+
+// drop removes an entry from the index and disk.
+func (s *Store) drop(key string) {
+	s.mu.Lock()
+	if e, ok := s.index[key]; ok {
+		delete(s.index, key)
+		s.size -= e.size
+		os.Remove(e.path)
+	}
+	s.mu.Unlock()
+}
+
+// evictLocked deletes least-recently-used entries until the store fits
+// its byte budget. Caller holds s.mu.
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 || s.size <= s.maxBytes {
+		return
+	}
+	type cand struct {
+		key string
+		e   *storeEntry
+	}
+	cands := make([]cand, 0, len(s.index))
+	for k, e := range s.index {
+		cands = append(cands, cand{k, e})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].e.mtime.Before(cands[j].e.mtime) })
+	for _, c := range cands {
+		if s.size <= s.maxBytes {
+			break
+		}
+		delete(s.index, c.key)
+		s.size -= c.e.size
+		os.Remove(c.e.path)
+	}
+}
+
+// frameEntry wraps a payload in the store's on-disk frame.
+func frameEntry(key string, data []byte) []byte {
+	w := &writer{}
+	w.buf = append(w.buf, storeMagic...)
+	w.str(key)
+	w.blob(data)
+	w.u64(crc64.Checksum(w.buf, crcTable))
+	return w.bytes()
+}
+
+// readEntry reads and validates one entry file, returning its key and
+// payload.
+func readEntry(path string) (key string, data []byte, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(raw) < len(storeMagic)+1+1+8 {
+		return "", nil, fmt.Errorf("%w: store entry too short", ErrCorrupt)
+	}
+	body, sum := raw[:len(raw)-8], binary.LittleEndian.Uint64(raw[len(raw)-8:])
+	if crc64.Checksum(body, crcTable) != sum {
+		return "", nil, fmt.Errorf("%w: store entry checksum mismatch", ErrCorrupt)
+	}
+	if string(raw[:len(storeMagic)]) != storeMagic {
+		return "", nil, fmt.Errorf("%w: bad store entry magic", ErrCorrupt)
+	}
+	r := newReader(body)
+	r.off = len(storeMagic)
+	key = r.str()
+	data = r.blob()
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	if !r.done() {
+		return "", nil, fmt.Errorf("%w: trailing bytes in store entry", ErrCorrupt)
+	}
+	return key, data, nil
+}

@@ -1,0 +1,159 @@
+package artifact
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestStorePutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	want := []byte("artifact payload bytes")
+	s.Put("k1", want)
+	s.Flush()
+	got, ok := s.Get("k1")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, want)
+	}
+	if keys := s.Keys(); len(keys) != 1 || keys[0] != "k1" {
+		t.Errorf("Keys = %v, want [k1]", keys)
+	}
+	if n, err := s.Close(); err != nil || n != 1 {
+		t.Fatalf("Close = %d, %v; want 1, nil", n, err)
+	}
+	// A fresh process must see the durable entry.
+	s2, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got, ok = s2.Get("k1")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("after reopen: Get = %q, %v; want %q, true", got, ok, want)
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Close()
+	s.Put("k", []byte("old"))
+	s.Put("k", []byte("new"))
+	s.Flush()
+	if got, ok := s.Get("k"); !ok || string(got) != "new" {
+		t.Fatalf("Get = %q, %v; want \"new\", true", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestStoreCorruptEntryDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Close()
+	s.Put("k", []byte("payload"))
+	s.Flush()
+	path := s.storePath("k")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read entry file: %v", err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("write corrupted entry: %v", err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("Get returned a corrupt entry")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt entry file was not deleted")
+	}
+}
+
+func TestOpenStoreSweepsStrays(t *testing.T) {
+	dir := t.TempDir()
+	stray := filepath.Join(dir, "leftover.tmp")
+	torn := filepath.Join(dir, "deadbeef.art")
+	if err := os.WriteFile(stray, []byte("tmp"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, []byte("BSTS torn entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Close()
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+	for _, p := range []string{stray, torn} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s survived the open sweep", filepath.Base(p))
+		}
+	}
+}
+
+func TestStoreEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	payload := bytes.Repeat([]byte{0x5A}, 1000)
+	for i := 0; i < 4; i++ {
+		s.Put(fmt.Sprintf("k%d", i), payload)
+	}
+	s.Flush()
+	if _, err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Age the entries deterministically: k0 oldest, k3 newest.
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 4; i++ {
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(s.storePath(fmt.Sprintf("k%d", i)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen with room for only two entries: the two oldest must go.
+	s2, err := OpenStore(dir, 2000)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	for i, want := range []bool{false, false, true, true} {
+		if _, ok := s2.Get(fmt.Sprintf("k%d", i)); ok != want {
+			t.Errorf("k%d present = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestStorePutAfterCloseIsNoop(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	s.Put("k", []byte("late")) // must not panic or deadlock
+	s.Flush()
+	if n, err := s.Close(); n != 0 || err != nil {
+		t.Errorf("second Close = %d, %v; want 0, nil", n, err)
+	}
+}

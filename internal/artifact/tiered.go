@@ -1,0 +1,115 @@
+package artifact
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// hashKey is the content address of a cache key: hex SHA-256, safe as a
+// filename regardless of what the key contains.
+func hashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// Cache is the tiered artifact cache the pipeline consults on compile
+// misses: disk first, then peers, then give up and compile. Artifacts
+// adopted from a peer are written through to disk so the next process on
+// this node hits locally. Decode failures at any tier are treated as
+// misses (and corrupt disk entries deleted) — a damaged cache must never
+// be worse than an empty one.
+type Cache struct {
+	store *Store
+	peers *PeerClient
+
+	diskHits  atomic.Int64
+	peerHits  atomic.Int64
+	misses    atomic.Int64
+	puts      atomic.Int64
+	badDecode atomic.Int64
+}
+
+// CacheStats is a snapshot of tiered-cache traffic.
+type CacheStats struct {
+	DiskHits  int64
+	PeerHits  int64
+	Misses    int64
+	Puts      int64
+	BadDecode int64
+	Persisted int64
+}
+
+// NewCache builds a tiered cache over a disk store and an optional peer
+// client (nil = no peer tier).
+func NewCache(store *Store, peers *PeerClient) *Cache {
+	return &Cache{store: store, peers: peers}
+}
+
+// Get looks key up through the tiers. On a hit it returns the decoded
+// artifact and the tier that served it ("disk" or "peer"); on a miss it
+// returns (nil, "", nil). Decode failures never propagate as errors —
+// the compile path is always a safe fallback.
+func (c *Cache) Get(ctx context.Context, key string) (*Artifact, string, error) {
+	if data, ok := c.store.Get(key); ok {
+		if a, err := Decode(data); err == nil {
+			c.diskHits.Add(1)
+			return a, "disk", nil
+		}
+		c.badDecode.Add(1)
+		c.store.drop(key)
+	}
+	if c.peers.NumPeers() > 0 {
+		if data, ok := c.peers.Fetch(ctx, key); ok {
+			if a, err := Decode(data); err == nil {
+				c.peerHits.Add(1)
+				c.store.Put(key, data)
+				return a, "peer", nil
+			}
+			c.badDecode.Add(1)
+		}
+	}
+	c.misses.Add(1)
+	return nil, "", nil
+}
+
+// Put encodes the artifact and schedules it for durable storage under
+// key.
+func (c *Cache) Put(ctx context.Context, key string, a *Artifact) error {
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	c.store.Put(key, data)
+	c.puts.Add(1)
+	return nil
+}
+
+// GetRaw returns the encoded bytes stored under key, for serving to
+// peers. It consults the disk tier only — peer requests must never
+// cascade to other peers (fetch loops).
+func (c *Cache) GetRaw(key string) ([]byte, bool) {
+	return c.store.Get(key)
+}
+
+// Flush blocks until all scheduled writes are durable.
+func (c *Cache) Flush() { c.store.Flush() }
+
+// Close flushes and closes the underlying store, returning the number of
+// artifacts this process persisted.
+func (c *Cache) Close() (persisted int64, err error) {
+	return c.store.Close()
+}
+
+// Stats returns a snapshot of cache traffic.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		DiskHits:  c.diskHits.Load(),
+		PeerHits:  c.peerHits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		BadDecode: c.badDecode.Load(),
+		Persisted: c.store.Persisted(),
+	}
+}

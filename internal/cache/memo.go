@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -108,4 +109,39 @@ func (m *Memo[V]) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.entries)
+}
+
+// Keys returns every memoized key (including keys whose computation is
+// still in flight) in sorted order.
+func (m *Memo[V]) Keys() []string {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// EvictIf drops every completed entry whose key satisfies pred and
+// returns the number evicted. In-flight entries are skipped: evicting a
+// computation that waiters are blocked on would detach them from its
+// result, and its key will still be present for a later sweep.
+func (m *Memo[V]) EvictIf(pred func(key string) bool) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for k, e := range m.entries {
+		select {
+		case <-e.done:
+		default:
+			continue // in flight
+		}
+		if pred(k) {
+			delete(m.entries, k)
+			n++
+		}
+	}
+	return n
 }

@@ -178,3 +178,72 @@ func TestMemoPanicSafety(t *testing.T) {
 		t.Fatalf("retry after panic = %d, %v", v, err)
 	}
 }
+
+func TestMemoKeys(t *testing.T) {
+	m := NewMemo[int]()
+	ctx := context.Background()
+	for _, k := range []string{"c", "a", "b"} {
+		if _, err := m.Do(ctx, k, func() (int, error) { return 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Keys()
+	want := []string{"a", "b", "c"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestMemoEvictIf(t *testing.T) {
+	m := NewMemo[int]()
+	ctx := context.Background()
+	for _, k := range []string{"keep-1", "drop-1", "drop-2", "keep-2"} {
+		if _, err := m.Do(ctx, k, func() (int, error) { return 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var calls atomic.Int64
+	recount := func(k string) (int, error) { calls.Add(1); return 2, nil }
+
+	n := m.EvictIf(func(key string) bool { return key[:4] == "drop" })
+	if n != 2 {
+		t.Fatalf("EvictIf evicted %d entries, want 2", n)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d after eviction, want 2", m.Len())
+	}
+	// Evicted keys recompute; surviving keys stay memoized.
+	for _, k := range []string{"drop-1", "drop-2", "keep-1", "keep-2"} {
+		if _, err := m.Do(ctx, k, func() (int, error) { return recount(k) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("recomputed %d entries, want 2", calls.Load())
+	}
+}
+
+func TestMemoEvictIfSkipsInFlight(t *testing.T) {
+	m := NewMemo[int]()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Do(context.Background(), "inflight", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	// The in-flight entry must survive even when the predicate matches it.
+	if n := m.EvictIf(func(string) bool { return true }); n != 0 {
+		t.Fatalf("EvictIf evicted %d in-flight entries, want 0", n)
+	}
+	close(release)
+	<-done
+	if n := m.EvictIf(func(string) bool { return true }); n != 1 {
+		t.Fatalf("EvictIf after completion evicted %d, want 1", n)
+	}
+}

@@ -38,6 +38,10 @@ type Config struct {
 	// re-runs the configuration on the original interpreter, making
 	// fast-vs-legacy equivalence part of the oracle's matrix.
 	Engine sim.Engine
+	// ViaArtifact round-trips the schedule through the binary artifact
+	// codec before execution (static configurations only), making
+	// serialize-then-simulate equivalence part of the oracle's matrix.
+	ViaArtifact bool
 	// Dynamic selects the dynamically-scheduled comparison machine;
 	// Renaming enables its register renaming.
 	Dynamic  bool
@@ -65,6 +69,9 @@ func (c Config) Name() string {
 	}
 	if c.Engine == sim.EngineLegacy {
 		name += "/legacy"
+	}
+	if c.ViaArtifact {
+		name += "/artifact"
 	}
 	return name
 }
@@ -132,6 +139,20 @@ func Configs(full bool) []Config {
 			}
 			out = append(out, c)
 		}
+	}
+	// The artifact-codec axis: encode→decode→simulate must match
+	// schedule→simulate exactly. The quick set round-trips the two
+	// headline boosting models; the full matrix covers every model in
+	// the allocated regime.
+	if full {
+		for _, m := range models {
+			out = append(out, Config{Model: m, Alloc: true, ViaArtifact: true})
+		}
+	} else {
+		out = append(out,
+			Config{Model: machine.MinBoost3(), Alloc: true, ViaArtifact: true},
+			Config{Model: machine.Boost7(), Alloc: true, ViaArtifact: true},
+		)
 	}
 	if full {
 		for _, m := range models {

@@ -3,6 +3,7 @@ package difftest
 import (
 	"fmt"
 
+	"boosting/internal/artifact"
 	"boosting/internal/core"
 	"boosting/internal/dynsched"
 	"boosting/internal/profile"
@@ -204,6 +205,17 @@ func checkStatic(build func() *prog.Program, cfg Config, ref *reference, opt Opt
 	sp, err := core.Schedule(pr, cfg.Model, cfg.Opts)
 	if err != nil {
 		return []Divergence{{Config: name, Kind: "error", Detail: fmt.Sprintf("schedule: %v", err)}}
+	}
+	if cfg.ViaArtifact {
+		// Round-trip the schedule through the binary artifact codec: what
+		// executes is what a warm start would decode from disk or a peer.
+		data, err := artifact.EncodeSchedProgram(sp)
+		if err != nil {
+			return []Divergence{{Config: name, Kind: "error", Detail: fmt.Sprintf("artifact encode: %v", err)}}
+		}
+		if sp, err = artifact.DecodeSchedProgram(data); err != nil {
+			return []Divergence{{Config: name, Kind: "error", Detail: fmt.Sprintf("artifact decode: %v", err)}}
+		}
 	}
 
 	var divs []Divergence

@@ -131,6 +131,10 @@ const (
 	numOps // sentinel; keep last
 )
 
+// NumOps is the number of defined operations. Decoders use it to validate
+// opcode bytes read from external input.
+const NumOps = int(numOps)
+
 var opNames = [numOps]string{
 	NOP: "nop", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
 	NOR: "nor", SLT: "slt", SLTU: "sltu", ADDI: "addi", ANDI: "andi",

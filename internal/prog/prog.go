@@ -290,6 +290,18 @@ func (pr *Program) NextInstID() int {
 	return pr.nextInstID
 }
 
+// Counters returns the instruction-ID and virtual-register allocation
+// counters, so a serialized program can be restored without ID collisions.
+func (pr *Program) Counters() (nextInstID int, numVirtual int32) {
+	return pr.nextInstID, pr.numVirtual
+}
+
+// RestoreCounters sets the allocation counters (the inverse of Counters).
+func (pr *Program) RestoreCounters(nextInstID int, numVirtual int32) {
+	pr.nextInstID = nextInstID
+	pr.numVirtual = numVirtual
+}
+
 // Word appends a little-endian 32-bit word to the data segment and returns
 // its address.
 func (pr *Program) Word(v int32) uint32 {

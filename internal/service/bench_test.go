@@ -36,7 +36,10 @@ func BenchmarkSimulateCold(b *testing.B) {
 
 func benchServer(b *testing.B) (*httptest.Server, string) {
 	b.Helper()
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	b.Cleanup(ts.Close)
 	return ts, simBenchBody(0)
@@ -77,7 +80,10 @@ func TestWriteBenchJSON(t *testing.T) {
 	if out == "" {
 		t.Skip("set BOOSTD_BENCH_JSON=path to write the service benchmark file")
 	}
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -92,12 +92,13 @@ func (s *Server) compile(ctx context.Context, req CompileRequest) (int, any) {
 		sb.WriteString(sp.Procs[name].Format())
 	}
 	return http.StatusOK, CompileResponse{
-		Model:        model.Name,
-		Listing:      sb.String(),
-		Insts:        sp.NumInsts(),
-		Procs:        len(sp.Procs),
-		ObjectGrowth: sp.ObjectGrowth(),
-		PassStats:    pm.Stats(),
+		SchemaVersion: SchemaVersion,
+		Model:         model.Name,
+		Listing:       sb.String(),
+		Insts:         sp.NumInsts(),
+		Procs:         len(sp.Procs),
+		ObjectGrowth:  sp.ObjectGrowth(),
+		PassStats:     pm.Stats(),
 	}
 }
 
@@ -117,19 +118,21 @@ func (s *Server) simulateWorkload(ctx context.Context, req SimulateRequest) (int
 	if err != nil {
 		return domainStatus(err)
 	}
+	setArtifactSource(ctx, c.Source())
 	if req.Dynamic {
 		res, err := s.pipe.SimulateDynamic(ctx, c, req.Renaming)
 		if err != nil {
 			return domainStatus(err)
 		}
 		return http.StatusOK, SimulateResponse{
-			Workload:     req.Workload,
-			Machine:      fmt.Sprintf("dynamic(renaming=%v)", req.Renaming),
-			Cycles:       res.Cycles,
-			ScalarCycles: res.ScalarCycles,
-			Speedup:      res.Speedup,
-			Mispredicts:  res.Mispredicts,
-			OutLen:       len(res.Out),
+			SchemaVersion: SchemaVersion,
+			Workload:      req.Workload,
+			Machine:       fmt.Sprintf("dynamic(renaming=%v)", req.Renaming),
+			Cycles:        res.Cycles,
+			ScalarCycles:  res.ScalarCycles,
+			Speedup:       res.Speedup,
+			Mispredicts:   res.Mispredicts,
+			OutLen:        len(res.Out),
 		}
 	}
 	model, _ := boosting.ModelByName(req.Model)
@@ -139,6 +142,7 @@ func (s *Server) simulateWorkload(ctx context.Context, req SimulateRequest) (int
 	}
 	s.metrics.recordEngine(res.Engine)
 	return http.StatusOK, SimulateResponse{
+		SchemaVersion:      SchemaVersion,
 		Workload:           req.Workload,
 		Machine:            model.Name,
 		Engine:             res.Engine,
@@ -190,12 +194,13 @@ func (s *Server) simulateAsm(ctx context.Context, req SimulateRequest) (int, any
 			return http.StatusInternalServerError, errorResponse{err.Error()}
 		}
 		return http.StatusOK, SimulateResponse{
-			Machine:      fmt.Sprintf("dynamic(renaming=%v)", req.Renaming),
-			Cycles:       res.Cycles,
-			ScalarCycles: scalar,
-			Speedup:      ratio(scalar, res.Cycles),
-			Mispredicts:  res.Mispredicts,
-			OutLen:       len(res.Out),
+			SchemaVersion: SchemaVersion,
+			Machine:       fmt.Sprintf("dynamic(renaming=%v)", req.Renaming),
+			Cycles:        res.Cycles,
+			ScalarCycles:  scalar,
+			Speedup:       ratio(scalar, res.Cycles),
+			Mispredicts:   res.Mispredicts,
+			OutLen:        len(res.Out),
 		}
 	}
 
@@ -216,6 +221,7 @@ func (s *Server) simulateAsm(ctx context.Context, req SimulateRequest) (int, any
 	}
 	s.metrics.recordEngine(engine.String())
 	return http.StatusOK, SimulateResponse{
+		SchemaVersion:      SchemaVersion,
 		Machine:            model.Name,
 		Engine:             engine.String(),
 		Cycles:             res.Cycles,
@@ -376,7 +382,7 @@ func (s *Server) grid(ctx context.Context, req GridRequest) (int, any) {
 		// serveHeavy turns them into 503/closed-connection.
 		return 0, nil
 	}
-	return http.StatusOK, GridResponse{Cells: len(cells), Rows: rows}
+	return http.StatusOK, GridResponse{SchemaVersion: SchemaVersion, Cells: len(cells), Rows: rows}
 }
 
 // domainStatus classifies a pipeline error: context errors are handed

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"boosting"
+	"boosting/internal/artifact"
 	"boosting/internal/sim"
 )
 
@@ -106,10 +107,11 @@ type metricsRegistry struct {
 	compilePasses map[string]passTotals
 
 	// Gauges and cache counters are sampled at scrape time.
-	queueDepth func() int64
-	inFlight   func() int64
-	respCache  func() (hits, misses int64)
-	pipeCache  func() (hits, misses int64)
+	queueDepth    func() int64
+	inFlight      func() int64
+	respCache     func() (hits, misses int64)
+	pipeCache     func() (hits, misses int64)
+	artifactStats func() artifact.CacheStats
 }
 
 func newMetricsRegistry(endpoints []string) *metricsRegistry {
@@ -122,6 +124,7 @@ func newMetricsRegistry(endpoints []string) *metricsRegistry {
 		inFlight:      func() int64 { return 0 },
 		respCache:     func() (int64, int64) { return 0, 0 },
 		pipeCache:     func() (int64, int64) { return 0, 0 },
+		artifactStats: func() artifact.CacheStats { return artifact.CacheStats{} },
 	}
 	for _, e := range sim.Engines() {
 		m.engines[e.String()] = 0
@@ -227,6 +230,20 @@ func (m *metricsRegistry) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP boostd_pipeline_cache_misses_total Pipeline artifact-cache misses.\n")
 	fmt.Fprintf(w, "# TYPE boostd_pipeline_cache_misses_total counter\n")
 	fmt.Fprintf(w, "boostd_pipeline_cache_misses_total %d\n", pm)
+
+	as := m.artifactStats()
+	fmt.Fprintf(w, "# HELP boostd_artifact_disk_hits_total Compiles served from the on-disk artifact store.\n")
+	fmt.Fprintf(w, "# TYPE boostd_artifact_disk_hits_total counter\n")
+	fmt.Fprintf(w, "boostd_artifact_disk_hits_total %d\n", as.DiskHits)
+	fmt.Fprintf(w, "# HELP boostd_artifact_peer_hits_total Compiles served by fetching an artifact from a peer daemon.\n")
+	fmt.Fprintf(w, "# TYPE boostd_artifact_peer_hits_total counter\n")
+	fmt.Fprintf(w, "boostd_artifact_peer_hits_total %d\n", as.PeerHits)
+	fmt.Fprintf(w, "# HELP boostd_artifact_misses_total Artifact-cache lookups that fell through to a local compile.\n")
+	fmt.Fprintf(w, "# TYPE boostd_artifact_misses_total counter\n")
+	fmt.Fprintf(w, "boostd_artifact_misses_total %d\n", as.Misses)
+	fmt.Fprintf(w, "# HELP boostd_artifact_persisted_total Artifacts durably written to the disk store.\n")
+	fmt.Fprintf(w, "# TYPE boostd_artifact_persisted_total counter\n")
+	fmt.Fprintf(w, "boostd_artifact_persisted_total %d\n", as.Persisted)
 
 	fmt.Fprintf(w, "# HELP boostd_engine_requests_total Machine-simulator executions, by simulator engine.\n")
 	fmt.Fprintf(w, "# TYPE boostd_engine_requests_total counter\n")

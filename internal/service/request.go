@@ -3,6 +3,7 @@ package service
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -10,6 +11,41 @@ import (
 	"boosting/internal/core"
 	"boosting/internal/sim"
 )
+
+// SchemaVersion is the wire-schema version stamped on every /v1/* JSON
+// response (success and error alike). It is bumped when a field changes
+// meaning or disappears; purely additive fields do not bump it. See
+// docs/SERVICE.md for the compatibility policy.
+const SchemaVersion = 1
+
+// EngineName is the typed wire enum for the simulator engine: "fast"
+// (default, also selected by the empty string) or "legacy". It replaces
+// the earlier loose engine string: an unknown name is now rejected while
+// decoding the request body, with a 400 naming the valid values.
+type EngineName string
+
+// UnmarshalJSON validates the engine name at decode time so a typo'd
+// request fails immediately with the list of valid values.
+func (e *EngineName) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("options.engine must be a string: %w", err)
+	}
+	if _, err := sim.ParseEngine(s); err != nil {
+		return fmt.Errorf("options.engine: %q is not a valid engine (valid values: %s)",
+			s, strings.Join(engineNames(), ", "))
+	}
+	*e = EngineName(s)
+	return nil
+}
+
+func engineNames() []string {
+	var names []string
+	for _, e := range sim.Engines() {
+		names = append(names, `"`+e.String()+`"`)
+	}
+	return names
+}
 
 // OptionsRequest is the wire form of the pipeline's functional options.
 // Field names mirror the Option constructors in the boosting package.
@@ -22,7 +58,7 @@ type OptionsRequest struct {
 	// Engine selects the simulator core: "fast" (default) or "legacy".
 	// The engines are verified byte-identical; the knob exists for
 	// differential testing and as an escape hatch.
-	Engine string `json:"engine,omitempty"`
+	Engine EngineName `json:"engine,omitempty"`
 }
 
 func (o OptionsRequest) opts() []boosting.Option {
@@ -48,10 +84,11 @@ func (o OptionsRequest) opts() []boosting.Option {
 	return opts
 }
 
-// engine resolves the wire string to a sim.Engine; validate has already
-// rejected unknown names, so parse failures cannot reach here.
+// engine resolves the wire name to a sim.Engine; decode and validate
+// have already rejected unknown names, so parse failures cannot reach
+// here.
 func (o OptionsRequest) engine() sim.Engine {
-	e, _ := sim.ParseEngine(o.Engine)
+	e, _ := sim.ParseEngine(string(o.Engine))
 	return e
 }
 
@@ -77,7 +114,9 @@ func (o OptionsRequest) validate() error {
 	if o.MaxTraceBlocks < 0 {
 		return fmt.Errorf("max_trace_blocks must be >= 0, got %d", o.MaxTraceBlocks)
 	}
-	if _, err := sim.ParseEngine(o.Engine); err != nil {
+	// Decode already validated the engine enum; re-check defensively for
+	// requests constructed in Go code rather than from JSON.
+	if _, err := sim.ParseEngine(string(o.Engine)); err != nil {
 		return err
 	}
 	return nil
@@ -112,7 +151,9 @@ func (r CompileRequest) cacheKey() string {
 
 // CompileResponse reports the scheduled program.
 type CompileResponse struct {
-	Model string `json:"model"`
+	// SchemaVersion is the wire-schema version (currently 1).
+	SchemaVersion int    `json:"schema_version"`
+	Model         string `json:"model"`
 	// Listing is the formatted machine schedule (cycles × issue slots,
 	// boosting labels, recovery sites) for every procedure.
 	Listing string `json:"listing"`
@@ -192,8 +233,10 @@ func (r SimulateRequest) cacheKey() string {
 // functions of the request, so identical requests always serialize to
 // byte-identical bodies.
 type SimulateResponse struct {
-	Workload string `json:"workload,omitempty"`
-	Machine  string `json:"machine"`
+	// SchemaVersion is the wire-schema version (currently 1).
+	SchemaVersion int    `json:"schema_version"`
+	Workload      string `json:"workload,omitempty"`
+	Machine       string `json:"machine"`
 	// Engine names the simulator core that ran the program ("fast" or
 	// "legacy"); empty for the dynamic machine, which has its own
 	// simulator.
@@ -278,13 +321,25 @@ type GridRow struct {
 // GridResponse lists every cell in deterministic (workload, model,
 // ablation) order.
 type GridResponse struct {
-	Cells int       `json:"cells"`
-	Rows  []GridRow `json:"rows"`
+	// SchemaVersion is the wire-schema version (currently 1).
+	SchemaVersion int       `json:"schema_version"`
+	Cells         int       `json:"cells"`
+	Rows          []GridRow `json:"rows"`
 }
 
-// errorResponse is the body of every non-2xx JSON response.
+// errorResponse is the body of every non-2xx JSON response. Construction
+// sites pass just the message; the schema_version field every /v1/*
+// response carries is injected at marshal time.
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// MarshalJSON stamps the wire-schema version onto every error body.
+func (e errorResponse) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		SchemaVersion int    `json:"schema_version"`
+		Error         string `json:"error"`
+	}{SchemaVersion, e.Error})
 }
 
 func knownWorkload(name string) bool {

@@ -30,11 +30,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"boosting"
+	"boosting/internal/artifact"
 	"boosting/internal/cache"
 )
 
@@ -64,6 +67,20 @@ type Config struct {
 	// so a non-terminating program cannot pin an execution slot for its
 	// full deadline (default 20M steps).
 	MaxRefSteps int64
+	// ArtifactDir, when non-empty, enables the persistent compile-artifact
+	// cache: a content-addressed disk store rooted there, consulted before
+	// compiling and written through after, plus the GET /v1/artifact/{key}
+	// endpoint that serves entries to peer nodes.
+	ArtifactDir string
+	// ArtifactMaxBytes caps the disk store; least-recently-used entries
+	// are evicted beyond it (default 256 MiB).
+	ArtifactMaxBytes int64
+	// Peers lists sibling boostd base URLs; on an artifact-cache miss the
+	// server asks each peer before compiling locally. Only meaningful with
+	// ArtifactDir set.
+	Peers []string
+	// PeerTimeout bounds each individual peer fetch (default 5s).
+	PeerTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +108,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxRefSteps <= 0 {
 		c.MaxRefSteps = 20_000_000
 	}
+	if c.ArtifactMaxBytes <= 0 {
+		c.ArtifactMaxBytes = 256 << 20
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 5 * time.Second
+	}
 	return c
 }
 
@@ -100,6 +123,10 @@ func (c Config) withDefaults() Config {
 type cachedResponse struct {
 	status int
 	body   []byte
+	// artifactSource records where the compiled program came from
+	// ("compile", "disk", "peer"); replayed as the X-Boostd-Artifact
+	// header. Empty when the endpoint did not touch the pipeline.
+	artifactSource string
 }
 
 // Server is the boostd HTTP service. Create with New, mount via Handler.
@@ -111,6 +138,10 @@ type Server struct {
 	metrics   *metricsRegistry
 	mux       *http.ServeMux
 
+	// artifacts is the persistent artifact cache (nil when ArtifactDir is
+	// unset).
+	artifacts *artifact.Cache
+
 	// computeHook, when non-nil, runs inside the admission slot right
 	// before a cache-miss computation. Tests use it to hold slots open,
 	// count real executions, and inject panics.
@@ -119,32 +150,100 @@ type Server struct {
 
 var heavyEndpoints = []string{"/v1/compile", "/v1/simulate", "/v1/grid"}
 
-// New builds a Server around a fresh boosting.Pipeline.
-func New(cfg Config) *Server {
+// New builds a Server around a fresh boosting.Pipeline. It fails only
+// when the configured artifact store cannot be opened.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	var (
+		ac       *artifact.Cache
+		pipeOpts []boosting.Option
+	)
+	if cfg.ArtifactDir != "" {
+		store, err := artifact.OpenStore(cfg.ArtifactDir, cfg.ArtifactMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		ac = artifact.NewCache(store, artifact.NewPeerClient(cfg.Peers, cfg.PeerTimeout))
+		pipeOpts = append(pipeOpts, boosting.WithArtifactCache(ac))
+	}
 	s := &Server{
 		cfg:       cfg,
-		pipe:      boosting.NewPipeline(),
+		pipe:      boosting.NewPipeline(pipeOpts...),
 		responses: cache.NewMemo[*cachedResponse](),
 		queue:     newAdmitQueue(cfg.MaxInFlight, cfg.QueueDepth),
-		metrics:   newMetricsRegistry(append(heavyEndpoints, "/healthz", "/metrics")),
+		metrics:   newMetricsRegistry(append(heavyEndpoints, "/v1/artifact", "/healthz", "/metrics")),
 		mux:       http.NewServeMux(),
+		artifacts: ac,
 	}
 	s.metrics.queueDepth = s.queue.Depth
 	s.metrics.inFlight = s.queue.InFlight
 	s.metrics.respCache = s.responses.Stats
 	s.metrics.pipeCache = s.pipe.CacheStats
+	if ac != nil {
+		s.metrics.artifactStats = ac.Stats
+	}
 
 	s.mux.Handle("/v1/compile", heavyHandler(s, "/v1/compile", s.compile))
 	s.mux.Handle("/v1/simulate", heavyHandler(s, "/v1/simulate", s.simulate))
 	s.mux.Handle("/v1/grid", heavyHandler(s, "/v1/grid", s.grid))
+	s.mux.HandleFunc("/v1/artifact/", s.handleArtifact)
 	s.mux.HandleFunc("/healthz", s.healthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close flushes in-flight artifact-store writes and shuts the store
+// down, returning the number of artifacts this process persisted. Call
+// it after draining HTTP traffic so a SIGTERM'd node never leaves torn
+// cache entries. With no artifact store configured it is a no-op.
+func (s *Server) Close() (persisted int64, err error) {
+	if s.artifacts == nil {
+		return 0, nil
+	}
+	return s.artifacts.Close()
+}
+
+// Pipeline exposes the server's pipeline for tests that assert on
+// schedule-pass counts.
+func (s *Server) Pipeline() *boosting.Pipeline { return s.pipe }
+
+// handleArtifact serves GET /v1/artifact/{key}: the raw encoded artifact
+// bytes stored under a pipeline cache key, for sibling boostd nodes.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := s.serveArtifact(w, r)
+	s.metrics.endpoint("/v1/artifact").record(code, time.Since(start).Seconds())
+}
+
+func (s *Server) serveArtifact(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		return writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"use GET"})
+	}
+	if s.artifacts == nil {
+		return writeJSON(w, http.StatusNotFound, errorResponse{"artifact store disabled"})
+	}
+	key, err := url.PathUnescape(strings.TrimPrefix(r.URL.EscapedPath(), "/v1/artifact/"))
+	if err != nil || key == "" {
+		return writeJSON(w, http.StatusBadRequest, errorResponse{"bad artifact key"})
+	}
+	// Flush queued writes first so an artifact saved by a just-finished
+	// compile is immediately visible to the peer asking for it. The disk
+	// tier alone is consulted — peer requests never cascade to further
+	// peers, so fetch loops are impossible by construction.
+	s.artifacts.Flush()
+	data, ok := s.artifacts.GetRaw(key)
+	if !ok {
+		return writeJSON(w, http.StatusNotFound, errorResponse{"artifact not found"})
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+	return http.StatusOK
+}
 
 // keyedRequest is a decoded request body that can validate itself and
 // derive its response-cache key.
@@ -156,6 +255,25 @@ type keyedRequest interface {
 // statusClientClosed mirrors the de-facto 499 "client closed request"
 // code; it is only ever recorded in metrics, never sent on the wire.
 const statusClientClosed = 499
+
+// artifactSourceKey carries a per-request slot for the compiled
+// program's provenance through the compute functions.
+type artifactSourceKey struct{}
+
+// withArtifactSource attaches a fresh provenance slot to ctx and returns
+// it for the leader to read back after compute finishes.
+func withArtifactSource(ctx context.Context) (context.Context, *string) {
+	src := new(string)
+	return context.WithValue(ctx, artifactSourceKey{}, src), src
+}
+
+// setArtifactSource records the compiled program's provenance for the
+// current request, if a slot is attached.
+func setArtifactSource(ctx context.Context, source string) {
+	if p, ok := ctx.Value(artifactSourceKey{}).(*string); ok {
+		*p = source
+	}
+}
 
 // heavyHandler wraps a typed compute endpoint with the full serving
 // discipline: method/body checks, decode+validate, response-cache lookup
@@ -218,7 +336,8 @@ func serveHeavy[R keyedRequest](s *Server, endpoint string, em *endpointMetrics,
 		if s.computeHook != nil {
 			s.computeHook(endpoint, req)
 		}
-		status, v := compute(ctx, req)
+		cctx, srcp := withArtifactSource(ctx)
+		status, v := compute(cctx, req)
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
@@ -231,7 +350,7 @@ func serveHeavy[R keyedRequest](s *Server, endpoint string, em *endpointMetrics,
 		if merr != nil {
 			return nil, fmt.Errorf("marshal response: %w", merr)
 		}
-		return &cachedResponse{status: status, body: append(b, '\n')}, nil
+		return &cachedResponse{status: status, body: append(b, '\n'), artifactSource: *srcp}, nil
 	})
 
 	switch {
@@ -258,6 +377,9 @@ func serveHeavy[R keyedRequest](s *Server, endpoint string, em *endpointMetrics,
 		w.Header().Set("X-Boostd-Cache", "miss")
 	} else {
 		w.Header().Set("X-Boostd-Cache", "hit")
+	}
+	if resp.artifactSource != "" {
+		w.Header().Set("X-Boostd-Artifact", resp.artifactSource)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(resp.status)
@@ -294,7 +416,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) int {
 	b, err := json.Marshal(v)
 	if err != nil {
 		status = http.StatusInternalServerError
-		b = []byte(`{"error":"encoding failure"}`)
+		b = []byte(`{"schema_version":1,"error":"encoding failure"}`)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -304,7 +426,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) int {
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	code := writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	code := writeJSON(w, http.StatusOK, map[string]any{"schema_version": SchemaVersion, "status": "ok"})
 	s.metrics.endpoint("/healthz").record(code, time.Since(start).Seconds())
 }
 

@@ -21,6 +21,7 @@ type config struct {
 	parallelism int
 	engine      sim.Engine
 	verifyEach  bool
+	artifacts   ArtifactCache
 }
 
 // apply layers opts on top of a copy of the receiver.
@@ -87,6 +88,16 @@ func WithEngine(e sim.Engine) Option {
 // WithLegacyEngine forces the original interpretive executor; shorthand
 // for WithEngine(sim.EngineLegacy).
 func WithLegacyEngine() Option { return WithEngine(sim.EngineLegacy) }
+
+// WithArtifactCache installs a persistent artifact cache. Compile
+// consults it before building (a hit skips compilation entirely) and the
+// pipeline writes freshly compiled programs, new schedules and the
+// scalar baseline through it. The canonical implementation is
+// internal/artifact.Cache: a content-addressed disk store, optionally
+// backed by boostd peer fetch.
+func WithArtifactCache(ac ArtifactCache) Option {
+	return func(c *config) { c.artifacts = ac }
+}
 
 // WithVerifyEach runs the prog verifier between compile passes,
 // attributing any broken CFG invariant to the pass that introduced it

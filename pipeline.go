@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"boosting/internal/artifact"
 	"boosting/internal/cache"
 	"boosting/internal/core"
 	"boosting/internal/dynsched"
@@ -36,6 +38,11 @@ type Pipeline struct {
 	base     config
 	compiles *cache.Memo[*Compiled]
 	scalars  *cache.Memo[int64]
+
+	// schedPasses counts scheduler invocations (Simulate misses plus
+	// scalar-baseline builds). Artifact-cache tests use it to prove a
+	// warm start ran zero schedule passes.
+	schedPasses atomic.Int64
 }
 
 // NewPipeline returns an empty pipeline. opts become the defaults for
@@ -64,6 +71,20 @@ type Compiled struct {
 	ref    *sim.Result
 	acc    float64
 	stats  *CompileStats
+
+	// source records where the program came from ("compile", "disk",
+	// "peer", "artifact"); see Source.
+	source string
+
+	// mu guards the accumulating state below. Everything above is
+	// immutable after construction.
+	mu sync.Mutex
+	// scalarCyc memoizes the R2000 baseline (0 = not yet measured).
+	scalarCyc int64
+	// variants caches schedules by artifact.VariantKey so repeat
+	// Simulate calls — and warm starts from a decoded artifact — skip
+	// the scheduler.
+	variants map[string]*schedVariant
 }
 
 // Program returns a private, mutation-safe clone of the compiled test
@@ -89,8 +110,15 @@ func (c *Compiled) CompileStats() *CompileStats { return c.stats }
 func (p *Pipeline) Compile(ctx context.Context, workload string, opts ...Option) (*Compiled, error) {
 	cfg := p.base.apply(opts)
 	alloc := !cfg.infiniteReg
-	key := fmt.Sprintf("compile|%s|alloc=%v", workload, alloc)
+	key := compileKey(workload, alloc)
 	return p.compiles.Do(ctx, key, func() (*Compiled, error) {
+		if cfg.artifacts != nil {
+			a, source, err := cfg.artifacts.Get(ctx, key)
+			if err == nil && a != nil && a.Workload == workload &&
+				a.InfiniteRegisters == cfg.infiniteReg {
+				return compiledFromArtifact(a, source), nil
+			}
+		}
 		w, err := workloads.ByName(workload)
 		if err != nil {
 			return nil, err
@@ -136,7 +164,7 @@ func (p *Pipeline) Compile(ctx context.Context, workload string, opts ...Option)
 		if err != nil {
 			return nil, err
 		}
-		return &Compiled{
+		c := &Compiled{
 			Workload:          workload,
 			InfiniteRegisters: cfg.infiniteReg,
 			w:                 w,
@@ -144,25 +172,42 @@ func (p *Pipeline) Compile(ctx context.Context, workload string, opts ...Option)
 			ref:               ref,
 			acc:               acc,
 			stats:             pm.Stats(),
-		}, nil
+			source:            "compile",
+		}
+		p.saveArtifact(ctx, cfg, c)
+		return c, nil
 	})
 }
 
 // Simulate schedules the compiled artifact for the model (on a private
 // clone), executes it on the machine simulator, verifies output and
 // final memory against the reference interpreter, and reports cycles
-// and speedup over the scalar R2000 baseline.
+// and speedup over the scalar R2000 baseline. If the compiled artifact
+// already carries a schedule for this (model, options) variant — a
+// repeat call, or a warm start from a decoded artifact — the scheduler
+// is skipped entirely and the recorded schedule is executed.
 func (p *Pipeline) Simulate(ctx context.Context, c *Compiled, model *machine.Model, opts ...Option) (*Result, error) {
 	cfg := p.base.apply(opts)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("boosting: simulate %s on %s: %w", c.Workload, model, err)
 	}
-	test := c.Program()
-	pm := passes.NewManager()
-	pm.VerifyEach = cfg.verifyEach
-	sp, err := pm.Schedule(test, model, cfg.core)
-	if err != nil {
-		return nil, err
+	vkey := artifact.VariantKey(model, cfg.core)
+	sp, schedStats := c.variant(vkey)
+	fresh := sp == nil
+	if fresh {
+		test := c.Program()
+		pm := passes.NewManager()
+		pm.VerifyEach = cfg.verifyEach
+		var err error
+		sp, err = pm.Schedule(test, model, cfg.core)
+		if err != nil {
+			return nil, err
+		}
+		p.schedPasses.Add(1)
+		schedStats = pm.Stats()
+	}
+	if schedStats == nil {
+		schedStats = &CompileStats{}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("boosting: simulate %s on %s: %w", c.Workload, model, err)
@@ -174,13 +219,23 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Compiled, model *machine.Mod
 	if err := verifyRun(c.ref, res.Out, res.MemHash); err != nil {
 		return nil, fmt.Errorf("boosting: %s on %s: %w", c.Workload, model, err)
 	}
-	scalar, err := p.scalarCycles(ctx, c.Workload)
+	scalar, err := p.scalarCycles(ctx, c.Workload, c.scalarHint())
 	if err != nil {
 		return nil, err
 	}
+	// The scalar baseline is workload-global and computed under the
+	// pipeline's base options; only record it on the artifact when the
+	// base compile matches it (the standard, allocated configuration).
+	scalarChanged := !p.base.infiniteReg && c.setScalarCycles(scalar)
+	if fresh {
+		c.addVariant(vkey, sp, schedStats)
+	}
+	if fresh || scalarChanged {
+		p.saveArtifact(ctx, cfg, c)
+	}
 	return &Result{
 		Engine:             cfg.engine.String(),
-		Compile:            pm.Stats(),
+		Compile:            schedStats,
 		Cycles:             res.Cycles,
 		ScalarCycles:       scalar,
 		Speedup:            float64(scalar) / float64(res.Cycles),
@@ -192,6 +247,11 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Compiled, model *machine.Mod
 		Out:                res.Out,
 	}, nil
 }
+
+// SchedulePasses reports how many times this pipeline has invoked the
+// scheduler (variant misses plus scalar-baseline builds). A fully warm
+// artifact start keeps it at zero.
+func (p *Pipeline) SchedulePasses() int64 { return p.schedPasses.Load() }
 
 // SimulateDynamic runs the compiled artifact on the paper's
 // dynamically-scheduled superscalar (30 reservation stations, 16-entry
@@ -209,7 +269,7 @@ func (p *Pipeline) SimulateDynamic(ctx context.Context, c *Compiled, renaming bo
 	if err := verifyRun(c.ref, res.Out, res.MemHash); err != nil {
 		return nil, fmt.Errorf("boosting: %s dynamic: %w", c.Workload, err)
 	}
-	scalar, err := p.scalarCycles(ctx, c.Workload)
+	scalar, err := p.scalarCycles(ctx, c.Workload, c.scalarHint())
 	if err != nil {
 		return nil, err
 	}
@@ -243,9 +303,15 @@ func (p *Pipeline) CacheStats() (hits, misses int64) {
 
 // scalarCycles memoizes the R2000 baseline per workload. The memo key is
 // engine-free on purpose: the engines are proven cycle-identical, so the
-// baseline is shared across engine selections.
-func (p *Pipeline) scalarCycles(ctx context.Context, workload string) (int64, error) {
+// baseline is shared across engine selections. A positive hint — carried
+// by a decoded artifact — resolves the baseline without building or
+// scheduling anything, as long as the pipeline's base compile is the
+// standard allocated configuration the hint was measured under.
+func (p *Pipeline) scalarCycles(ctx context.Context, workload string, hint int64) (int64, error) {
 	return p.scalars.Do(ctx, "scalar|"+workload, func() (int64, error) {
+		if hint > 0 && !p.base.infiniteReg {
+			return hint, nil
+		}
 		c, err := p.Compile(ctx, workload)
 		if err != nil {
 			return 0, err
@@ -254,6 +320,7 @@ func (p *Pipeline) scalarCycles(ctx context.Context, workload string) (int64, er
 		if err != nil {
 			return 0, err
 		}
+		p.schedPasses.Add(1)
 		res, err := sim.Exec(sp, sim.ExecConfig{})
 		if err != nil {
 			return 0, err
