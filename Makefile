@@ -11,8 +11,9 @@ COVER_FLOOR_PASSES ?= 95
 COVER_FLOOR_MACHINE ?= 75
 COVER_FLOOR_DYNSCHED ?= 75
 COVER_FLOOR_WORKLOADS ?= 75
+COVER_FLOOR_MEMHIER ?= 90
 
-.PHONY: all test test-short test-race bench bench-json bench-simcore bench-simcore-check bench-compile bench-compile-check bench-artifact experiments fuzz fuzz-quick fuzz-smoke cover vet clean
+.PHONY: all test test-short test-race bench bench-json bench-simcore bench-simcore-check bench-compile bench-compile-check bench-artifact bench-memhier bench-memhier-check experiments fuzz fuzz-quick fuzz-smoke cover vet clean
 
 all: vet test test-race fuzz-quick
 
@@ -70,6 +71,21 @@ bench-artifact:
 	ARTIFACT_BENCH_JSON=$(CURDIR)/BENCH_artifact.json $(GO) test -run TestWriteArtifactBenchJSON -count=1 .
 	@echo "wrote BENCH_artifact.json"
 
+# bench-memhier measures the fast core under the stock and busiest
+# memory hierarchies against the perfect-memory run and rewrites the
+# committed BENCH_memhier.json baseline. It fails if a hierarchy costs
+# more than 4x the perfect-memory run, so a bloated timing model cannot
+# be committed.
+bench-memhier:
+	MEMHIER_BENCH_JSON=$(CURDIR)/BENCH_memhier.json $(GO) test -run TestWriteMemhierBenchJSON -count=1 ./internal/sim/
+	@echo "wrote BENCH_memhier.json"
+
+# bench-memhier-check re-measures the hierarchy runs and fails if one is
+# >15% slower than the committed BENCH_memhier.json baseline, or if the
+# timing model's access/stall counts drifted. CI runs this.
+bench-memhier-check:
+	MEMHIER_BENCH_BASELINE=$(CURDIR)/BENCH_memhier.json $(GO) test -run TestMemhierBenchRegression -count=1 -v ./internal/sim/
+
 experiments:
 	$(GO) run ./cmd/experiments -all
 
@@ -103,7 +119,7 @@ cover:
 	@set -e; for spec in internal/sim:$(COVER_FLOOR_SIM) internal/core:$(COVER_FLOOR_CORE) \
 			internal/dataflow:$(COVER_FLOOR_DATAFLOW) internal/passes:$(COVER_FLOOR_PASSES) \
 			internal/machine:$(COVER_FLOOR_MACHINE) internal/dynsched:$(COVER_FLOOR_DYNSCHED) \
-			internal/workloads:$(COVER_FLOOR_WORKLOADS); do \
+			internal/workloads:$(COVER_FLOOR_WORKLOADS) internal/memhier:$(COVER_FLOOR_MEMHIER); do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$($(GO) test -cover ./$$pkg/ | awk '{for(i=1;i<=NF;i++) if ($$i=="coverage:") {sub(/%/,"",$$(i+1)); print $$(i+1)}}'); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg"; exit 1; fi; \

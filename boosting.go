@@ -21,7 +21,8 @@
 //	internal/dynsched   dynamically-scheduled (Tomasulo/ROB/BTB) baseline
 //	internal/workloads  the seven benchmark kernels
 //	internal/hwcost     shadow register file hardware cost model
-//	internal/cache      singleflight memoization + data-cache model
+//	internal/memhier    configurable memory hierarchy: caches, MSHRs, prefetch
+//	internal/cache      concurrency-safe memoization with singleflight
 //	internal/artifact   serializable compile artifacts: codec, disk store, peer fetch
 //	internal/experiments concurrent tables/figures harness
 //
@@ -138,6 +139,19 @@ type Result struct {
 	// BoostedExec and Squashed count speculative activity.
 	BoostedExec int64
 	Squashed    int64
+	// MemStalls is the total cycles lost to the memory hierarchy; zero
+	// unless the run was configured with WithMemHier. BoostedMemStalls
+	// is the share incurred by speculative (boosted) accesses, and
+	// SquashedMemStalls the share spent stalling on speculative accesses
+	// whose work was later squashed — pure loss, the cost the
+	// no-boosted-loads ablation isolates.
+	MemStalls         int64
+	BoostedMemStalls  int64
+	SquashedMemStalls int64
+	// Mem carries the full hierarchy counters (hit/miss per level, MSHR
+	// and write-buffer activity, prefetch accuracy); nil without
+	// WithMemHier.
+	Mem *MemStats
 	// PredictionAccuracy is the static predictor's accuracy on this run.
 	PredictionAccuracy float64
 	// ObjectGrowth is scheduled size (with recovery code) over original.
@@ -169,7 +183,11 @@ type DynamicResult struct {
 	ScalarCycles int64
 	Speedup      float64
 	Mispredicts  int64
-	Out          []uint32
+	// MemStalls and Mem report memory-hierarchy activity when the run
+	// was configured with WithMemHier (zero/nil otherwise).
+	MemStalls int64
+	Mem       *MemStats
+	Out       []uint32
 }
 
 // RunDynamic simulates the workload on the paper's dynamically-scheduled

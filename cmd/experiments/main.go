@@ -1,6 +1,7 @@
 // Command experiments regenerates the paper's evaluation: Table 1,
-// Figure 8, Table 2, Figure 9, and the prose claims on exception-handling
-// cost and shadow register file hardware cost. The grid behind each
+// Figure 8, Table 2, Figure 9, the prose claims on exception-handling
+// cost and shadow register file hardware cost, and the memory-hierarchy
+// ablation (boosting loads past cache misses). The grid behind each
 // table/figure runs on a concurrent worker pool with memoized artifacts;
 // output is identical at any parallelism.
 //
@@ -40,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	f9 := fs.Bool("fig9", false, "Figure 9: MinBoost3 vs the dynamic scheduler")
 	costs := fs.Bool("costs", false, "exception-handling costs (§2.3)")
 	hw := fs.Bool("hw", false, "shadow register file hardware costs (§4.3.2)")
+	mh := fs.Bool("memhier", false, "memory-hierarchy ablation: boosted loads × boost level × prefetcher")
 	csvPath := fs.String("csv", "", "also write all results as tidy CSV to this file")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	metrics := fs.Bool("metrics", false, "print per-stage pipeline metrics after the experiments")
@@ -56,7 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if !(*all || *t1 || *f8 || *t2 || *f9 || *costs || *hw) {
+	if !(*all || *t1 || *f8 || *t2 || *f9 || *costs || *hw || *mh) {
 		*all = true
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -118,6 +120,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *all || *hw {
 		fmt.Fprintln(stdout, "== Shadow register file hardware costs (paper §4.3.2) ==")
 		fmt.Fprint(stdout, hwcost.NewReport().String())
+	}
+	if *all || *mh {
+		rows, err := s.MemHierAblation(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, "== Memory-hierarchy ablation: boosting loads past cache misses ==")
+		fmt.Fprintln(stdout, experiments.FormatMemHier(rows))
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

@@ -128,8 +128,9 @@ func ModelFingerprint(m *machine.Model) string {
 
 // OptsKey renders the scheduler options that shape a schedule.
 func OptsKey(o core.Options) string {
-	return fmt.Sprintf("local=%v;noeq=%v;nodis=%v;trace=%d",
-		o.LocalOnly, o.DisableEquivalence, o.NoDisambiguation, o.MaxTraceBlocks)
+	return fmt.Sprintf("local=%v;noeq=%v;nodis=%v;nobl=%v;trace=%d",
+		o.LocalOnly, o.DisableEquivalence, o.NoDisambiguation,
+		o.NoBoostedLoads, o.MaxTraceBlocks)
 }
 
 // VariantKey identifies a scheduled variant: the structural model

@@ -1,3 +1,6 @@
+// Package cache provides Memo, a concurrency-safe memoization table with
+// singleflight deduplication. (The data-cache timing model that used to
+// share this package lives in internal/memhier.)
 package cache
 
 import (

@@ -110,6 +110,9 @@ func (s *scheduler) planMotion(st *traceState, n *ddg.Node, bi int, shadowZone b
 		if degenerate || branches > b.MaxLevel {
 			return false, RejectShadowLimit
 		}
+		if s.opts.NoBoostedLoads && isa.IsLoad(op) {
+			return false, RejectBoostedLoad // ablation: loads stay below branches
+		}
 		if isa.IsStore(op) && !b.StoreBuffer {
 			return false, RejectStoreBuffer // Option 1: no shadow store buffer
 		}

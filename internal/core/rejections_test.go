@@ -39,6 +39,8 @@ var programBuckets = []struct {
 		opts: Options{MaxTraceBlocks: 2}},
 	{reason: RejectCompCost, workload: "compress", model: machine.NoBoost()},
 	{reason: RejectCompBoost, workload: "grep", model: machine.MinBoost3()},
+	{reason: RejectBoostedLoad, workload: "awk", model: machine.MinBoost3(),
+		opts: Options{NoBoostedLoads: true}},
 
 	// OUT is ready and slot-legal for the hole in entry's branch cycle,
 	// but sits below a conditional branch: observable output is never

@@ -61,6 +61,11 @@ type Options struct {
 	// NoDisambiguation builds maximally conservative memory dependences
 	// (ablation).
 	NoDisambiguation bool
+	// NoBoostedLoads forbids boosting loads above branches (stores and
+	// ALU ops still boost). On a finite memory hierarchy a speculative
+	// load can stall the machine on a miss whose work is later squashed;
+	// this knob isolates that cost (the memhier ablation).
+	NoBoostedLoads bool
 	// MaxTraceBlocks bounds trace length (0 = default 32).
 	MaxTraceBlocks int
 

@@ -57,6 +57,9 @@ const (
 	// speculative producer whose remaining shadow level exceeds what
 	// this placement could see.
 	RejectShadowVisibility = "shadow-visibility"
+	// RejectBoostedLoad: Options.NoBoostedLoads forbids hoisting loads
+	// above branches (the memory-hierarchy ablation).
+	RejectBoostedLoad = "boosted-load"
 )
 
 // RejectReasons lists every motion-rejection bucket.
@@ -66,7 +69,7 @@ func RejectReasons() []string {
 		RejectCallBoundary, RejectObservableOut, RejectShadowLimit,
 		RejectStoreBuffer, RejectSquashZone, RejectShadowConflict,
 		RejectCompBoost, RejectCompCost, RejectTermOperand,
-		RejectShadowVisibility,
+		RejectShadowVisibility, RejectBoostedLoad,
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"boosting/internal/core"
 	"boosting/internal/machine"
+	"boosting/internal/memhier"
 	"boosting/internal/sim"
 )
 
@@ -46,6 +47,12 @@ type Config struct {
 	// Renaming enables its register renaming.
 	Dynamic  bool
 	Renaming bool
+	// Mem runs the configuration under a finite memory hierarchy, which
+	// must be timing-only: every architectural observable still has to
+	// match the perfect-memory reference exactly. MemName labels the
+	// hierarchy in Name().
+	Mem     *memhier.Config
+	MemName string
 }
 
 // Name renders a stable, human-readable configuration identifier used in
@@ -54,10 +61,14 @@ type Config struct {
 // configurations gain a "/legacy" suffix.
 func (c Config) Name() string {
 	if c.Dynamic {
+		name := "dynamic"
 		if c.Renaming {
-			return "dynamic/renaming"
+			name = "dynamic/renaming"
 		}
-		return "dynamic"
+		if c.MemName != "" {
+			name += "/mem/" + c.MemName
+		}
+		return name
 	}
 	reg := "virt"
 	if c.Alloc {
@@ -72,6 +83,9 @@ func (c Config) Name() string {
 	}
 	if c.ViaArtifact {
 		name += "/artifact"
+	}
+	if c.MemName != "" {
+		name += "/mem/" + c.MemName
 	}
 	return name
 }
@@ -92,6 +106,37 @@ func ablations() []ablation {
 		{"no-disamb", core.Options{NoDisambiguation: true}},
 		{"short-traces", core.Options{MaxTraceBlocks: 2}},
 		{"local-only", core.Options{LocalOnly: true}},
+	}
+}
+
+// memHierarchy is a named finite-memory configuration of the oracle's
+// timing-only axis.
+type memHierarchy struct {
+	name string
+	cfg  memhier.Config
+}
+
+// memHierarchies enumerates the hierarchies the mem axis runs under.
+// Caches are tiny so the small generated programs actually miss; the
+// variants stress the paths most likely to leak timing into semantics:
+// prefetch fills racing demand accesses, a single MSHR forcing merges
+// and structural stalls, and a disabled write buffer making store
+// misses block.
+func memHierarchies() []memHierarchy {
+	tiny := memhier.SingleLevel(4, 1, 8, 20)
+	stride := memhier.Default()
+	stride.L1 = memhier.CacheConfig{Sets: 4, Ways: 2, LineBytes: 8}
+	stride.L2 = memhier.CacheConfig{Sets: 16, Ways: 2, LineBytes: 16}
+	stride.Prefetch = "stride"
+	// SingleLevel already disables the write buffer (store misses block
+	// like loads); one MSHR maximizes merges and structural stalls.
+	squeeze := memhier.SingleLevel(2, 1, 8, 30)
+	squeeze.MSHRs = 1
+	squeeze.Prefetch = "stream"
+	return []memHierarchy{
+		{"tiny", tiny},
+		{"stride", stride},
+		{"squeeze", squeeze},
 	}
 }
 
@@ -167,9 +212,33 @@ func Configs(full bool) []Config {
 			out = append(out, Config{Model: machine.BoostN(n), Alloc: true})
 		}
 	}
+	// The memory-hierarchy axis: a finite hierarchy is timing-only, so
+	// every observable must still match the perfect-memory reference.
+	// The quick set runs the deepest-speculation model under every
+	// hierarchy on both engines (plus the dynamic machine under one);
+	// the full matrix crosses every boosting model with every hierarchy.
+	for _, mh := range memHierarchies() {
+		mem := mh.cfg
+		if full {
+			for _, m := range models {
+				for _, engine := range []sim.Engine{sim.EngineFast, sim.EngineLegacy} {
+					out = append(out, Config{Model: m, Alloc: true, Engine: engine,
+						Mem: &mem, MemName: mh.name})
+				}
+			}
+		} else {
+			out = append(out,
+				Config{Model: machine.Boost7(), Alloc: true, Mem: &mem, MemName: mh.name},
+				Config{Model: machine.Boost7(), Alloc: true, Engine: sim.EngineLegacy,
+					Mem: &mem, MemName: mh.name},
+			)
+		}
+	}
 	out = append(out,
 		Config{Dynamic: true},
 		Config{Dynamic: true, Renaming: true},
+		Config{Dynamic: true, Renaming: true,
+			Mem: &memHierarchies()[0].cfg, MemName: memHierarchies()[0].name},
 	)
 	return out
 }

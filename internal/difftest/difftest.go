@@ -224,6 +224,7 @@ func checkStatic(build func() *prog.Program, cfg Config, ref *reference, opt Opt
 	res, err := sim.Exec(sp, sim.ExecConfig{
 		Engine: cfg.Engine,
 		Inject: opt.Inject,
+		Mem:    cfg.Mem,
 		OnStore: func(addr uint32, size int, val uint32) {
 			stores = append(stores, storeEvent{addr, size, val})
 		},
@@ -254,6 +255,7 @@ func checkDynamic(build func() *prog.Program, cfg Config, ref *reference) []Dive
 	}
 	dc := dynsched.Default()
 	dc.Renaming = cfg.Renaming
+	dc.Mem = cfg.Mem
 	res, err := dynsched.Simulate(pr, dc)
 	if err != nil {
 		return []Divergence{{Config: name, Kind: "error", Detail: fmt.Sprintf("simulate: %v", err)}}

@@ -22,8 +22,8 @@ package dynsched
 import (
 	"fmt"
 
-	"boosting/internal/cache"
 	"boosting/internal/isa"
+	"boosting/internal/memhier"
 	"boosting/internal/prog"
 	"boosting/internal/sim"
 )
@@ -40,9 +40,9 @@ type Config struct {
 	Renaming    bool
 	// MaxCycles bounds the simulation (0 = 2G cycles).
 	MaxCycles int64
-	// DataCache, if non-nil, models a finite data cache; misses extend
-	// memory-operation latency.
-	DataCache *cache.Cache
+	// Mem, if non-nil, models a finite memory hierarchy; misses extend
+	// memory-operation latency. A fresh hierarchy is built per run.
+	Mem *memhier.Config
 }
 
 // Default returns the paper's configuration (without renaming).
@@ -63,6 +63,10 @@ type Result struct {
 	Insts       int64
 	Branches    int64
 	Mispredicts int64
+	// MemStalls counts extra latency cycles charged by the memory
+	// hierarchy; Mem holds its counters (nil with perfect memory).
+	MemStalls int64
+	Mem       *memhier.Stats
 	// Out and MemHash come from the functional execution that produced
 	// the trace (the timing model does not change semantics).
 	Out     []uint32
@@ -76,6 +80,13 @@ func Simulate(pr *prog.Program, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("dynsched: zero config; use Default()")
 	}
 	p := newPipeline(cfg)
+	if cfg.Mem != nil {
+		mh, err := memhier.New(*cfg.Mem)
+		if err != nil {
+			return nil, fmt.Errorf("dynsched: %w", err)
+		}
+		p.mh = mh
+	}
 	ref, err := sim.Run(pr, sim.RefConfig{
 		OnInst: func(ev sim.InstEvent) { p.feed(ev) },
 	})
@@ -130,8 +141,10 @@ type pipeline struct {
 	// dependents dispatched while the producer was in flight.
 	results map[int64]int64
 
-	rsUsed int
-	btb    *btb
+	rsUsed    int
+	btb       *btb
+	mh        *memhier.Hierarchy
+	memStalls int64
 
 	// fetchBlockedBy is the seq of an unresolved mispredicted branch
 	// (fetch stalls until it resolves), or -1.
@@ -216,12 +229,18 @@ func (p *pipeline) drainAll() {
 }
 
 func (p *pipeline) result() *Result {
-	return &Result{
+	r := &Result{
 		Cycles:      p.cycle,
 		Insts:       p.insts,
 		Branches:    p.branches,
 		Mispredicts: p.mispredicts,
+		MemStalls:   p.memStalls,
 	}
+	if p.mh != nil {
+		stats := p.mh.Stats()
+		r.Mem = &stats
+	}
+	return r
 }
 
 // step advances one cycle: retire, issue/execute, dispatch.
@@ -327,8 +346,10 @@ func (p *pipeline) issue() {
 		}
 		e.issued = true
 		e.doneAt = p.cycle + int64(isa.Latency(e.op))
-		if (e.isLoad || e.isStore) && p.cfg.DataCache != nil {
-			e.doneAt += p.cfg.DataCache.Access(e.addr)
+		if (e.isLoad || e.isStore) && p.mh != nil {
+			s := p.mh.Access(p.cycle, e.id, e.addr, e.isStore)
+			e.doneAt += s
+			p.memStalls += s
 		}
 		p.results[e.seq] = e.doneAt
 		p.rsUsed--

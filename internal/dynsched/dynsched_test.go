@@ -3,8 +3,8 @@ package dynsched
 import (
 	"testing"
 
-	"boosting/internal/cache"
 	"boosting/internal/isa"
+	"boosting/internal/memhier"
 	"boosting/internal/prog"
 	"boosting/internal/sim"
 	"boosting/internal/testgen"
@@ -242,11 +242,8 @@ func TestDataCacheSlowsTheMachine(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfgCache := Default()
-	dc, err := cache.New(cache.Config{Sets: 2, Ways: 1, LineBytes: 16, MissPenalty: 20})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfgCache.DataCache = dc
+	mc := memhier.SingleLevel(2, 1, 16, 20)
+	cfgCache.Mem = &mc
 	res2, err := Simulate(buildLoop(300), cfgCache)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"boosting/internal/core"
+	"boosting/internal/machine"
+	"boosting/internal/memhier"
+)
+
+// The memory-hierarchy ablation quantifies the caveat the paper leaves
+// open in §4.3: boosting's speedups assume perfect memory, but boosting
+// loads above branches also moves their cache misses above branches —
+// a mispredicted path can stall the machine on a miss whose result is
+// thrown away. The ablation crosses boost level (Boost1 / MinBoost3 /
+// Boost7) with boosted loads allowed or forbidden
+// (core.Options.NoBoostedLoads) and with the hardware prefetcher
+// (none / stride / stream), all over one finite hierarchy, and reports
+// speedup over the scalar machine *under the same hierarchy*, MPKI,
+// per-level miss rates, prefetch accuracy, and the cycles lost to
+// speculative misses that were later squashed.
+
+// AblationMemConfig is the hierarchy the ablation runs on: the stock
+// configuration with the L1 shrunk to 1 KiB direct-mapped so the
+// benchmark kernels' working sets actually miss (on the 8 KiB default
+// every boosted load of the suite hits).
+func AblationMemConfig(prefetch string) memhier.Config {
+	cfg := memhier.Default()
+	cfg.L1 = memhier.CacheConfig{Sets: 64, Ways: 1, LineBytes: 16}
+	cfg.Prefetch = prefetch
+	return cfg
+}
+
+// MemHierRow is one configuration of the memory-hierarchy ablation,
+// aggregated over the benchmark set: speedup is the geometric mean over
+// workloads, the counters are summed before the ratios are taken.
+type MemHierRow struct {
+	Model      string // Boost1, MinBoost3, Boost7
+	BoostLoads bool   // false = scheduled with NoBoostedLoads
+	Prefetch   string // none, stride, stream
+
+	// Speedup is the geomean speedup over the scalar machine with the
+	// identical hierarchy in front of it.
+	Speedup float64
+	// MPKI is L1 misses per thousand executed instructions.
+	MPKI float64
+	// L1MissRate and L2MissRate are per-level miss ratios.
+	L1MissRate float64
+	L2MissRate float64
+	// PrefAccuracy is useful prefetches over issued (0 with Prefetch
+	// "none").
+	PrefAccuracy float64
+	// SquashedStalls is the total cycles the machines spent stalled on
+	// speculative misses whose work was later squashed — pure loss, the
+	// cost forbidding boosted loads eliminates by construction.
+	SquashedStalls int64
+}
+
+// memHierPrefetchers lists the prefetcher axis of the ablation.
+var memHierPrefetchers = []string{"none", "stride", "stream"}
+
+// memHierModels lists the boost-level axis.
+func memHierModels() []*machine.Model {
+	return []*machine.Model{machine.Boost1(), machine.MinBoost3(), machine.Boost7()}
+}
+
+// MemHierAblation measures the full (model × boosted-loads × prefetcher)
+// grid over the benchmark set. Rows come back model-major, boosted
+// loads before forbidden, prefetchers in none/stride/stream order.
+func (s *Suite) MemHierAblation(ctx context.Context) ([]MemHierRow, error) {
+	models := memHierModels()
+
+	// Warm the store in parallel: every (model, nobl, prefetch, workload)
+	// measurement plus the scalar baseline per (prefetch, workload).
+	type job struct {
+		model *machine.Model
+		opts  core.Options
+		pref  string
+	}
+	var jobs []job
+	for _, pref := range memHierPrefetchers {
+		jobs = append(jobs, job{machine.Scalar(), core.Options{LocalOnly: true}, pref})
+		for _, m := range models {
+			jobs = append(jobs, job{m, core.Options{}, pref})
+			jobs = append(jobs, job{m, core.Options{NoBoostedLoads: true}, pref})
+		}
+	}
+	nw := len(s.Workloads)
+	if err := ForEachLimited(ctx, len(jobs)*nw, s.Runner.workers(), func(ctx context.Context, i int) error {
+		j, w := jobs[i/nw], s.Workloads[i%nw]
+		_, err := s.Store.measureMem(ctx, w, j.model, j.opts, AblationMemConfig(j.pref))
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	var rows []MemHierRow
+	for _, m := range models {
+		for _, boostLoads := range []bool{true, false} {
+			opts := core.Options{NoBoostedLoads: !boostLoads}
+			for _, pref := range memHierPrefetchers {
+				mcfg := AblationMemConfig(pref)
+				row := MemHierRow{Model: m.Name, BoostLoads: boostLoads, Prefetch: pref}
+				var speedups []float64
+				agg := memhier.Stats{}
+				var insts int64
+				for _, w := range s.Workloads {
+					scalar, err := s.Store.measureMem(ctx, w, machine.Scalar(),
+						core.Options{LocalOnly: true}, mcfg)
+					if err != nil {
+						return nil, err
+					}
+					res, err := s.Store.measureMem(ctx, w, m, opts, mcfg)
+					if err != nil {
+						return nil, err
+					}
+					speedups = append(speedups, float64(scalar.Cycles)/float64(res.Cycles))
+					agg.L1Misses += res.Mem.L1Misses
+					agg.Accesses += res.Mem.Accesses
+					agg.L2Hits += res.Mem.L2Hits
+					agg.L2Misses += res.Mem.L2Misses
+					agg.PrefIssued += res.Mem.PrefIssued
+					agg.PrefUseful += res.Mem.PrefUseful
+					insts += res.Insts
+					row.SquashedStalls += res.SquashedMemStalls
+				}
+				row.Speedup = GeoMean(speedups)
+				row.MPKI = 1000 * float64(agg.L1Misses) / float64(insts)
+				row.L1MissRate = float64(agg.L1Misses) / float64(agg.Accesses)
+				if l2 := agg.L2Hits + agg.L2Misses; l2 > 0 {
+					row.L2MissRate = float64(agg.L2Misses) / float64(l2)
+				}
+				row.PrefAccuracy = agg.PrefetchAccuracy()
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatMemHier renders the ablation grid.
+func FormatMemHier(rows []MemHierRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-7s %-7s %8s %7s %7s %7s %8s %10s\n",
+		"", "loads", "pref", "speedup", "MPKI", "L1miss", "L2miss", "prefacc", "squashed")
+	for _, r := range rows {
+		loads := "boost"
+		if !r.BoostLoads {
+			loads = "no"
+		}
+		fmt.Fprintf(&b, "%-10s %-7s %-7s %7.2fx %7.2f %6.1f%% %6.1f%% %7.2f %10d\n",
+			r.Model, loads, r.Prefetch, r.Speedup, r.MPKI,
+			100*r.L1MissRate, 100*r.L2MissRate, r.PrefAccuracy, r.SquashedStalls)
+	}
+	return b.String()
+}

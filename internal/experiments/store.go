@@ -9,6 +9,7 @@ import (
 	"boosting/internal/core"
 	"boosting/internal/dynsched"
 	"boosting/internal/machine"
+	"boosting/internal/memhier"
 	"boosting/internal/profile"
 	"boosting/internal/prog"
 	"boosting/internal/regalloc"
@@ -47,6 +48,7 @@ type Store struct {
 	refs   *cache.Memo[*sim.Result]
 	acc    *cache.Memo[float64]
 	cycles *cache.Memo[int64]
+	execs  *cache.Memo[*sim.ExecResult]
 	growth *cache.Memo[float64]
 
 	metrics Metrics
@@ -59,6 +61,7 @@ func NewStore() *Store {
 		refs:   cache.NewMemo[*sim.Result](),
 		acc:    cache.NewMemo[float64](),
 		cycles: cache.NewMemo[int64](),
+		execs:  cache.NewMemo[*sim.ExecResult](),
 		growth: cache.NewMemo[float64](),
 	}
 }
@@ -68,7 +71,7 @@ func NewStore() *Store {
 func (st *Store) Metrics() Snapshot {
 	s := st.metrics.snapshot()
 	for _, m := range []interface{ Stats() (int64, int64) }{
-		st.pairs, st.refs, st.acc, st.cycles, st.growth,
+		st.pairs, st.refs, st.acc, st.cycles, st.execs, st.growth,
 	} {
 		h, miss := m.Stats()
 		s.CacheHits += h
@@ -87,8 +90,9 @@ func wkey(w *workloads.Workload) string {
 
 // okey spells out every ablation flag of a scheduler configuration.
 func okey(opts core.Options) string {
-	return fmt.Sprintf("local=%v;noeq=%v;nodis=%v;trace=%d",
-		opts.LocalOnly, opts.DisableEquivalence, opts.NoDisambiguation, opts.MaxTraceBlocks)
+	return fmt.Sprintf("local=%v;noeq=%v;nodis=%v;nobl=%v;trace=%d",
+		opts.LocalOnly, opts.DisableEquivalence, opts.NoDisambiguation,
+		opts.NoBoostedLoads, opts.MaxTraceBlocks)
 }
 
 // pair returns the memoized built test program for the workload: train
@@ -162,10 +166,10 @@ func (st *Store) accuracyOf(ctx context.Context, w *workloads.Workload) (float64
 
 // scheduleAndExec clones the built pair, schedules it for the model and
 // executes it on the machine simulator, verifying against the reference
-// run before returning. dataCache, when non-nil, plugs a finite data
-// cache into the timing model.
+// run before returning. mem, when non-nil, plugs a finite memory
+// hierarchy into the timing model.
 func (st *Store) scheduleAndExec(ctx context.Context, w *workloads.Workload, model *machine.Model,
-	opts core.Options, alloc bool, dataCache *cache.Config) (*sim.ExecResult, error) {
+	opts core.Options, alloc bool, mem *memhier.Config) (*sim.ExecResult, error) {
 	ref, err := st.reference(ctx, w, alloc)
 	if err != nil {
 		return nil, err
@@ -186,14 +190,7 @@ func (st *Store) scheduleAndExec(ctx context.Context, w *workloads.Workload, mod
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cfg := sim.ExecConfig{Engine: st.Engine}
-	if dataCache != nil {
-		dc, err := cache.New(*dataCache)
-		if err != nil {
-			return nil, err
-		}
-		cfg.DataCache = dc
-	}
+	cfg := sim.ExecConfig{Engine: st.Engine, Mem: mem}
 	start = time.Now()
 	res, err := sim.Exec(sp, cfg)
 	if err != nil {
@@ -220,17 +217,16 @@ func (st *Store) measure(ctx context.Context, w *workloads.Workload, model *mach
 	})
 }
 
-// measureCached is measure with a finite data cache in the timing model.
-func (st *Store) measureCached(ctx context.Context, w *workloads.Workload, model *machine.Model,
-	opts core.Options, dcfg cache.Config) (int64, error) {
-	key := fmt.Sprintf("cyc|%s|model=%s|%s|alloc=true|dcache=%d.%d.%d.%d",
-		wkey(w), model.Name, okey(opts), dcfg.Sets, dcfg.Ways, dcfg.LineBytes, dcfg.MissPenalty)
-	return st.cycles.Do(ctx, key, func() (int64, error) {
-		res, err := st.scheduleAndExec(ctx, w, model, opts, true, &dcfg)
-		if err != nil {
-			return 0, err
-		}
-		return res.Cycles, nil
+// measureMem is measure with a finite memory hierarchy in the timing
+// model; it returns the full execution result so callers can read miss
+// rates, prefetch counters and squashed-stall accounting. The returned
+// result is shared — callers must not mutate it.
+func (st *Store) measureMem(ctx context.Context, w *workloads.Workload, model *machine.Model,
+	opts core.Options, mcfg memhier.Config) (*sim.ExecResult, error) {
+	key := fmt.Sprintf("mem|%s|model=%s|%s|alloc=true|mem=%s",
+		wkey(w), model.Name, okey(opts), mcfg.Key())
+	return st.execs.Do(ctx, key, func() (*sim.ExecResult, error) {
+		return st.scheduleAndExec(ctx, w, model, opts, true, &mcfg)
 	})
 }
 

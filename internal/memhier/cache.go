@@ -1,0 +1,154 @@
+package memhier
+
+import "fmt"
+
+// Policy names a cache replacement policy. All policies are fully
+// deterministic — PolicyRandom draws from a fixed-seed xorshift stream —
+// so two runs of the same access sequence always evict the same lines.
+type Policy string
+
+const (
+	// PolicyLRU evicts the least-recently-used way (the default).
+	PolicyLRU Policy = "lru"
+	// PolicyFIFO evicts the way that was filled earliest, ignoring hits.
+	PolicyFIFO Policy = "fifo"
+	// PolicyRandom evicts a deterministically pseudo-random way.
+	PolicyRandom Policy = "random"
+)
+
+// Policies lists the supported replacement policies.
+func Policies() []Policy { return []Policy{PolicyLRU, PolicyFIFO, PolicyRandom} }
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// Sets and Ways give the organization; LineBytes the block size.
+	// Sets and LineBytes must be powers of two.
+	Sets, Ways, LineBytes int
+	// Policy selects the replacement policy ("" = LRU).
+	Policy Policy
+}
+
+// Bytes returns the total capacity of the level.
+func (c CacheConfig) Bytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+func (c CacheConfig) validate(level string) error {
+	if c.Sets <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("memhier: bad %s config %+v", level, c)
+	}
+	if c.Sets&(c.Sets-1) != 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("memhier: %s sets and line size must be powers of two", level)
+	}
+	switch c.Policy {
+	case "", PolicyLRU, PolicyFIFO, PolicyRandom:
+		return nil
+	}
+	return fmt.Errorf("memhier: unknown replacement policy %q (want lru, fifo or random)", c.Policy)
+}
+
+// invalidTag marks an empty way.
+const invalidTag = ^uint32(0)
+
+// cache is a set-associative tag store: the L1/L2 building block of the
+// hierarchy. It holds no data — the timing-only contract means only the
+// presence of an address matters — and it separates probe (lookup, update
+// recency) from fill (install, evict) so the hierarchy can install lines
+// when an outstanding fill completes rather than when it was requested.
+type cache struct {
+	cfg    CacheConfig
+	tags   []uint32 // sets × ways, flattened
+	meta   []int64  // recency (LRU) or fill order (FIFO) per way
+	pref   []bool   // line was filled by a prefetch and not yet demanded
+	tick   int64
+	rng    uint64 // xorshift state for PolicyRandom (fixed seed)
+	hits   int64
+	misses int64
+}
+
+func newCache(cfg CacheConfig) *cache {
+	n := cfg.Sets * cfg.Ways
+	c := &cache{cfg: cfg, tags: make([]uint32, n), meta: make([]int64, n),
+		pref: make([]bool, n), rng: 0x9e3779b97f4a7c15}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
+}
+
+// lineOf maps an address to its line number in this cache's geometry.
+func (c *cache) lineOf(addr uint32) uint32 { return addr / uint32(c.cfg.LineBytes) }
+
+func (c *cache) slot(line uint32) (base int, tag uint32) {
+	set := int(line) & (c.cfg.Sets - 1)
+	return set * c.cfg.Ways, line / uint32(c.cfg.Sets)
+}
+
+// probe looks the line up, updating recency on a hit. wasPrefetch reports
+// (and clears) the line's prefetched-not-yet-demanded bit, so the first
+// demand hit on a prefetched line is countable exactly once.
+func (c *cache) probe(line uint32) (hit, wasPrefetch bool) {
+	base, tag := c.slot(line)
+	c.tick++
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == tag {
+			if c.cfg.Policy != PolicyFIFO {
+				c.meta[base+w] = c.tick
+			}
+			wasPrefetch = c.pref[base+w]
+			c.pref[base+w] = false
+			c.hits++
+			return true, wasPrefetch
+		}
+	}
+	c.misses++
+	return false, false
+}
+
+// contains reports presence without touching recency or statistics (used
+// by the prefetchers to filter redundant requests).
+func (c *cache) contains(line uint32) bool {
+	base, tag := c.slot(line)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// fill installs the line, evicting per the replacement policy. prefetched
+// marks the line for usefulness accounting. Filling a line that is already
+// present only refreshes its metadata.
+func (c *cache) fill(line uint32, prefetched bool) {
+	base, tag := c.slot(line)
+	c.tick++
+	victim := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == tag {
+			victim = w // already present (racing fills); refresh
+			break
+		}
+		if c.tags[base+w] == invalidTag && victim < 0 {
+			victim = w
+		}
+	}
+	if victim < 0 {
+		switch c.cfg.Policy {
+		case PolicyRandom:
+			// xorshift64*: deterministic, seeded at construction.
+			c.rng ^= c.rng >> 12
+			c.rng ^= c.rng << 25
+			c.rng ^= c.rng >> 27
+			victim = int((c.rng * 0x2545f4914f6cdd1d) >> 33 % uint64(c.cfg.Ways))
+		default: // LRU and FIFO both evict the smallest meta
+			victim = 0
+			for w := 1; w < c.cfg.Ways; w++ {
+				if c.meta[base+w] < c.meta[base+victim] {
+					victim = w
+				}
+			}
+		}
+	}
+	c.tags[base+victim] = tag
+	c.meta[base+victim] = c.tick
+	c.pref[base+victim] = prefetched
+}

@@ -1,0 +1,473 @@
+package memhier
+
+import (
+	"strings"
+	"testing"
+)
+
+// access is one scripted demand access.
+type access struct {
+	now   int64
+	addr  uint32
+	store bool
+	stall int64 // expected return value
+}
+
+// runScript drives a hierarchy through the script, asserting each stall.
+func runScript(t *testing.T, h *Hierarchy, script []access) {
+	t.Helper()
+	for i, a := range script {
+		if got := h.Access(a.now, i, a.addr, a.store); got != a.stall {
+			t.Fatalf("access %d (@%#x now=%d store=%v): stall = %d, want %d",
+				i, a.addr, a.now, a.store, got, a.stall)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string // substring of the error ("" = valid)
+	}{
+		{"default", func(c *Config) {}, ""},
+		{"single-level", func(c *Config) { *c = SingleLevel(512, 1, 16, 12) }, ""},
+		{"zero-l1", func(c *Config) { c.L1.Sets = 0 }, "bad L1"},
+		{"npot-sets", func(c *Config) { c.L1.Sets = 3 }, "powers of two"},
+		{"npot-line", func(c *Config) { c.L2.LineBytes = 24 }, "powers of two"},
+		{"bad-policy", func(c *Config) { c.L1.Policy = "mru" }, "replacement policy"},
+		{"bad-prefetcher", func(c *Config) { c.Prefetch = "markov" }, "prefetcher"},
+		{"negative-latency", func(c *Config) { c.MemLatency = -1 }, "negative latency"},
+		{"negative-mshrs", func(c *Config) { c.MSHRs = -1 }, "negative structure"},
+		{"valid-stride", func(c *Config) { c.Prefetch = "stride" }, ""},
+		{"valid-stream", func(c *Config) { c.Prefetch = "stream" }, ""},
+		{"valid-fifo", func(c *Config) { c.L1.Policy = PolicyFIFO }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Default()
+			tc.mut(&cfg)
+			_, err := New(cfg)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReplacementPolicies pins the eviction order of each policy on a
+// 1-set 2-way cache: fill A and B, re-touch A, then fill C and observe
+// which of A/B survived.
+func TestReplacementPolicies(t *testing.T) {
+	// Lines A, B, C map to the same (only) set.
+	const A, B, C = 0x1000, 0x2000, 0x3000
+	const miss = 10
+	cases := []struct {
+		policy         Policy
+		aStall, bStall int64 // stall of the final A and B probes
+	}{
+		// LRU: touching A makes B least-recent; C evicts B.
+		{PolicyLRU, 0, miss},
+		// FIFO: A was filled first regardless of the touch; C evicts A.
+		// Refilling A then evicts B (next-oldest), so B misses too.
+		{PolicyFIFO, miss, miss},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.policy), func(t *testing.T) {
+			cfg := SingleLevel(1, 2, 16, miss)
+			cfg.L1.Policy = tc.policy
+			h, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runScript(t, h, []access{
+				{now: 0, addr: A, stall: miss},
+				{now: 100, addr: B, stall: miss},
+				{now: 200, addr: A, stall: 0}, // recency touch
+				{now: 300, addr: C, stall: miss},
+				{now: 400, addr: A, stall: tc.aStall},
+				{now: 500, addr: B, stall: tc.bStall},
+			})
+		})
+	}
+}
+
+// TestRandomPolicyDeterministic runs the same access sequence through two
+// independently built random-policy hierarchies and requires identical
+// stalls and stats: determinism is what keeps the two simulator engines
+// cycle-identical.
+func TestRandomPolicyDeterministic(t *testing.T) {
+	mk := func() *Hierarchy {
+		cfg := SingleLevel(2, 4, 16, 7)
+		cfg.L1.Policy = PolicyRandom
+		h, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	h1, h2 := mk(), mk()
+	var now int64
+	for i := 0; i < 500; i++ {
+		addr := uint32((i * 7919) % 16 * 16) // 16 hot lines over 8 cache lines
+		s1 := h1.Access(now, i%13, addr, i%3 == 0)
+		s2 := h2.Access(now, i%13, addr, i%3 == 0)
+		if s1 != s2 {
+			t.Fatalf("access %d: stalls diverge (%d vs %d)", i, s1, s2)
+		}
+		now += 1 + s1
+	}
+	if h1.Stats() != h2.Stats() {
+		t.Fatalf("stats diverge:\n%+v\n%+v", h1.Stats(), h2.Stats())
+	}
+	if h1.Stats().L1Misses == 0 || h1.Stats().L1Hits == 0 {
+		t.Fatalf("degenerate workload: %+v", h1.Stats())
+	}
+}
+
+// TestMSHRMerge pins miss merging: a load to a line whose fill is already
+// in flight (started by a buffered store) stalls only for the remaining
+// fill time, not the full latency.
+func TestMSHRMerge(t *testing.T) {
+	cfg := SingleLevel(16, 1, 16, 20)
+	cfg.WriteBuffer = 2
+	cfg.MSHRs = 4
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runScript(t, h, []access{
+		// Store miss retires into the write buffer: line in flight, ready
+		// at cycle 20, no stall.
+		{now: 0, addr: 0x1000, store: true, stall: 0},
+		// Load to the same line 5 cycles later merges: waits 20-5 = 15.
+		{now: 5, addr: 0x1004, stall: 15},
+		// Same line again after the fill landed: plain hit.
+		{now: 30, addr: 0x1008, stall: 0},
+	})
+	st := h.Stats()
+	if st.MSHRMerges != 1 {
+		t.Errorf("MSHRMerges = %d, want 1", st.MSHRMerges)
+	}
+	if st.L1Misses != 2 || st.L1Hits != 1 {
+		t.Errorf("L1 hits/misses = %d/%d, want 1/2", st.L1Hits, st.L1Misses)
+	}
+}
+
+// TestMSHRFullStall pins the finite-MSHR structural hazard: with a single
+// MSHR, a second outstanding fill must wait for the first to complete.
+func TestMSHRFullStall(t *testing.T) {
+	cfg := SingleLevel(16, 1, 16, 20)
+	cfg.WriteBuffer = 2
+	cfg.MSHRs = 1
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runScript(t, h, []access{
+		{now: 0, addr: 0x1000, store: true, stall: 0}, // occupies the MSHR until 20
+		// A different line needs a second MSHR: wait 20-1 = 19 cycles for
+		// the first fill, then retire into the write buffer.
+		{now: 1, addr: 0x2000, store: true, stall: 19},
+	})
+	st := h.Stats()
+	if st.MSHRFullStalls != 19 {
+		t.Errorf("MSHRFullStalls = %d, want 19", st.MSHRFullStalls)
+	}
+}
+
+// TestWriteBufferDrain pins buffered-store behavior: stores fill the
+// buffer without stalling, a store past capacity waits for the earliest
+// drain, and drained lines land in L1 (later probes hit).
+func TestWriteBufferDrain(t *testing.T) {
+	cfg := SingleLevel(16, 4, 16, 20) // 4-way: the two lines can coexist
+	cfg.WriteBuffer = 1
+	cfg.MSHRs = 4
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runScript(t, h, []access{
+		{now: 0, addr: 0x1000, store: true, stall: 0},  // buffered; drains at 20
+		{now: 1, addr: 0x2000, store: true, stall: 19}, // buffer full: waits for the drain
+		// Both lines were installed when their fills completed.
+		{now: 100, addr: 0x1000, stall: 0},
+		{now: 101, addr: 0x2000, stall: 0},
+	})
+	st := h.Stats()
+	if st.WriteBufferStalls != 19 {
+		t.Errorf("WriteBufferStalls = %d, want 19", st.WriteBufferStalls)
+	}
+	if st.L1Hits != 2 {
+		t.Errorf("L1Hits = %d, want 2 (drained lines must be installed)", st.L1Hits)
+	}
+}
+
+// TestBlockingStores pins the WriteBuffer=0 regime: store misses block
+// for the full latency exactly like loads (the original single-level
+// extension's behavior).
+func TestBlockingStores(t *testing.T) {
+	h, err := New(SingleLevel(16, 1, 16, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runScript(t, h, []access{
+		{now: 0, addr: 0x1000, store: true, stall: 12},
+		{now: 20, addr: 0x1000, store: true, stall: 0},
+		{now: 40, addr: 0x2000, stall: 12},
+	})
+}
+
+// strideCase drives one synthetic address stream through the stride
+// prefetcher and asserts it locks on: after a warmup the stream's misses
+// are absorbed by prefetches.
+func TestStridePrefetcher(t *testing.T) {
+	cases := []struct {
+		name   string
+		stride int32
+	}{
+		{"ascending-lines", 16}, // one line per access
+		{"descending-lines", -16},
+		{"strided-64", 64}, // skips lines
+		{"strided-48", 48}, // line-misaligned stride
+		{"descending-64", -64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := SingleLevel(512, 1, 16, 30)
+			cfg.Prefetch = "stride"
+			cfg.PrefetchDegree = 4
+			cfg.MSHRs = 8
+			h, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 64
+			base := uint32(0x100000)
+			now := int64(0)
+			var tail int64 // stalls over the second half of the stream
+			for i := 0; i < n; i++ {
+				addr := base + uint32(tc.stride*int32(i))
+				s := h.Access(now, 1, addr, false)
+				if i >= n/2 {
+					tail += s
+				}
+				now += 10 + s // 10 work cycles between accesses
+			}
+			st := h.Stats()
+			if st.PrefIssued == 0 {
+				t.Fatalf("prefetcher never issued: %+v", st)
+			}
+			if st.PrefUseful == 0 {
+				t.Fatalf("no useful prefetches: %+v", st)
+			}
+			if tail != 0 {
+				t.Errorf("locked-on stream still stalls %d cycles in its second half: %+v", tail, st)
+			}
+			if acc := st.PrefetchAccuracy(); acc < 0.5 {
+				t.Errorf("accuracy = %.2f, want >= 0.5 (%+v)", acc, st)
+			}
+		})
+	}
+}
+
+// TestStreamPrefetcher drives sequential line walks (both directions)
+// through the stream prefetcher.
+func TestStreamPrefetcher(t *testing.T) {
+	for _, dir := range []int32{+1, -1} {
+		name := "ascending"
+		if dir < 0 {
+			name = "descending"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := SingleLevel(512, 1, 16, 30)
+			cfg.Prefetch = "stream"
+			cfg.PrefetchDegree = 4
+			cfg.MSHRs = 8
+			h, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 64
+			base := uint32(0x100000)
+			now := int64(0)
+			var tail int64
+			for i := 0; i < n; i++ {
+				// Walk every word of every line so the stream sees hits too.
+				for w := uint32(0); w < 4; w++ {
+					addr := base + uint32(dir*int32(i))*16 + w*4
+					s := h.Access(now, 2, addr, false)
+					if i >= n/2 {
+						tail += s
+					}
+					now += 3 + s
+				}
+			}
+			st := h.Stats()
+			if st.PrefIssued == 0 || st.PrefUseful == 0 {
+				t.Fatalf("stream never locked on: %+v", st)
+			}
+			if tail != 0 {
+				t.Errorf("locked-on stream still stalls %d cycles in its second half: %+v", tail, st)
+			}
+			if cov := st.PrefetchCoverage(); cov < 0.5 {
+				t.Errorf("coverage = %.2f, want >= 0.5 (%+v)", cov, st)
+			}
+		})
+	}
+}
+
+// TestPrefetchTimeliness pins the late-prefetch counter: a demand access
+// arriving while its prefetch is still in flight merges, counts useful,
+// and counts late.
+func TestPrefetchTimeliness(t *testing.T) {
+	cfg := SingleLevel(512, 1, 16, 100) // slow memory: prefetches are late
+	cfg.Prefetch = "stride"
+	cfg.MSHRs = 8
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	for i := 0; i < 16; i++ {
+		s := h.Access(now, 3, uint32(0x100000+16*i), false)
+		now += 1 + s // back-to-back accesses: no time to hide 100 cycles
+	}
+	st := h.Stats()
+	if st.PrefLate == 0 {
+		t.Fatalf("no late prefetches counted: %+v", st)
+	}
+	if st.PrefLate > st.PrefUseful {
+		t.Fatalf("late (%d) > useful (%d)", st.PrefLate, st.PrefUseful)
+	}
+}
+
+// TestTwoLevel pins the L2 path: an L1 miss that hits L2 pays only
+// L2Latency; a miss in both pays L2Latency+MemLatency; L1 evictions
+// re-fill from L2 cheaply.
+func TestTwoLevel(t *testing.T) {
+	cfg := Config{
+		L1:         CacheConfig{Sets: 1, Ways: 1, LineBytes: 16},
+		L2:         CacheConfig{Sets: 64, Ways: 4, LineBytes: 32},
+		L2Latency:  6,
+		MemLatency: 24,
+	}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runScript(t, h, []access{
+		{now: 0, addr: 0x1000, stall: 30},   // cold: L2 miss, 6+24
+		{now: 100, addr: 0x2000, stall: 30}, // evicts 0x1000 from the 1-line L1
+		{now: 200, addr: 0x1000, stall: 6},  // back: L2 still holds it
+	})
+	st := h.Stats()
+	if st.L2Hits != 1 || st.L2Misses != 2 {
+		t.Errorf("L2 hits/misses = %d/%d, want 1/2", st.L2Hits, st.L2Misses)
+	}
+}
+
+// TestStatsRatios covers the derived-ratio helpers, including their
+// zero-denominator guards.
+func TestStatsRatios(t *testing.T) {
+	var z Stats
+	if z.L1MissRate() != 0 || z.L2MissRate() != 0 || z.PrefetchAccuracy() != 0 || z.PrefetchCoverage() != 0 {
+		t.Fatalf("zero stats must yield zero ratios")
+	}
+	s := Stats{Accesses: 10, L1Misses: 2, L2Hits: 1, L2Misses: 3,
+		PrefIssued: 4, PrefUseful: 2, DemandFills: 2}
+	if got := s.L1MissRate(); got != 0.2 {
+		t.Errorf("L1MissRate = %v", got)
+	}
+	if got := s.L2MissRate(); got != 0.75 {
+		t.Errorf("L2MissRate = %v", got)
+	}
+	if got := s.PrefetchAccuracy(); got != 0.5 {
+		t.Errorf("PrefetchAccuracy = %v", got)
+	}
+	if got := s.PrefetchCoverage(); got != 0.5 {
+		t.Errorf("PrefetchCoverage = %v", got)
+	}
+}
+
+// TestConfigKeyDistinguishes asserts every knob shows up in the memo key.
+func TestConfigKeyDistinguishes(t *testing.T) {
+	base := Default()
+	muts := []func(*Config){
+		func(c *Config) { c.L1.Sets = 256 },
+		func(c *Config) { c.L1.Policy = PolicyFIFO },
+		func(c *Config) { c.L2 = CacheConfig{} },
+		func(c *Config) { c.L2Latency = 9 },
+		func(c *Config) { c.MemLatency = 99 },
+		func(c *Config) { c.MSHRs = 8 },
+		func(c *Config) { c.WriteBuffer = 0 },
+		func(c *Config) { c.Prefetch = "stride" },
+		func(c *Config) { c.Prefetch = "stream"; c.PrefetchDegree = 8 },
+	}
+	seen := map[string]bool{base.Key(): true}
+	for i, mut := range muts {
+		cfg := base
+		mut(&cfg)
+		k := cfg.Key()
+		if seen[k] {
+			t.Errorf("mutation %d collides with an earlier key: %s", i, k)
+		}
+		seen[k] = true
+	}
+	// Defaulted fields must key like their explicit values.
+	a, b := Default(), Default()
+	b.MSHRs = 4
+	b.PrefetchDegree = 2
+	if a.Key() != b.Key() {
+		t.Errorf("default and explicit-default keys differ:\n%s\n%s", a.Key(), b.Key())
+	}
+}
+
+// TestPoliciesAndBytes covers the small introspection helpers.
+func TestPoliciesAndBytes(t *testing.T) {
+	if len(Policies()) != 3 {
+		t.Errorf("Policies() = %v", Policies())
+	}
+	if got := Default().L1.Bytes(); got != 8192 {
+		t.Errorf("default L1 = %d bytes, want 8192", got)
+	}
+	if !Default().HasL2() || SingleLevel(4, 1, 16, 1).HasL2() {
+		t.Errorf("HasL2 misreports")
+	}
+	h, _ := New(Default())
+	if h.Config().Key() != Default().Key() {
+		t.Errorf("Config() does not round-trip")
+	}
+}
+
+// TestPrefetchDropsWhenMSHRsFull: prefetches never stall and are dropped
+// when no MSHR is free.
+func TestPrefetchDropsWhenMSHRsFull(t *testing.T) {
+	cfg := SingleLevel(512, 1, 16, 50)
+	cfg.Prefetch = "stride"
+	cfg.PrefetchDegree = 4
+	cfg.MSHRs = 1
+	cfg.WriteBuffer = 1
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	for i := 0; i < 8; i++ {
+		s := h.Access(now, 4, uint32(0x100000+16*i), true)
+		now += 1 + s
+	}
+	st := h.Stats()
+	// With one MSHR shared by demand fills, at most a trickle of
+	// prefetches can ever be outstanding; the machine must still be
+	// making progress and nothing may deadlock.
+	if st.Accesses != 8 {
+		t.Fatalf("stats lost accesses: %+v", st)
+	}
+}

@@ -1,0 +1,128 @@
+package memhier
+
+// prefetcher observes the demand access stream and issues background
+// fills through Hierarchy.prefetchLine. miss reports an L1 demand miss;
+// prefHit reports that the access was served by a prefetch (a hit on a
+// prefetched line, or a merge with an in-flight prefetch) — the feedback
+// that keeps a stream running once its prefetches start hitting.
+// Implementations must be deterministic: the same observation sequence
+// always issues the same prefetch sequence.
+type prefetcher interface {
+	observe(h *Hierarchy, now int64, pc int, addr uint32, miss, prefHit bool)
+}
+
+// strideEntry is one row of the per-instruction stride table.
+type strideEntry struct {
+	pc       int
+	lastAddr uint32
+	stride   int32
+	conf     int8
+	valid    bool
+}
+
+// stridePrefetcher is a classic reference-prediction table: per static
+// memory instruction it tracks the last address and the last observed
+// stride, and once the same stride repeats (confidence ≥ 2) it prefetches
+// degree strides ahead. It trains on every access, hit or miss, so up-,
+// down- and large-strided streams are all detected.
+type stridePrefetcher struct {
+	table  []strideEntry // direct-mapped by pc
+	degree int
+}
+
+const strideTableSize = 64
+
+func newStridePrefetcher(degree int) *stridePrefetcher {
+	return &stridePrefetcher{table: make([]strideEntry, strideTableSize), degree: degree}
+}
+
+func (p *stridePrefetcher) observe(h *Hierarchy, now int64, pc int, addr uint32, miss, prefHit bool) {
+	e := &p.table[pc&(strideTableSize-1)]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr, valid: true}
+		return
+	}
+	stride := int32(addr - e.lastAddr)
+	e.lastAddr = addr
+	switch {
+	case stride == 0:
+		return // same address; nothing to learn
+	case stride == e.stride:
+		if e.conf < 4 {
+			e.conf++
+		}
+	default:
+		e.stride = stride
+		e.conf = 1
+		return
+	}
+	if e.conf < 2 {
+		return
+	}
+	for k := 1; k <= p.degree; k++ {
+		h.prefetchLine(now, addr+uint32(stride*int32(k)))
+	}
+}
+
+// stream is one detected sequential stream.
+type stream struct {
+	nextLine uint32 // the line a continuing stream touches next
+	dir      int32  // +1 ascending, -1 descending
+	valid    bool
+}
+
+// streamPrefetcher detects sequential line streams (the classic
+// stream-buffer scheme): two misses on adjacent lines confirm a stream,
+// which then runs degree lines ahead of the demand accesses. Hits on
+// prefetched lines advance the stream, so a confirmed stream keeps
+// prefetching as long as the program keeps walking it. A small set of
+// concurrent streams is held, replaced round-robin.
+type streamPrefetcher struct {
+	streams []stream
+	next    int // round-robin allocation cursor
+	degree  int
+}
+
+const streamCount = 4
+
+func newStreamPrefetcher(degree int) *streamPrefetcher {
+	return &streamPrefetcher{streams: make([]stream, streamCount), degree: degree}
+}
+
+func (p *streamPrefetcher) observe(h *Hierarchy, now int64, pc int, addr uint32, miss, prefHit bool) {
+	if !miss && !prefHit {
+		return // plain hits carry no stream signal
+	}
+	line := h.l1.lineOf(addr)
+	lineBytes := uint32(h.cfg.L1.LineBytes)
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid || s.nextLine != line {
+			continue
+		}
+		// Continuation: run degree lines ahead and advance.
+		for k := 1; k <= p.degree; k++ {
+			h.prefetchLine(now, (line+uint32(s.dir*int32(k)))*lineBytes)
+		}
+		s.nextLine = line + uint32(s.dir)
+		return
+	}
+	if !miss {
+		return // prefetch hit from a stream we no longer track
+	}
+	// A candidate expecting line+1 was allocated by a miss on line+1: this
+	// miss one line below it reveals a descending stream.
+	for i := range p.streams {
+		s := &p.streams[i]
+		if s.valid && s.dir > 0 && s.nextLine == line+2 {
+			s.dir = -1
+			s.nextLine = line - 1
+			for k := 1; k <= p.degree; k++ {
+				h.prefetchLine(now, (line-uint32(k))*lineBytes)
+			}
+			return
+		}
+	}
+	p.streams[p.next] = stream{nextLine: line + 1, dir: +1, valid: true}
+	p.next = (p.next + 1) % len(p.streams)
+}

@@ -13,6 +13,7 @@ import (
 	"boosting/internal/experiments"
 	"boosting/internal/isa"
 	"boosting/internal/machine"
+	"boosting/internal/memhier"
 	"boosting/internal/passes"
 	"boosting/internal/profile"
 	"boosting/internal/prog"
@@ -119,11 +120,16 @@ func (s *Server) simulateWorkload(ctx context.Context, req SimulateRequest) (int
 		return domainStatus(err)
 	}
 	setArtifactSource(ctx, c.Source())
+	opts := req.Options.opts()
+	if req.Mem != nil {
+		opts = append(opts, boosting.WithMemHier(req.Mem.config()))
+	}
 	if req.Dynamic {
-		res, err := s.pipe.SimulateDynamic(ctx, c, req.Renaming)
+		res, err := s.pipe.SimulateDynamic(ctx, c, req.Renaming, opts...)
 		if err != nil {
 			return domainStatus(err)
 		}
+		s.metrics.recordMem(res.Mem)
 		return http.StatusOK, SimulateResponse{
 			SchemaVersion: SchemaVersion,
 			Workload:      req.Workload,
@@ -132,15 +138,17 @@ func (s *Server) simulateWorkload(ctx context.Context, req SimulateRequest) (int
 			ScalarCycles:  res.ScalarCycles,
 			Speedup:       res.Speedup,
 			Mispredicts:   res.Mispredicts,
+			Mem:           memStatsResponse(res.Mem, res.MemStalls, 0, 0),
 			OutLen:        len(res.Out),
 		}
 	}
 	model, _ := boosting.ModelByName(req.Model)
-	res, err := s.pipe.Simulate(ctx, c, model, req.Options.opts()...)
+	res, err := s.pipe.Simulate(ctx, c, model, opts...)
 	if err != nil {
 		return domainStatus(err)
 	}
 	s.metrics.recordEngine(res.Engine)
+	s.metrics.recordMem(res.Mem)
 	return http.StatusOK, SimulateResponse{
 		SchemaVersion:      SchemaVersion,
 		Workload:           req.Workload,
@@ -155,6 +163,7 @@ func (s *Server) simulateWorkload(ctx context.Context, req SimulateRequest) (int
 		Squashed:           res.Squashed,
 		PredictionAccuracy: res.PredictionAccuracy,
 		ObjectGrowth:       res.ObjectGrowth,
+		Mem:                memStatsResponse(res.Mem, res.MemStalls, res.BoostedMemStalls, res.SquashedMemStalls),
 		OutLen:             len(res.Out),
 	}
 }
@@ -175,7 +184,12 @@ func (s *Server) simulateAsm(ctx context.Context, req SimulateRequest) (int, any
 	}
 
 	engine := req.Options.engine()
-	scalar, eresp := s.asmScalarBaseline(pr, ref, engine)
+	var mem *memhier.Config
+	if req.Mem != nil {
+		cfg := req.Mem.config()
+		mem = &cfg
+	}
+	scalar, eresp := s.asmScalarBaseline(pr, ref, engine, mem)
 	if eresp != nil {
 		return http.StatusUnprocessableEntity, eresp
 	}
@@ -186,6 +200,7 @@ func (s *Server) simulateAsm(ctx context.Context, req SimulateRequest) (int, any
 	if req.Dynamic {
 		cfg := dynsched.Default()
 		cfg.Renaming = req.Renaming
+		cfg.Mem = mem
 		res, err := dynsched.Simulate(prog.Clone(pr), cfg)
 		if err != nil {
 			return http.StatusUnprocessableEntity, errorResponse{fmt.Sprintf("dynamic simulation: %v", err)}
@@ -193,6 +208,7 @@ func (s *Server) simulateAsm(ctx context.Context, req SimulateRequest) (int, any
 		if err := verifyAgainst(ref, res.Out, res.MemHash); err != nil {
 			return http.StatusInternalServerError, errorResponse{err.Error()}
 		}
+		s.metrics.recordMem(res.Mem)
 		return http.StatusOK, SimulateResponse{
 			SchemaVersion: SchemaVersion,
 			Machine:       fmt.Sprintf("dynamic(renaming=%v)", req.Renaming),
@@ -200,6 +216,7 @@ func (s *Server) simulateAsm(ctx context.Context, req SimulateRequest) (int, any
 			ScalarCycles:  scalar,
 			Speedup:       ratio(scalar, res.Cycles),
 			Mispredicts:   res.Mispredicts,
+			Mem:           memStatsResponse(res.Mem, res.MemStalls, 0, 0),
 			OutLen:        len(res.Out),
 		}
 	}
@@ -212,7 +229,7 @@ func (s *Server) simulateAsm(ctx context.Context, req SimulateRequest) (int, any
 	if err := ctx.Err(); err != nil {
 		return 0, nil
 	}
-	res, err := sim.Exec(sp, sim.ExecConfig{Engine: engine, MaxCycles: s.execCycleCap()})
+	res, err := sim.Exec(sp, sim.ExecConfig{Engine: engine, MaxCycles: s.execCycleCap(), Mem: mem})
 	if err != nil {
 		return http.StatusUnprocessableEntity, errorResponse{fmt.Sprintf("simulation: %v", err)}
 	}
@@ -220,6 +237,7 @@ func (s *Server) simulateAsm(ctx context.Context, req SimulateRequest) (int, any
 		return http.StatusInternalServerError, errorResponse{err.Error()}
 	}
 	s.metrics.recordEngine(engine.String())
+	s.metrics.recordMem(res.Mem)
 	return http.StatusOK, SimulateResponse{
 		SchemaVersion:      SchemaVersion,
 		Machine:            model.Name,
@@ -233,6 +251,7 @@ func (s *Server) simulateAsm(ctx context.Context, req SimulateRequest) (int, any
 		Squashed:           res.Squashed,
 		PredictionAccuracy: selfAccuracy(pr),
 		ObjectGrowth:       sp.ObjectGrowth(),
+		Mem:                memStatsResponse(res.Mem, res.MemStalls, res.BoostedMemStalls, res.SquashedMemStalls),
 		OutLen:             len(res.Out),
 	}
 }
@@ -290,13 +309,14 @@ func selfAccuracy(pr *prog.Program) float64 {
 }
 
 // asmScalarBaseline measures the single-issue R2000 baseline for a
-// prepared assembly program on the requested simulator engine.
-func (s *Server) asmScalarBaseline(pr *prog.Program, ref *sim.Result, engine sim.Engine) (int64, *errorResponse) {
+// prepared assembly program on the requested simulator engine, under
+// the same memory hierarchy (if any) as the boosted run it normalizes.
+func (s *Server) asmScalarBaseline(pr *prog.Program, ref *sim.Result, engine sim.Engine, mem *memhier.Config) (int64, *errorResponse) {
 	sp, err := core.Schedule(prog.Clone(pr), machine.Scalar(), core.Options{LocalOnly: true})
 	if err != nil {
 		return 0, &errorResponse{fmt.Sprintf("scalar baseline schedule: %v", err)}
 	}
-	res, err := sim.Exec(sp, sim.ExecConfig{Engine: engine, MaxCycles: s.execCycleCap()})
+	res, err := sim.Exec(sp, sim.ExecConfig{Engine: engine, MaxCycles: s.execCycleCap(), Mem: mem})
 	if err != nil {
 		return 0, &errorResponse{fmt.Sprintf("scalar baseline: %v", err)}
 	}
@@ -345,6 +365,16 @@ func (s *Server) grid(ctx context.Context, req GridRequest) (int, any) {
 					})
 				}
 			}
+		}
+	}
+	if req.Mem != nil {
+		// Every cell — including the scalar baselines the pipeline
+		// measures internally — runs under the requested hierarchy.
+		memOpt := boosting.WithMemHier(req.Mem.config())
+		for i := range cells {
+			opts := make([]boosting.Option, len(cells[i].Opts), len(cells[i].Opts)+1)
+			copy(opts, cells[i].Opts)
+			cells[i].Opts = append(opts, memOpt)
 		}
 	}
 	if len(cells) > s.cfg.GridCellCap {

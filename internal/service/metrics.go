@@ -10,6 +10,7 @@ import (
 
 	"boosting"
 	"boosting/internal/artifact"
+	"boosting/internal/memhier"
 	"boosting/internal/sim"
 )
 
@@ -106,6 +107,12 @@ type metricsRegistry struct {
 	passMu        sync.Mutex
 	compilePasses map[string]passTotals
 
+	// mem accumulates memory-hierarchy counters across every simulation
+	// that ran with a mem block. Cached responses do not re-record.
+	memMu   sync.Mutex
+	memRuns int64
+	mem     memhier.Stats
+
 	// Gauges and cache counters are sampled at scrape time.
 	queueDepth    func() int64
 	inFlight      func() int64
@@ -164,6 +171,27 @@ func (m *metricsRegistry) recordCompilePasses(cs *boosting.CompileStats) {
 		m.compilePasses[row.Name] = t
 	}
 	m.passMu.Unlock()
+}
+
+// recordMem folds one simulation's memory-hierarchy counters into the
+// cumulative boostd_mem_* totals. Perfect-memory runs (nil stats) are
+// not counted.
+func (m *metricsRegistry) recordMem(s *memhier.Stats) {
+	if s == nil {
+		return
+	}
+	m.memMu.Lock()
+	m.memRuns++
+	m.mem.Accesses += s.Accesses
+	m.mem.L1Misses += s.L1Misses
+	m.mem.L2Misses += s.L2Misses
+	m.mem.MSHRMerges += s.MSHRMerges
+	m.mem.MSHRFullStalls += s.MSHRFullStalls
+	m.mem.WriteBufferStalls += s.WriteBufferStalls
+	m.mem.StallCycles += s.StallCycles
+	m.mem.PrefIssued += s.PrefIssued
+	m.mem.PrefUseful += s.PrefUseful
+	m.memMu.Unlock()
 }
 
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
@@ -272,6 +300,34 @@ func (m *metricsRegistry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "boostd_compile_pass_seconds_count{pass=%q} %d\n", n, t.count)
 	}
 	m.passMu.Unlock()
+
+	m.memMu.Lock()
+	memRuns, mem := m.memRuns, m.mem
+	m.memMu.Unlock()
+	fmt.Fprintf(w, "# HELP boostd_mem_runs_total Simulations executed under a finite memory hierarchy (cached responses excluded).\n")
+	fmt.Fprintf(w, "# TYPE boostd_mem_runs_total counter\n")
+	fmt.Fprintf(w, "boostd_mem_runs_total %d\n", memRuns)
+	fmt.Fprintf(w, "# HELP boostd_mem_accesses_total Demand memory accesses simulated under a hierarchy.\n")
+	fmt.Fprintf(w, "# TYPE boostd_mem_accesses_total counter\n")
+	fmt.Fprintf(w, "boostd_mem_accesses_total %d\n", mem.Accesses)
+	fmt.Fprintf(w, "# HELP boostd_mem_misses_total Cache misses by level.\n")
+	fmt.Fprintf(w, "# TYPE boostd_mem_misses_total counter\n")
+	fmt.Fprintf(w, "boostd_mem_misses_total{level=\"l1\"} %d\n", mem.L1Misses)
+	fmt.Fprintf(w, "boostd_mem_misses_total{level=\"l2\"} %d\n", mem.L2Misses)
+	fmt.Fprintf(w, "# HELP boostd_mem_stall_cycles_total Stall cycles charged by the memory hierarchy.\n")
+	fmt.Fprintf(w, "# TYPE boostd_mem_stall_cycles_total counter\n")
+	fmt.Fprintf(w, "boostd_mem_stall_cycles_total %d\n", mem.StallCycles)
+	fmt.Fprintf(w, "# HELP boostd_mem_mshr_merges_total Demand misses merged into an in-flight fill.\n")
+	fmt.Fprintf(w, "# TYPE boostd_mem_mshr_merges_total counter\n")
+	fmt.Fprintf(w, "boostd_mem_mshr_merges_total %d\n", mem.MSHRMerges)
+	fmt.Fprintf(w, "# HELP boostd_mem_structural_stall_cycles_total Cycles lost to full MSHRs or a full write buffer.\n")
+	fmt.Fprintf(w, "# TYPE boostd_mem_structural_stall_cycles_total counter\n")
+	fmt.Fprintf(w, "boostd_mem_structural_stall_cycles_total{resource=\"mshr\"} %d\n", mem.MSHRFullStalls)
+	fmt.Fprintf(w, "boostd_mem_structural_stall_cycles_total{resource=\"write_buffer\"} %d\n", mem.WriteBufferStalls)
+	fmt.Fprintf(w, "# HELP boostd_mem_prefetches_total Prefetch fills, total issued and the useful subset.\n")
+	fmt.Fprintf(w, "# TYPE boostd_mem_prefetches_total counter\n")
+	fmt.Fprintf(w, "boostd_mem_prefetches_total{kind=\"issued\"} %d\n", mem.PrefIssued)
+	fmt.Fprintf(w, "boostd_mem_prefetches_total{kind=\"useful\"} %d\n", mem.PrefUseful)
 
 	fmt.Fprintf(w, "# HELP boostd_panics_total Request handlers recovered from a panic.\n")
 	fmt.Fprintf(w, "# TYPE boostd_panics_total counter\n")

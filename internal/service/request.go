@@ -9,6 +9,7 @@ import (
 
 	"boosting"
 	"boosting/internal/core"
+	"boosting/internal/memhier"
 	"boosting/internal/sim"
 )
 
@@ -16,7 +17,13 @@ import (
 // response (success and error alike). It is bumped when a field changes
 // meaning or disappears; purely additive fields do not bump it. See
 // docs/SERVICE.md for the compatibility policy.
-const SchemaVersion = 1
+//
+// Version 2: a mem block on /v1/simulate and /v1/grid plugs a finite
+// memory hierarchy into the timing model. When it is present, cycles,
+// scalar_cycles and speedup are measured under that hierarchy (the
+// scalar baseline suffers it too), which changes the meaning of those
+// fields relative to version 1's perfect-memory numbers.
+const SchemaVersion = 2
 
 // EngineName is the typed wire enum for the simulator engine: "fast"
 // (default, also selected by the empty string) or "legacy". It replaces
@@ -54,7 +61,10 @@ type OptionsRequest struct {
 	InfiniteRegisters bool `json:"infinite_registers,omitempty"`
 	NoEquivalence     bool `json:"no_equivalence,omitempty"`
 	NoDisambiguation  bool `json:"no_disambiguation,omitempty"`
-	MaxTraceBlocks    int  `json:"max_trace_blocks,omitempty"`
+	// NoBoostedLoads forbids the scheduler from boosting loads above
+	// branches (the memory-hierarchy ablation knob).
+	NoBoostedLoads bool `json:"no_boosted_loads,omitempty"`
+	MaxTraceBlocks int  `json:"max_trace_blocks,omitempty"`
 	// Engine selects the simulator core: "fast" (default) or "legacy".
 	// The engines are verified byte-identical; the knob exists for
 	// differential testing and as an escape hatch.
@@ -74,6 +84,9 @@ func (o OptionsRequest) opts() []boosting.Option {
 	}
 	if o.NoDisambiguation {
 		opts = append(opts, boosting.WithoutDisambiguation())
+	}
+	if o.NoBoostedLoads {
+		opts = append(opts, boosting.WithoutBoostedLoads())
 	}
 	if o.MaxTraceBlocks > 0 {
 		opts = append(opts, boosting.WithMaxTraceBlocks(o.MaxTraceBlocks))
@@ -97,6 +110,7 @@ func (o OptionsRequest) coreOptions() core.Options {
 		LocalOnly:          o.LocalOnly,
 		DisableEquivalence: o.NoEquivalence,
 		NoDisambiguation:   o.NoDisambiguation,
+		NoBoostedLoads:     o.NoBoostedLoads,
 		MaxTraceBlocks:     o.MaxTraceBlocks,
 	}
 }
@@ -106,8 +120,9 @@ func (o OptionsRequest) coreOptions() core.Options {
 func (o OptionsRequest) key() string {
 	// The engine is keyed by its normalized name, so "" and "fast" — which
 	// are the same configuration — share a cache entry.
-	return fmt.Sprintf("local=%v;inf=%v;noeq=%v;nodis=%v;trace=%d;engine=%s",
-		o.LocalOnly, o.InfiniteRegisters, o.NoEquivalence, o.NoDisambiguation, o.MaxTraceBlocks, o.engine())
+	return fmt.Sprintf("local=%v;inf=%v;noeq=%v;nodis=%v;nobl=%v;trace=%d;engine=%s",
+		o.LocalOnly, o.InfiniteRegisters, o.NoEquivalence, o.NoDisambiguation,
+		o.NoBoostedLoads, o.MaxTraceBlocks, o.engine())
 }
 
 func (o OptionsRequest) validate() error {
@@ -120,6 +135,142 @@ func (o OptionsRequest) validate() error {
 		return err
 	}
 	return nil
+}
+
+// MemRequest is the wire form of a memory-hierarchy configuration
+// (boosting.MemConfig). An absent mem block means the paper's perfect
+// memory. When present, fields left at zero take the stock defaults of
+// boosting.DefaultMemConfig (8 KiB direct-mapped L1, 32 KiB 4-way L2,
+// 6/24-cycle latencies, 4 MSHRs, 4-entry write buffer, no prefetch);
+// structure sizes that are meaningfully zero use -1 as the "disabled"
+// sentinel (l2_sets: -1 removes the L2, write_buffer: -1 makes store
+// misses block like loads).
+type MemRequest struct {
+	L1Sets      int    `json:"l1_sets,omitempty"`
+	L1Ways      int    `json:"l1_ways,omitempty"`
+	L1LineBytes int    `json:"l1_line_bytes,omitempty"`
+	L1Policy    string `json:"l1_policy,omitempty"` // lru (default), fifo, random
+	L2Sets      int    `json:"l2_sets,omitempty"`   // -1 disables the L2
+	L2Ways      int    `json:"l2_ways,omitempty"`
+	L2LineBytes int    `json:"l2_line_bytes,omitempty"`
+	L2Policy    string `json:"l2_policy,omitempty"`
+	L2Latency   int64  `json:"l2_latency,omitempty"`
+	MemLatency  int64  `json:"mem_latency,omitempty"`
+	MSHRs       int    `json:"mshrs,omitempty"`
+	WriteBuffer int    `json:"write_buffer,omitempty"` // -1 disables it
+	Prefetch    string `json:"prefetch,omitempty"`     // none (default), stride, stream
+	PrefetchDegree int `json:"prefetch_degree,omitempty"`
+}
+
+// config resolves the wire block to a validated-shape MemConfig: stock
+// defaults overlaid with every explicitly set field.
+func (m *MemRequest) config() memhier.Config {
+	cfg := memhier.Default()
+	set := func(dst *int, v int) {
+		if v != 0 {
+			*dst = v
+		}
+	}
+	set(&cfg.L1.Sets, m.L1Sets)
+	set(&cfg.L1.Ways, m.L1Ways)
+	set(&cfg.L1.LineBytes, m.L1LineBytes)
+	if m.L1Policy != "" {
+		cfg.L1.Policy = memhier.Policy(m.L1Policy)
+	}
+	if m.L2Sets < 0 {
+		cfg.L2 = memhier.CacheConfig{}
+	} else {
+		set(&cfg.L2.Sets, m.L2Sets)
+		set(&cfg.L2.Ways, m.L2Ways)
+		set(&cfg.L2.LineBytes, m.L2LineBytes)
+		if m.L2Policy != "" {
+			cfg.L2.Policy = memhier.Policy(m.L2Policy)
+		}
+	}
+	if m.L2Latency != 0 {
+		cfg.L2Latency = m.L2Latency
+	}
+	if m.MemLatency != 0 {
+		cfg.MemLatency = m.MemLatency
+	}
+	set(&cfg.MSHRs, m.MSHRs)
+	if m.WriteBuffer < 0 {
+		cfg.WriteBuffer = 0
+	} else {
+		set(&cfg.WriteBuffer, m.WriteBuffer)
+	}
+	if m.Prefetch != "" {
+		cfg.Prefetch = m.Prefetch
+	}
+	set(&cfg.PrefetchDegree, m.PrefetchDegree)
+	return cfg
+}
+
+func (m *MemRequest) validate() error {
+	if m == nil {
+		return nil
+	}
+	return m.config().Validate()
+}
+
+// key renders the resolved configuration canonically, so wire blocks
+// that resolve to the same hierarchy share a cache entry.
+func (m *MemRequest) key() string {
+	if m == nil {
+		return "mem=perfect"
+	}
+	return "mem=" + m.config().Key()
+}
+
+// MemStatsResponse reports one run's memory-hierarchy activity.
+type MemStatsResponse struct {
+	Accesses   int64   `json:"accesses"`
+	L1Misses   int64   `json:"l1_misses"`
+	L1MissRate float64 `json:"l1_miss_rate"`
+	L2MissRate float64 `json:"l2_miss_rate,omitempty"`
+	// MSHRMerges counts misses that merged into an in-flight fill;
+	// MSHRFullStalls and WriteBufferStalls count structural-hazard
+	// cycles.
+	MSHRMerges        int64 `json:"mshr_merges,omitempty"`
+	MSHRFullStalls    int64 `json:"mshr_full_stalls,omitempty"`
+	WriteBufferStalls int64 `json:"write_buffer_stalls,omitempty"`
+	// MemStalls is the total stall cycles charged; BoostedMemStalls the
+	// share from speculative accesses; SquashedMemStalls the share spent
+	// on speculative misses whose work was later squashed.
+	MemStalls         int64 `json:"mem_stalls"`
+	BoostedMemStalls  int64 `json:"boosted_mem_stalls,omitempty"`
+	SquashedMemStalls int64 `json:"squashed_mem_stalls,omitempty"`
+	// Prefetcher counters (zero without a prefetcher).
+	PrefIssued       int64   `json:"pref_issued,omitempty"`
+	PrefUseful       int64   `json:"pref_useful,omitempty"`
+	PrefLate         int64   `json:"pref_late,omitempty"`
+	PrefetchAccuracy float64 `json:"prefetch_accuracy,omitempty"`
+	PrefetchCoverage float64 `json:"prefetch_coverage,omitempty"`
+}
+
+// memStatsResponse flattens hierarchy counters and the simulator's
+// speculative-stall attribution into the wire form.
+func memStatsResponse(mem *memhier.Stats, memStalls, boosted, squashed int64) *MemStatsResponse {
+	if mem == nil {
+		return nil
+	}
+	return &MemStatsResponse{
+		Accesses:          mem.Accesses,
+		L1Misses:          mem.L1Misses,
+		L1MissRate:        mem.L1MissRate(),
+		L2MissRate:        mem.L2MissRate(),
+		MSHRMerges:        mem.MSHRMerges,
+		MSHRFullStalls:    mem.MSHRFullStalls,
+		WriteBufferStalls: mem.WriteBufferStalls,
+		MemStalls:         memStalls,
+		BoostedMemStalls:  boosted,
+		SquashedMemStalls: squashed,
+		PrefIssued:        mem.PrefIssued,
+		PrefUseful:        mem.PrefUseful,
+		PrefLate:          mem.PrefLate,
+		PrefetchAccuracy:  mem.PrefetchAccuracy(),
+		PrefetchCoverage:  mem.PrefetchCoverage(),
+	}
 }
 
 // CompileRequest asks /v1/compile to schedule an assembly program for a
@@ -151,7 +302,7 @@ func (r CompileRequest) cacheKey() string {
 
 // CompileResponse reports the scheduled program.
 type CompileResponse struct {
-	// SchemaVersion is the wire-schema version (currently 1).
+	// SchemaVersion is the wire-schema version (currently 2).
 	SchemaVersion int    `json:"schema_version"`
 	Model         string `json:"model"`
 	// Listing is the formatted machine schedule (cycles × issue slots,
@@ -183,6 +334,10 @@ type SimulateRequest struct {
 	Dynamic  bool           `json:"dynamic,omitempty"`
 	Renaming bool           `json:"renaming,omitempty"`
 	Options  OptionsRequest `json:"options"`
+	// Mem plugs a finite memory hierarchy into the timing model (absent
+	// = perfect memory). Architectural results are unchanged; cycles,
+	// the scalar baseline and speedup are measured under the hierarchy.
+	Mem *MemRequest `json:"mem,omitempty"`
 }
 
 func (r SimulateRequest) validate() error {
@@ -211,6 +366,9 @@ func (r SimulateRequest) validate() error {
 			return fmt.Errorf("renaming applies to the dynamic machine only")
 		}
 	}
+	if err := r.Mem.validate(); err != nil {
+		return err
+	}
 	return r.Options.validate()
 }
 
@@ -226,14 +384,14 @@ func (r SimulateRequest) programID() string {
 func (r SimulateRequest) cacheKey() string {
 	return requestKey("simulate", r.programID(),
 		fmt.Sprintf("model=%s;dynamic=%v;renaming=%v", strings.ToLower(r.Model), r.Dynamic, r.Renaming),
-		r.Options.key())
+		r.Options.key(), r.Mem.key())
 }
 
 // SimulateResponse reports a verified run. All fields are deterministic
 // functions of the request, so identical requests always serialize to
 // byte-identical bodies.
 type SimulateResponse struct {
-	// SchemaVersion is the wire-schema version (currently 1).
+	// SchemaVersion is the wire-schema version (currently 2).
 	SchemaVersion int    `json:"schema_version"`
 	Workload      string `json:"workload,omitempty"`
 	Machine       string `json:"machine"`
@@ -256,6 +414,9 @@ type SimulateResponse struct {
 	Mispredicts        int64   `json:"mispredicts,omitempty"`
 	PredictionAccuracy float64 `json:"prediction_accuracy,omitempty"`
 	ObjectGrowth       float64 `json:"object_growth,omitempty"`
+	// Mem reports memory-hierarchy activity; present exactly when the
+	// request carried a mem block.
+	Mem *MemStatsResponse `json:"mem,omitempty"`
 	// OutLen is the length of the observable output stream, which was
 	// verified against the reference interpreter before this response
 	// was produced.
@@ -274,6 +435,10 @@ type GridRequest struct {
 	// Parallelism bounds the per-request worker pool; it is capped by
 	// the server's configured grid parallelism.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Mem plugs a finite memory hierarchy into every cell of the sweep
+	// (absent = perfect memory). The scalar baselines behind each cell's
+	// speedup are re-measured under the same hierarchy.
+	Mem *MemRequest `json:"mem,omitempty"`
 }
 
 func (r GridRequest) validate() error {
@@ -295,7 +460,7 @@ func (r GridRequest) validate() error {
 	if r.Parallelism < 0 {
 		return fmt.Errorf("parallelism must be >= 0, got %d", r.Parallelism)
 	}
-	return nil
+	return r.Mem.validate()
 }
 
 // cacheKey ignores Parallelism: results are deterministic at any worker
@@ -304,7 +469,8 @@ func (r GridRequest) cacheKey() string {
 	return requestKey("grid",
 		"workloads="+strings.Join(r.Workloads, ","),
 		"models="+strings.Join(lowerAll(r.Models), ","),
-		"ablations="+strings.Join(r.Ablations, ","))
+		"ablations="+strings.Join(r.Ablations, ","),
+		r.Mem.key())
 }
 
 // GridRow is one cell of the sweep. Exactly one of (Cycles, Speedup) and
@@ -321,7 +487,7 @@ type GridRow struct {
 // GridResponse lists every cell in deterministic (workload, model,
 // ablation) order.
 type GridResponse struct {
-	// SchemaVersion is the wire-schema version (currently 1).
+	// SchemaVersion is the wire-schema version (currently 2).
 	SchemaVersion int       `json:"schema_version"`
 	Cells         int       `json:"cells"`
 	Rows          []GridRow `json:"rows"`

@@ -3,9 +3,9 @@ package sim
 import (
 	"fmt"
 
-	"boosting/internal/cache"
 	"boosting/internal/isa"
 	"boosting/internal/machine"
+	"boosting/internal/memhier"
 	"boosting/internal/prog"
 )
 
@@ -37,11 +37,13 @@ type ExecConfig struct {
 	// differential oracle can prove (in its own tests) that it detects
 	// and minimizes real bugs. Production paths leave it zero.
 	Inject FaultInjection
-	// DataCache, if non-nil, models a finite data cache: every memory
+	// Mem, if non-nil, models a finite memory hierarchy: every memory
 	// access (speculative or not) touches it and misses stall the
 	// machine (the paper assumes a perfect memory system; this knob
-	// quantifies that assumption).
-	DataCache *cache.Cache
+	// quantifies that assumption). The hierarchy perturbs only timing —
+	// architectural results stay byte-identical to a perfect-memory run.
+	// Each execution builds a fresh hierarchy from this config.
+	Mem *memhier.Config
 }
 
 // SquashInfo describes one mispredicted-branch squash.
@@ -97,9 +99,19 @@ type ExecResult struct {
 	Recoveries int64
 	// Stalls counts cycles lost to operand interlocks.
 	Stalls int64
-	// MemStalls counts cycles lost to data-cache misses (zero with the
-	// default perfect memory system).
+	// MemStalls counts cycles lost to memory-hierarchy misses (zero with
+	// the default perfect memory system).
 	MemStalls int64
+	// BoostedMemStalls counts the subset of MemStalls incurred by boosted
+	// (speculative) accesses.
+	BoostedMemStalls int64
+	// SquashedMemStalls counts memory-stall cycles spent on speculative
+	// accesses whose work was later squashed — the cost of boosting loads
+	// past branches on a real memory system.
+	SquashedMemStalls int64
+	// Mem holds the memory-hierarchy counters when a hierarchy was
+	// modeled (nil with perfect memory). Populated on normal completion.
+	Mem *memhier.Stats
 	// Fault is the terminating precise fault, if any.
 	Fault *Fault
 }
@@ -120,6 +132,9 @@ type execState struct {
 
 	res       *ExecResult
 	maxCycles int64
+
+	mh   *memhier.Hierarchy
+	spec specStallTracker
 }
 
 // Exec runs a scheduled program to completion on its model, applying full
@@ -162,6 +177,14 @@ func execLegacy(sp *machine.SchedProgram, cfg ExecConfig) (*ExecResult, error) {
 	if st.maxCycles == 0 {
 		st.maxCycles = 500_000_000
 	}
+	if cfg.Mem != nil {
+		mh, err := memhier.New(*cfg.Mem)
+		if err != nil {
+			return nil, err
+		}
+		st.mh = mh
+		st.spec.reset(sp.Model.Boost.MaxLevel)
+	}
 	st.regs[isa.SP] = prog.StackTop
 
 	curProc := mainSP
@@ -176,6 +199,10 @@ func execLegacy(sp *machine.SchedProgram, cfg ExecConfig) (*ExecResult, error) {
 				return st.res, fmt.Errorf("sim: speculative state outstanding at halt")
 			}
 			st.res.MemHash = st.mem.Snapshot()
+			if st.mh != nil {
+				stats := st.mh.Stats()
+				st.res.Mem = &stats
+			}
 			return st.res, nil
 		}
 		if st.res.Cycles > st.maxCycles {
@@ -335,7 +362,7 @@ func (st *execState) execute(sp *machine.SchedProc, b *prog.Block, in *isa.Inst,
 	case isa.IsLoad(in.Op):
 		addr := a + uint32(in.Imm)
 		size, signExt := memAccess(in.Op)
-		st.touchCache(addr)
+		st.touchMem(in.ID, addr, false, in.Boost)
 		v, f := st.loadValue(sp, b, in, addr, size)
 		if f != nil {
 			if in.IsBoosted() {
@@ -357,7 +384,7 @@ func (st *execState) execute(sp *machine.SchedProc, b *prog.Block, in *isa.Inst,
 	case isa.IsStore(in.Op):
 		addr := a + uint32(in.Imm)
 		size, _ := memAccess(in.Op)
-		st.touchCache(addr)
+		st.touchMem(in.ID, addr, true, in.Boost)
 		if in.IsBoosted() {
 			if !st.model.Boost.StoreBuffer {
 				return nil, fmt.Errorf("sim: boosted store without store buffer in B%d", b.ID)
@@ -409,14 +436,20 @@ func (st *execState) execute(sp *machine.SchedProc, b *prog.Block, in *isa.Inst,
 	}
 }
 
-// touchCache charges data-cache miss penalties when a cache is modeled.
-func (st *execState) touchCache(addr uint32) {
-	if st.cfg.DataCache == nil {
+// touchMem charges memory-hierarchy stall cycles when a hierarchy is
+// modeled. Stalls incurred by boosted accesses are additionally tracked
+// per level so cycles wasted on later-squashed speculation are reported.
+func (st *execState) touchMem(id int, addr uint32, store bool, level int) {
+	if st.mh == nil {
 		return
 	}
-	if p := st.cfg.DataCache.Access(addr); p > 0 {
+	if p := st.mh.Access(st.res.Cycles, id, addr, store); p > 0 {
 		st.res.Cycles += p
 		st.res.MemStalls += p
+		if level > 0 {
+			st.res.BoostedMemStalls += p
+			st.spec.add(level, p)
+		}
 	}
 }
 
@@ -483,6 +516,9 @@ func (st *execState) finishBlock(sp *machine.SchedProc, b *prog.Block, ctl *pend
 			if f := st.stores.commit(st.mem, st.cfg.OnStore); f != nil {
 				commitFault = f
 			}
+			if st.mh != nil {
+				st.spec.commit()
+			}
 			if st.excbuf.shift() || commitFault != nil {
 				return st.recover(sp, b, ctl, succ)
 			}
@@ -502,6 +538,9 @@ func (st *execState) finishBlock(sp *machine.SchedProc, b *prog.Block, ctl *pend
 			st.stores.squash()
 		}
 		st.excbuf.clear()
+		if st.mh != nil {
+			st.res.SquashedMemStalls += st.spec.squash()
+		}
 		if st.cfg.OnSquash != nil {
 			leaked := len(st.stores.entries)
 			for _, es := range st.shadow.entries {
@@ -530,6 +569,9 @@ func (st *execState) recover(sp *machine.SchedProc, b *prog.Block, ctl *pendingC
 	st.shadow.squash()
 	st.stores.squash()
 	st.excbuf.clear()
+	if st.mh != nil {
+		st.res.SquashedMemStalls += st.spec.squash()
+	}
 	st.res.Cycles += int64(st.model.ExceptionOverhead)
 
 	rec := sp.Recovery[ctl.inst.ID]

@@ -4,9 +4,9 @@ import (
 	"strings"
 	"testing"
 
-	"boosting/internal/cache"
 	"boosting/internal/isa"
 	"boosting/internal/machine"
+	"boosting/internal/memhier"
 	"boosting/internal/prog"
 )
 
@@ -290,11 +290,8 @@ func TestCacheChangesTimingNotSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dc, err := cache.New(cache.Config{Sets: 4, Ways: 1, LineBytes: 16, MissPenalty: 50})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cached, err := Exec(m.sp, ExecConfig{DataCache: dc})
+	mc := memhier.SingleLevel(4, 1, 16, 50)
+	cached, err := Exec(m.sp, ExecConfig{Mem: &mc})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"boosting/internal/isa"
+	"boosting/internal/memhier"
 	"boosting/internal/prog"
 )
 
@@ -170,6 +171,9 @@ type fastState struct {
 	cachePN   uint32
 	cachePage *page
 
+	mh   *memhier.Hierarchy
+	spec specStallTracker
+
 	maxCycles int64
 }
 
@@ -206,6 +210,10 @@ func getFastState(pd *Predecoded, cfg *ExecConfig) *fastState {
 	}
 	fs.cachePage = nil
 	fs.cachePN = 0
+	fs.mh = nil
+	if cfg.Mem != nil {
+		fs.spec.reset(pd.maxLevel)
+	}
 	fs.maxCycles = cfg.MaxCycles
 	if fs.maxCycles == 0 {
 		fs.maxCycles = 500_000_000
@@ -222,6 +230,7 @@ func putFastState(fs *fastState) {
 	fs.res = nil
 	fs.mem = nil
 	fs.cachePage = nil
+	fs.mh = nil
 	fastStatePool.Put(fs)
 }
 
@@ -229,8 +238,16 @@ func putFastState(fs *fastState) {
 // hardware semantics. It is safe to call concurrently on the same
 // Predecoded value.
 func (pd *Predecoded) Exec(cfg ExecConfig) (*ExecResult, error) {
+	var mh *memhier.Hierarchy
+	if cfg.Mem != nil {
+		var err error
+		if mh, err = memhier.New(*cfg.Mem); err != nil {
+			return nil, err
+		}
+	}
 	fs := getFastState(pd, &cfg)
 	defer putFastState(fs)
+	fs.mh = mh
 	res := fs.res
 
 	cur := pd.entry
@@ -248,6 +265,10 @@ func (pd *Predecoded) Exec(cfg ExecConfig) (*ExecResult, error) {
 				return res, fmt.Errorf("sim: speculative state outstanding at halt")
 			}
 			res.MemHash = fs.mem.Snapshot()
+			if fs.mh != nil {
+				stats := fs.mh.Stats()
+				res.Mem = &stats
+			}
 			return res, nil
 		}
 		if res.Cycles > fs.maxCycles {
@@ -429,14 +450,19 @@ func (fs *fastState) memStore(addr uint32, size int, v uint32) bool {
 	return fs.mem.Store(addr, size, v)
 }
 
-// touchCache charges data-cache miss penalties when a cache is modeled.
-func (fs *fastState) touchCache(addr uint32) {
-	if fs.cfg.DataCache == nil {
+// touchMem charges memory-hierarchy stall cycles when a hierarchy is
+// modeled; it mirrors execState.touchMem exactly.
+func (fs *fastState) touchMem(id int, addr uint32, store bool, level int) {
+	if fs.mh == nil {
 		return
 	}
-	if p := fs.cfg.DataCache.Access(addr); p > 0 {
+	if p := fs.mh.Access(fs.res.Cycles, id, addr, store); p > 0 {
 		fs.res.Cycles += p
 		fs.res.MemStalls += p
+		if level > 0 {
+			fs.res.BoostedMemStalls += p
+			fs.spec.add(level, p)
+		}
 	}
 }
 
@@ -495,7 +521,7 @@ func (fs *fastState) execute(fb *fastBlock, fi *fastInst, a, c uint32, ctl *fast
 	case fkLoad:
 		addr := a + uint32(fi.imm)
 		size := int(fi.size)
-		fs.touchCache(addr)
+		fs.touchMem(int(fi.id), addr, false, int(fi.boost))
 		v, f := fs.loadValue(fb, fi, addr, size)
 		if f != nil {
 			if fi.boost > 0 {
@@ -517,7 +543,7 @@ func (fs *fastState) execute(fb *fastBlock, fi *fastInst, a, c uint32, ctl *fast
 	case fkStore:
 		addr := a + uint32(fi.imm)
 		size := int(fi.size)
-		fs.touchCache(addr)
+		fs.touchMem(int(fi.id), addr, true, int(fi.boost))
 		if fi.boost > 0 {
 			if !fs.pd.storeBuffer {
 				return false, fmt.Errorf("sim: boosted store without store buffer in B%d", fb.id)
@@ -628,6 +654,9 @@ func (fs *fastState) finishBlock(fb *fastBlock, ctl *fastCtl) (next int32, done 
 			if f := fs.stores.commit(fs.mem, fs.cfg.OnStore); f != nil {
 				commitFault = f
 			}
+			if fs.mh != nil {
+				fs.spec.commit()
+			}
 			if fs.excbuf.shift() || commitFault != nil {
 				return fs.recover(fb, ctl.fi, succ)
 			}
@@ -644,6 +673,9 @@ func (fs *fastState) finishBlock(fb *fastBlock, ctl *fastCtl) (next int32, done 
 			fs.stores.squash()
 		}
 		fs.excbuf.clear()
+		if fs.mh != nil {
+			res.SquashedMemStalls += fs.spec.squash()
+		}
 		if fs.cfg.OnSquash != nil {
 			leaked := len(fs.stores.entries) + fs.shadow.count()
 			fs.cfg.OnSquash(SquashInfo{
@@ -665,6 +697,9 @@ func (fs *fastState) recover(fb *fastBlock, bi *fastInst, succ int32) (int32, bo
 	fs.shadow.squash()
 	fs.stores.squash()
 	fs.excbuf.clear()
+	if fs.mh != nil {
+		res.SquashedMemStalls += fs.spec.squash()
+	}
 	res.Cycles += int64(fs.pd.excOverhead)
 
 	if bi.recLo < 0 {

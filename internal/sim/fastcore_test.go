@@ -11,11 +11,11 @@ import (
 	"reflect"
 	"testing"
 
-	"boosting/internal/cache"
 	"boosting/internal/core"
 	"boosting/internal/machine"
-	"boosting/internal/prog"
+	"boosting/internal/memhier"
 	"boosting/internal/profile"
+	"boosting/internal/prog"
 	"boosting/internal/sim"
 	"boosting/internal/workloads"
 )
@@ -140,25 +140,36 @@ func TestEnginesIdenticalUnderInjection(t *testing.T) {
 	}
 }
 
-// TestEnginesIdenticalWithDataCache runs both engines with the finite
-// data-cache model, whose miss penalties perturb cycle accounting
-// mid-instruction.
-func TestEnginesIdenticalWithDataCache(t *testing.T) {
+// TestEnginesIdenticalWithMemHier runs both engines with the memory
+// hierarchy, whose miss stalls perturb cycle accounting mid-instruction.
+// Several configs exercise the MSHR/write-buffer/prefetcher paths.
+func TestEnginesIdenticalWithMemHier(t *testing.T) {
 	master := compileWorkload(t, "grep")
 	sp, err := core.Schedule(prog.Clone(master), machine.Boost7(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mk := func() *cache.Cache {
-		dc, err := cache.New(cache.DefaultData())
-		if err != nil {
-			t.Fatal(err)
-		}
-		return dc
+	configs := map[string]memhier.Config{
+		"single":  memhier.SingleLevel(512, 1, 16, 12),
+		"default": memhier.Default(),
+		"stride": func() memhier.Config {
+			c := memhier.Default()
+			c.Prefetch = "stride"
+			return c
+		}(),
+		"stream-random": func() memhier.Config {
+			c := memhier.Default()
+			c.Prefetch = "stream"
+			c.L1.Policy = memhier.PolicyRandom
+			return c
+		}(),
 	}
-	fast := traceExec(sp, sim.ExecConfig{Engine: sim.EngineFast, DataCache: mk()})
-	legacy := traceExec(sp, sim.ExecConfig{Engine: sim.EngineLegacy, DataCache: mk()})
-	diffTraces(t, "grep/dcache", fast, legacy)
+	for name, mc := range configs {
+		mc := mc
+		fast := traceExec(sp, sim.ExecConfig{Engine: sim.EngineFast, Mem: &mc})
+		legacy := traceExec(sp, sim.ExecConfig{Engine: sim.EngineLegacy, Mem: &mc})
+		diffTraces(t, "grep/mem/"+name, fast, legacy)
+	}
 }
 
 // TestFastCoreSteadyStateAllocFree verifies the tentpole property: once a

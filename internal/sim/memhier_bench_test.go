@@ -1,0 +1,196 @@
+package sim_test
+
+// Throughput benchmarks for the memory-hierarchy timing model, plus the
+// BENCH_memhier.json writer and the committed-baseline regression gate
+// that CI runs.
+//
+//	go test -bench BenchmarkMemHier -benchmem ./internal/sim/   ad-hoc numbers
+//	make bench-memhier                                          rewrite BENCH_memhier.json
+//	make bench-memhier-check                                    fail on >15% regression
+//
+// The hierarchy sits on the fast core's hot path (every load and store
+// probes it), so the gate watches two things: absolute ns/op of a
+// finite-memory run, and the overhead ratio over the same run with
+// perfect memory — the hierarchy must stay a small multiple of the
+// executor it decorates.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"boosting/internal/machine"
+	"boosting/internal/memhier"
+	"boosting/internal/sim"
+)
+
+// memhierBenchConfigs are the hierarchies under test: the stock two-level
+// configuration, and the busiest one (stride prefetcher on a small L1,
+// so the MSHR and prefetch paths run constantly).
+func memhierBenchConfigs() map[string]memhier.Config {
+	busy := memhier.Default()
+	busy.L1 = memhier.CacheConfig{Sets: 64, Ways: 1, LineBytes: 16}
+	busy.Prefetch = "stride"
+	return map[string]memhier.Config{
+		"default": memhier.Default(),
+		"busy":    busy,
+	}
+}
+
+// memhierBenchOrder fixes the measurement order for deterministic output.
+var memhierBenchOrder = []string{"default", "busy"}
+
+// BenchmarkMemHier measures whole-run fast-core throughput with each
+// hierarchy in front of it, against the perfect-memory run as the
+// reference point, reporting ns per demand access.
+func BenchmarkMemHier(b *testing.B) {
+	sp := scheduleBoost7(b, "eqntott")
+	b.Run("perfect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Exec(sp, sim.ExecConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, name := range memhierBenchOrder {
+		cfg := memhierBenchConfigs()[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var accesses int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Exec(sp, sim.ExecConfig{Mem: &cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				accesses = res.Mem.Accesses
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(accesses), "ns/access")
+		})
+	}
+}
+
+// memhierBench is one hierarchy's measurement in BENCH_memhier.json.
+type memhierBench struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// Overhead is ns/op over the perfect-memory run of the same schedule.
+	Overhead    float64 `json:"overhead"`
+	Accesses    int64   `json:"accesses"`
+	StallCycles int64   `json:"stall_cycles"`
+}
+
+type memhierBenchFile struct {
+	GeneratedBy string `json:"generated_by"`
+	Workload    string `json:"workload"`
+	Model       string `json:"model"`
+	// PerfectNsPerOp anchors the overhead ratios.
+	PerfectNsPerOp float64                 `json:"perfect_ns_per_op"`
+	Configs        map[string]memhierBench `json:"configs"`
+}
+
+// measureMemhier times reps whole-program runs under one hierarchy
+// (nil = perfect memory).
+func measureMemhier(tb testing.TB, sp *machine.SchedProgram, cfg *memhier.Config, reps int) (float64, *sim.ExecResult) {
+	tb.Helper()
+	run := func() *sim.ExecResult {
+		res, err := sim.Exec(sp, sim.ExecConfig{Mem: cfg})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return res
+	}
+	last := run() // warm pools and caches
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		last = run()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps), last
+}
+
+// TestWriteMemhierBenchJSON measures the hierarchy configurations on the
+// longest kernel and writes BENCH_memhier.json (path in
+// MEMHIER_BENCH_JSON; skipped when unset so `go test ./...` stays
+// quiet). It fails outright if a hierarchy costs more than 4x the
+// perfect-memory run, so a baseline with a bloated timing model cannot
+// be committed.
+func TestWriteMemhierBenchJSON(t *testing.T) {
+	out := os.Getenv("MEMHIER_BENCH_JSON")
+	if out == "" {
+		t.Skip("set MEMHIER_BENCH_JSON=path to write the memory-hierarchy benchmark file")
+	}
+	sp := scheduleBoost7(t, "eqntott")
+	perfect, _ := measureMemhier(t, sp, nil, 5)
+	file := memhierBenchFile{
+		GeneratedBy:    "go test -run TestWriteMemhierBenchJSON ./internal/sim/ (make bench-memhier)",
+		Workload:       "eqntott",
+		Model:          "Boost7",
+		PerfectNsPerOp: perfect,
+		Configs:        map[string]memhierBench{},
+	}
+	for _, name := range memhierBenchOrder {
+		cfg := memhierBenchConfigs()[name]
+		ns, res := measureMemhier(t, sp, &cfg, 5)
+		mb := memhierBench{
+			NsPerOp:     ns,
+			Overhead:    ns / perfect,
+			Accesses:    res.Mem.Accesses,
+			StallCycles: res.Mem.StallCycles,
+		}
+		file.Configs[name] = mb
+		t.Logf("%s: %.2fms (%.2fx perfect, %d accesses, %d stall cycles)",
+			name, ns/1e6, mb.Overhead, mb.Accesses, mb.StallCycles)
+		if mb.Overhead > 4 {
+			t.Errorf("%s: hierarchy costs %.2fx the perfect-memory run, want <= 4x", name, mb.Overhead)
+		}
+	}
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemhierBenchRegression re-measures the hierarchy runs and fails if
+// one runs >15% slower than the committed BENCH_memhier.json baseline
+// (path in MEMHIER_BENCH_BASELINE; skipped when unset). The comparison
+// is on ns/op of the same machine-independent workload, so run it on
+// hardware comparable to what produced the baseline.
+func TestMemhierBenchRegression(t *testing.T) {
+	base := os.Getenv("MEMHIER_BENCH_BASELINE")
+	if base == "" {
+		t.Skip("set MEMHIER_BENCH_BASELINE=path to compare against a committed baseline")
+	}
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want memhierBenchFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	const tolerance = 1.15
+	sp := scheduleBoost7(t, want.Workload)
+	for _, name := range memhierBenchOrder {
+		wb, ok := want.Configs[name]
+		if !ok {
+			t.Errorf("baseline %s lacks config %s; regenerate with make bench-memhier", base, name)
+			continue
+		}
+		cfg := memhierBenchConfigs()[name]
+		ns, res := measureMemhier(t, sp, &cfg, 5)
+		ratio := ns / wb.NsPerOp
+		t.Logf("%s: %.2fms vs baseline %.2fms (%.2fx)", name, ns/1e6, wb.NsPerOp/1e6, ratio)
+		if ratio > tolerance {
+			t.Errorf("%s: hierarchy run regressed to %.2fx the committed baseline (tolerance %.2fx): %s",
+				name, ratio, tolerance, fmt.Sprintf("%.2fms vs %.2fms", ns/1e6, wb.NsPerOp/1e6))
+		}
+		if res.Mem.Accesses != wb.Accesses || res.Mem.StallCycles != wb.StallCycles {
+			t.Errorf("%s: timing-model behavior drifted from baseline: %d accesses/%d stalls, want %d/%d",
+				name, res.Mem.Accesses, res.Mem.StallCycles, wb.Accesses, wb.StallCycles)
+		}
+	}
+}

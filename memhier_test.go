@@ -1,0 +1,150 @@
+package boosting
+
+import (
+	"context"
+	"testing"
+)
+
+// TestWithMemHierTimingOnly: a finite memory hierarchy slows the run and
+// reports stall statistics, but never changes what the program computes —
+// outputs, instruction counts and speculation activity are identical to
+// the perfect-memory run, and the scalar baseline is re-measured under
+// the same hierarchy so Speedup stays like-for-like.
+func TestWithMemHierTimingOnly(t *testing.T) {
+	ctx := context.Background()
+	p := NewPipeline()
+	c, err := p.Compile(ctx, WorkloadGrep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Models().MinBoost3
+
+	perfect, err := p.Simulate(ctx, c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect.Mem != nil || perfect.MemStalls != 0 {
+		t.Errorf("perfect-memory run reports hierarchy stats: stalls=%d mem=%+v",
+			perfect.MemStalls, perfect.Mem)
+	}
+
+	hier, err := p.Simulate(ctx, c, m, WithMemHier(DefaultMemConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.Cycles <= perfect.Cycles {
+		t.Errorf("hierarchy run %d cycles, want > perfect %d", hier.Cycles, perfect.Cycles)
+	}
+	if hier.MemStalls == 0 || hier.Mem == nil {
+		t.Fatalf("hierarchy run reports no memory activity: %+v", hier)
+	}
+	if hier.Cycles != perfect.Cycles+hier.MemStalls {
+		t.Errorf("cycles %d != perfect %d + stalls %d",
+			hier.Cycles, perfect.Cycles, hier.MemStalls)
+	}
+	if hier.Insts != perfect.Insts || hier.BoostedExec != perfect.BoostedExec ||
+		hier.Squashed != perfect.Squashed {
+		t.Errorf("architectural counters changed: hier %+v perfect %+v", hier, perfect)
+	}
+	if len(hier.Out) != len(perfect.Out) {
+		t.Fatalf("output length changed: %d vs %d", len(hier.Out), len(perfect.Out))
+	}
+	for i := range hier.Out {
+		if hier.Out[i] != perfect.Out[i] {
+			t.Fatalf("out[%d] = %d, perfect %d", i, hier.Out[i], perfect.Out[i])
+		}
+	}
+	if hier.ScalarCycles <= perfect.ScalarCycles {
+		t.Errorf("scalar baseline %d not re-measured under hierarchy (perfect %d)",
+			hier.ScalarCycles, perfect.ScalarCycles)
+	}
+	if hier.Mem.Accesses == 0 || hier.Mem.L1Misses == 0 {
+		t.Errorf("hierarchy counters empty: %+v", hier.Mem)
+	}
+}
+
+// TestWithoutBoostedLoads: forbidding boosted loads on a machine without
+// a shadow store buffer (MinBoost3) leaves no speculative memory
+// accesses at all, so the boosted/squashed stall counters go to zero,
+// while the baseline configuration does lose cycles to squashed
+// speculative misses. A tiny single-level cache makes the speculative
+// misses unmissable (awk's boosted loads all hit an 8 KiB L1).
+func TestWithoutBoostedLoads(t *testing.T) {
+	ctx := context.Background()
+	p := NewPipeline(WithMemHier(SingleLevelMemConfig(16, 1, 16, 30)))
+	c, err := p.Compile(ctx, WorkloadAWK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Models().MinBoost3
+
+	base, err := p.Simulate(ctx, c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.BoostedMemStalls == 0 || base.SquashedMemStalls == 0 {
+		t.Errorf("baseline run has no speculative memory stalls (boosted=%d squashed=%d); ablation has nothing to isolate",
+			base.BoostedMemStalls, base.SquashedMemStalls)
+	}
+
+	nobl, err := p.Simulate(ctx, c, m, WithoutBoostedLoads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nobl.BoostedMemStalls != 0 || nobl.SquashedMemStalls != 0 {
+		t.Errorf("no-boosted-loads run still stalls speculatively: boosted=%d squashed=%d",
+			nobl.BoostedMemStalls, nobl.SquashedMemStalls)
+	}
+	if nobl.BoostedExec >= base.BoostedExec {
+		t.Errorf("no-boosted-loads boosted %d insts, want < baseline %d",
+			nobl.BoostedExec, base.BoostedExec)
+	}
+}
+
+// TestWithPerfectMemory overrides a pipeline-level hierarchy for one
+// call.
+func TestWithPerfectMemory(t *testing.T) {
+	ctx := context.Background()
+	p := NewPipeline(WithMemHier(DefaultMemConfig()))
+	res, err := p.Run(ctx, WorkloadGrep, Models().MinBoost3, WithPerfectMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem != nil || res.MemStalls != 0 {
+		t.Errorf("WithPerfectMemory did not clear the hierarchy: %+v", res)
+	}
+}
+
+// TestSimulateDynamicWithMemHier: the dynamically-scheduled baseline
+// honors the same hierarchy option and stays architecturally identical.
+func TestSimulateDynamicWithMemHier(t *testing.T) {
+	ctx := context.Background()
+	p := NewPipeline()
+	c, err := p.Compile(ctx, WorkloadGrep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect, err := p.SimulateDynamic(ctx, c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := p.SimulateDynamic(ctx, c, true, WithMemHier(DefaultMemConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.MemStalls == 0 || hier.Mem == nil {
+		t.Fatalf("dynamic hierarchy run reports no memory activity: %+v", hier)
+	}
+	if hier.Cycles <= perfect.Cycles {
+		t.Errorf("dynamic hierarchy run %d cycles, want > perfect %d", hier.Cycles, perfect.Cycles)
+	}
+	if hier.Mispredicts != perfect.Mispredicts {
+		t.Errorf("mispredicts changed under hierarchy: %d vs %d",
+			hier.Mispredicts, perfect.Mispredicts)
+	}
+	for i := range hier.Out {
+		if hier.Out[i] != perfect.Out[i] {
+			t.Fatalf("dynamic out[%d] = %d, perfect %d", i, hier.Out[i], perfect.Out[i])
+		}
+	}
+}

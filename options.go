@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"boosting/internal/core"
+	"boosting/internal/memhier"
 	"boosting/internal/sim"
 )
 
@@ -22,6 +23,7 @@ type config struct {
 	engine      sim.Engine
 	verifyEach  bool
 	artifacts   ArtifactCache
+	mem         *memhier.Config
 }
 
 // apply layers opts on top of a copy of the receiver.
@@ -99,11 +101,68 @@ func WithArtifactCache(ac ArtifactCache) Option {
 	return func(c *config) { c.artifacts = ac }
 }
 
+// WithMemHier simulates runs against a finite memory hierarchy
+// (internal/memhier: L1/L2 caches, MSHRs, a write buffer and optional
+// prefetching). The hierarchy perturbs timing only — Cycles, stall
+// counts and Result.Mem statistics change, while architectural results
+// (register state, store stream, observable output) stay byte-identical
+// to the perfect-memory run. The scalar baseline used for Speedup is
+// re-measured under the same hierarchy so the ratio compares
+// like-for-like. Use DefaultMemConfig for the stock configuration.
+func WithMemHier(cfg MemConfig) Option {
+	return func(c *config) { c.mem = &cfg }
+}
+
+// WithPerfectMemory removes any configured memory hierarchy (every
+// access is single-cycle) — the paper's idealized memory model and the
+// pipeline default. It exists to override a pipeline-level WithMemHier
+// for an individual call.
+func WithPerfectMemory() Option {
+	return func(c *config) { c.mem = nil }
+}
+
+// WithoutBoostedLoads forbids the scheduler from boosting loads above
+// branches (stores and ALU ops still boost). Under a finite memory
+// hierarchy a speculative load can stall the machine on a cache miss
+// whose work is later squashed; this knob isolates that cost in the
+// memory-hierarchy ablation.
+func WithoutBoostedLoads() Option {
+	return func(c *config) { c.core.NoBoostedLoads = true }
+}
+
 // WithVerifyEach runs the prog verifier between compile passes,
 // attributing any broken CFG invariant to the pass that introduced it
 // (debugging aid; boostcc -verify-each).
 func WithVerifyEach() Option {
 	return func(c *config) { c.verifyEach = true }
+}
+
+// MemConfig configures the simulated memory hierarchy (WithMemHier):
+// per-level cache geometry and replacement policy, L2 and memory
+// latencies, MSHR and write-buffer depth, and the prefetcher. It is an
+// alias of the internal memhier schema, following the precedent of
+// machine.Model being exposed directly.
+type MemConfig = memhier.Config
+
+// MemCacheConfig is the geometry of one cache level of a MemConfig.
+type MemCacheConfig = memhier.CacheConfig
+
+// MemStats reports one run's memory-hierarchy activity (hits, misses,
+// MSHR merges and stalls, prefetch counters); see Result.Mem.
+type MemStats = memhier.Stats
+
+// DefaultMemConfig returns the stock hierarchy: 8 KiB direct-mapped L1
+// (16-byte lines), 32 KiB 4-way L2 (32-byte lines), 6-cycle L2 and
+// 24-cycle memory latency, 4 MSHRs, a 4-entry write buffer, and no
+// prefetching.
+func DefaultMemConfig() MemConfig { return memhier.Default() }
+
+// SingleLevelMemConfig returns a hierarchy with one blocking
+// direct-mapped-or-associative cache in front of memory (no L2, no
+// MSHRs, no write buffer): every miss stalls for missPenalty cycles.
+// This reproduces the simple data-cache model earlier versions exposed.
+func SingleLevelMemConfig(sets, ways, lineBytes int, missPenalty int64) MemConfig {
+	return memhier.SingleLevel(sets, ways, lineBytes, missPenalty)
 }
 
 // Ablation is one named scheduler-ablation bundle: a baseline or a

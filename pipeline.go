@@ -11,6 +11,7 @@ import (
 	"boosting/internal/core"
 	"boosting/internal/dynsched"
 	"boosting/internal/machine"
+	"boosting/internal/memhier"
 	"boosting/internal/passes"
 	"boosting/internal/profile"
 	"boosting/internal/prog"
@@ -212,21 +213,23 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Compiled, model *machine.Mod
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("boosting: simulate %s on %s: %w", c.Workload, model, err)
 	}
-	res, err := sim.Exec(sp, sim.ExecConfig{Engine: cfg.engine})
+	res, err := sim.Exec(sp, sim.ExecConfig{Engine: cfg.engine, Mem: cfg.mem})
 	if err != nil {
 		return nil, err
 	}
 	if err := verifyRun(c.ref, res.Out, res.MemHash); err != nil {
 		return nil, fmt.Errorf("boosting: %s on %s: %w", c.Workload, model, err)
 	}
-	scalar, err := p.scalarCycles(ctx, c.Workload, c.scalarHint())
+	scalar, err := p.scalarCycles(ctx, c.Workload, c.scalarHint(), cfg.mem)
 	if err != nil {
 		return nil, err
 	}
 	// The scalar baseline is workload-global and computed under the
 	// pipeline's base options; only record it on the artifact when the
-	// base compile matches it (the standard, allocated configuration).
-	scalarChanged := !p.base.infiniteReg && c.setScalarCycles(scalar)
+	// base compile matches it (the standard, allocated, perfect-memory
+	// configuration — a hierarchy-specific baseline must not poison the
+	// artifact's hint).
+	scalarChanged := cfg.mem == nil && !p.base.infiniteReg && c.setScalarCycles(scalar)
 	if fresh {
 		c.addVariant(vkey, sp, schedStats)
 	}
@@ -242,6 +245,10 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Compiled, model *machine.Mod
 		Insts:              res.Insts,
 		BoostedExec:        res.BoostedExec,
 		Squashed:           res.Squashed,
+		MemStalls:          res.MemStalls,
+		BoostedMemStalls:   res.BoostedMemStalls,
+		SquashedMemStalls:  res.SquashedMemStalls,
+		Mem:                res.Mem,
 		PredictionAccuracy: c.acc,
 		ObjectGrowth:       sp.ObjectGrowth(),
 		Out:                res.Out,
@@ -256,12 +263,17 @@ func (p *Pipeline) SchedulePasses() int64 { return p.schedPasses.Load() }
 // SimulateDynamic runs the compiled artifact on the paper's
 // dynamically-scheduled superscalar (30 reservation stations, 16-entry
 // reorder buffer, 2048×4 BTB), with or without register renaming.
-func (p *Pipeline) SimulateDynamic(ctx context.Context, c *Compiled, renaming bool) (*DynamicResult, error) {
+// WithMemHier applies here too: loads and stores then contend for the
+// same finite hierarchy model the static engines use, and the scalar
+// baseline is re-measured under it.
+func (p *Pipeline) SimulateDynamic(ctx context.Context, c *Compiled, renaming bool, opts ...Option) (*DynamicResult, error) {
+	pcfg := p.base.apply(opts)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("boosting: simulate %s dynamic: %w", c.Workload, err)
 	}
 	cfg := dynsched.Default()
 	cfg.Renaming = renaming
+	cfg.Mem = pcfg.mem
 	res, err := dynsched.Simulate(c.Program(), cfg)
 	if err != nil {
 		return nil, err
@@ -269,7 +281,7 @@ func (p *Pipeline) SimulateDynamic(ctx context.Context, c *Compiled, renaming bo
 	if err := verifyRun(c.ref, res.Out, res.MemHash); err != nil {
 		return nil, fmt.Errorf("boosting: %s dynamic: %w", c.Workload, err)
 	}
-	scalar, err := p.scalarCycles(ctx, c.Workload, c.scalarHint())
+	scalar, err := p.scalarCycles(ctx, c.Workload, c.scalarHint(), pcfg.mem)
 	if err != nil {
 		return nil, err
 	}
@@ -278,6 +290,8 @@ func (p *Pipeline) SimulateDynamic(ctx context.Context, c *Compiled, renaming bo
 		ScalarCycles: scalar,
 		Speedup:      float64(scalar) / float64(res.Cycles),
 		Mispredicts:  res.Mispredicts,
+		MemStalls:    res.MemStalls,
+		Mem:          res.Mem,
 		Out:          res.Out,
 	}, nil
 }
@@ -303,13 +317,20 @@ func (p *Pipeline) CacheStats() (hits, misses int64) {
 
 // scalarCycles memoizes the R2000 baseline per workload. The memo key is
 // engine-free on purpose: the engines are proven cycle-identical, so the
-// baseline is shared across engine selections. A positive hint — carried
-// by a decoded artifact — resolves the baseline without building or
-// scheduling anything, as long as the pipeline's base compile is the
-// standard allocated configuration the hint was measured under.
-func (p *Pipeline) scalarCycles(ctx context.Context, workload string, hint int64) (int64, error) {
-	return p.scalars.Do(ctx, "scalar|"+workload, func() (int64, error) {
-		if hint > 0 && !p.base.infiniteReg {
+// baseline is shared across engine selections — but it is keyed by the
+// memory hierarchy, because Speedup must compare like-for-like: a run
+// against a finite hierarchy is measured against a scalar baseline
+// suffering the same hierarchy. A positive hint — carried by a decoded
+// artifact — resolves the baseline without building or scheduling
+// anything, as long as the pipeline's base compile is the standard
+// allocated, perfect-memory configuration the hint was measured under.
+func (p *Pipeline) scalarCycles(ctx context.Context, workload string, hint int64, mem *memhier.Config) (int64, error) {
+	key := "scalar|" + workload
+	if mem != nil {
+		key += "|mem=" + mem.Key()
+	}
+	return p.scalars.Do(ctx, key, func() (int64, error) {
+		if hint > 0 && !p.base.infiniteReg && mem == nil {
 			return hint, nil
 		}
 		c, err := p.Compile(ctx, workload)
@@ -321,7 +342,7 @@ func (p *Pipeline) scalarCycles(ctx context.Context, workload string, hint int64
 			return 0, err
 		}
 		p.schedPasses.Add(1)
-		res, err := sim.Exec(sp, sim.ExecConfig{})
+		res, err := sim.Exec(sp, sim.ExecConfig{Mem: mem})
 		if err != nil {
 			return 0, err
 		}
