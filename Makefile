@@ -9,7 +9,7 @@ COVER_FLOOR_CORE ?= 90
 COVER_FLOOR_DATAFLOW ?= 90
 COVER_FLOOR_PASSES ?= 95
 COVER_FLOOR_MACHINE ?= 75
-COVER_FLOOR_DYNSCHED ?= 75
+COVER_FLOOR_DYNSCHED ?= 85
 COVER_FLOOR_WORKLOADS ?= 75
 COVER_FLOOR_MEMHIER ?= 90
 

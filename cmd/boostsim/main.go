@@ -16,6 +16,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"boosting"
@@ -38,6 +40,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dynamic := fs.Bool("dynamic", false, "simulate the dynamically-scheduled machine instead")
 	rename := fs.Bool("rename", false, "enable register renaming (dynamic machine only)")
 	engineName := fs.String("engine", "fast", `simulator engine: "fast" (pre-decoded core) or "legacy"`)
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,6 +63,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "boostsim:", err)
 		return 1
 	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile, stderr)
+	if err != nil {
+		return fail(err)
+	}
+	defer stopProfiles()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -113,4 +122,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "prediction   %.1f%%\n", 100*res.PredictionAccuracy)
 	fmt.Fprintf(stdout, "object size  %.2fx original\n", res.ObjectGrowth)
 	return 0
+}
+
+// startProfiles arms the optional CPU and heap profiles. The returned
+// stop function finishes the CPU profile and snapshots the heap; heap
+// write failures at exit are reported to stderr without changing the
+// exit code, since the simulation itself already succeeded.
+func startProfiles(cpu, mem string, stderr io.Writer) (stop func(), err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(stderr, "boostsim:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(stderr, "boostsim:", err)
+		}
+	}, nil
 }

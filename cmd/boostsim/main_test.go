@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -38,6 +40,45 @@ func TestDomainErrors(t *testing.T) {
 		if !strings.Contains(errw.String(), "boostsim:") {
 			t.Errorf("run(%v): stderr missing prefixed error: %q", args, errw.String())
 		}
+	}
+}
+
+// TestProfileFlags: -cpuprofile/-memprofile write non-empty pprof files
+// on a successful run, and an uncreatable profile path fails up front
+// with exit code 1 before any simulation work.
+func TestProfileFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload simulation in -short mode")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errw bytes.Buffer
+	code := run([]string{"-workload", "grep", "-model", "MinBoost3",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestProfilePathErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "no", "such", "dir", "cpu.pprof")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-cpuprofile", bad}, &out, &errw); code != 1 {
+		t.Errorf("bad -cpuprofile path: run = %d, want 1 (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "boostsim:") {
+		t.Errorf("stderr missing prefixed error: %q", errw.String())
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"os"
 	"path/filepath"
@@ -25,6 +26,7 @@ import (
 	"boosting/internal/core"
 	"boosting/internal/dynsched"
 	"boosting/internal/machine"
+	"boosting/internal/memhier"
 	"boosting/internal/profile"
 	"boosting/internal/prog"
 	"boosting/internal/regalloc"
@@ -136,29 +138,31 @@ func execDigest(t *testing.T, master *prog.Program, model *machine.Model, engine
 	return schedDigest(t, model.Name, sp, engine)
 }
 
-// schedDigest executes an already-scheduled program and digests every
-// observable stream (also used by the artifact round-trip suite, which
-// feeds it schedules decoded from their binary encoding).
-func schedDigest(t *testing.T, label string, sp *machine.SchedProgram, engine sim.Engine) goldenDigest {
-	t.Helper()
-	storeHash := fnv.New64a()
-	storeCount := 0
-	squashEvents := 0
-	res, err := sim.Exec(sp, sim.ExecConfig{
-		Engine: engine,
-		OnStore: func(addr uint32, size int, val uint32) {
-			var buf [12]byte
-			binary.LittleEndian.PutUint32(buf[0:], addr)
-			binary.LittleEndian.PutUint32(buf[4:], uint32(size))
-			binary.LittleEndian.PutUint32(buf[8:], val)
-			storeHash.Write(buf[:])
-			storeCount++
-		},
-		OnSquash: func(sim.SquashInfo) { squashEvents++ },
-	})
-	if err != nil {
-		t.Fatalf("%s on %s engine: %v", label, engine, err)
+// digestTap captures one execution's store and squash streams so they
+// can be digested alongside the counters; wrap() installs its callbacks
+// on an ExecConfig, digest() assembles the goldenDigest afterwards.
+type digestTap struct {
+	storeHash    hash.Hash64
+	storeCount   int
+	squashEvents int
+}
+
+func newDigestTap() *digestTap { return &digestTap{storeHash: fnv.New64a()} }
+
+func (d *digestTap) wrap(cfg sim.ExecConfig) sim.ExecConfig {
+	cfg.OnStore = func(addr uint32, size int, val uint32) {
+		var buf [12]byte
+		binary.LittleEndian.PutUint32(buf[0:], addr)
+		binary.LittleEndian.PutUint32(buf[4:], uint32(size))
+		binary.LittleEndian.PutUint32(buf[8:], val)
+		d.storeHash.Write(buf[:])
+		d.storeCount++
 	}
+	cfg.OnSquash = func(sim.SquashInfo) { d.squashEvents++ }
+	return cfg
+}
+
+func (d *digestTap) digest(res *sim.ExecResult) goldenDigest {
 	return goldenDigest{
 		Cycles:       res.Cycles,
 		Insts:        res.Insts,
@@ -168,13 +172,26 @@ func schedDigest(t *testing.T, label string, sp *machine.SchedProgram, engine si
 		Correct:      res.Correct,
 		Recoveries:   res.Recoveries,
 		Stalls:       res.Stalls,
-		SquashEvents: squashEvents,
+		SquashEvents: d.squashEvents,
 		OutLen:       len(res.Out),
 		OutHash:      hashUint32s(res.Out),
 		MemHash:      fmt.Sprintf("%016x", res.MemHash),
-		StoreCount:   storeCount,
-		StoreHash:    fmt.Sprintf("%016x", storeHash.Sum64()),
+		StoreCount:   d.storeCount,
+		StoreHash:    fmt.Sprintf("%016x", d.storeHash.Sum64()),
 	}
+}
+
+// schedDigest executes an already-scheduled program and digests every
+// observable stream (also used by the artifact round-trip suite, which
+// feeds it schedules decoded from their binary encoding).
+func schedDigest(t *testing.T, label string, sp *machine.SchedProgram, engine sim.Engine) goldenDigest {
+	t.Helper()
+	tap := newDigestTap()
+	res, err := sim.Exec(sp, tap.wrap(sim.ExecConfig{Engine: engine}))
+	if err != nil {
+		t.Fatalf("%s on %s engine: %v", label, engine, err)
+	}
+	return tap.digest(res)
 }
 
 func dynDigest(t *testing.T, master *prog.Program, renaming bool) dynamicDigest {
@@ -266,6 +283,63 @@ func TestGoldenTraces(t *testing.T) {
 				if g := got.Dynamic[k]; g != w {
 					t.Errorf("%s dynamic/%s: digest drifted from golden (re-run with -update if intended):\ngot:    %+v\ngolden: %+v",
 						name, k, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenBatchLanes: every lane of a lockstep ExecBatch produces
+// exactly the digest a solo Exec of the same configuration produces —
+// and the solo digests are themselves pinned by TestGoldenTraces, so
+// the batch path is chained to the same golden files. Lanes mix
+// perfect memory, a finite hierarchy, the legacy engine, and a
+// duplicate lane, so the lockstep loop interleaves lanes in genuinely
+// different states.
+func TestGoldenBatchLanes(t *testing.T) {
+	names := []string{"grep", "eqntott"}
+	if testing.Short() {
+		names = names[:1]
+	}
+	tiny := memhier.SingleLevel(64, 1, 16, 20)
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			master := compileGolden(t, name)
+			for _, m := range []*machine.Model{machine.MinBoost3(), machine.Boost7()} {
+				sp, err := core.Schedule(prog.Clone(master), m, core.Options{})
+				if err != nil {
+					t.Fatalf("%s: schedule: %v", m.Name, err)
+				}
+				laneCfgs := []sim.ExecConfig{
+					{},
+					{Mem: &tiny},
+					{Engine: sim.EngineLegacy},
+					{},
+				}
+				taps := make([]*digestTap, len(laneCfgs))
+				batch := make([]sim.ExecConfig, len(laneCfgs))
+				for i, c := range laneCfgs {
+					taps[i] = newDigestTap()
+					batch[i] = taps[i].wrap(c)
+				}
+				results, errs := sim.ExecBatch(sp, batch)
+				for i := range laneCfgs {
+					if errs[i] != nil {
+						t.Fatalf("%s lane %d: %v", m.Name, i, errs[i])
+					}
+					soloTap := newDigestTap()
+					solo, err := sim.Exec(sp, soloTap.wrap(laneCfgs[i]))
+					if err != nil {
+						t.Fatalf("%s lane %d solo: %v", m.Name, i, err)
+					}
+					if got, want := taps[i].digest(results[i]), soloTap.digest(solo); got != want {
+						t.Errorf("%s on %s lane %d diverges from solo Exec:\nbatch: %+v\nsolo:  %+v",
+							name, m.Name, i, got, want)
+					}
+					if results[i].MemStalls != solo.MemStalls {
+						t.Errorf("%s on %s lane %d: batch mem stalls %d, solo %d",
+							name, m.Name, i, results[i].MemStalls, solo.MemStalls)
+					}
 				}
 			}
 		})

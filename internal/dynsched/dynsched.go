@@ -21,6 +21,7 @@ package dynsched
 
 import (
 	"fmt"
+	"math/bits"
 
 	"boosting/internal/isa"
 	"boosting/internal/memhier"
@@ -79,6 +80,9 @@ func Simulate(pr *prog.Program, cfg Config) (*Result, error) {
 	if cfg.FetchWidth == 0 {
 		return nil, fmt.Errorf("dynsched: zero config; use Default()")
 	}
+	if cfg.ROBSize > 64 {
+		return nil, fmt.Errorf("dynsched: ROBSize %d exceeds the 64-entry scoreboard window", cfg.ROBSize)
+	}
 	p := newPipeline(cfg)
 	if cfg.Mem != nil {
 		mh, err := memhier.New(*cfg.Mem)
@@ -115,16 +119,25 @@ type rec struct {
 	isStore bool
 
 	// Pipeline state.
-	waitOn   [2]int // ROB sequence numbers of producers (-1 = ready)
-	issued   bool
-	done     bool
-	doneAt   int64 // cycle the result is available
-	seq      int64 // global sequence number
+	deps     uint64 // producer mask: ROB positions this entry waits on
+	doneAt   int64  // cycle the result is available (issued entries)
+	seq      int64  // global sequence number
 	mispred  bool
 	isBranch bool
 }
 
 // pipeline is the out-of-order machine state.
+//
+// Ready/wakeup tracking is a bitmap scoreboard over ROB positions (bit i
+// = p.rob[i], bit 0 = oldest; the window is capped at 64 entries).
+// Instead of per-operand producer handles resolved through a results
+// map, each entry carries a one-word producer mask (rec.deps) and the
+// pipeline keeps one-word occupancy bitmaps; an entry is ready exactly
+// when deps &^ done == 0, a producer's completion wakes every dependent
+// with a single OR into the done bitmap, and issue selection walks the
+// ready bitmap oldest-first with find-first-set. Retirement shifts every
+// bitmap right, so positions stay age-ordered and retired producers
+// drain out of the masks for free.
 type pipeline struct {
 	cfg   Config
 	cycle int64
@@ -132,14 +145,19 @@ type pipeline struct {
 	fetchQ []rec // instructions awaiting dispatch (from the trace)
 	rob    []rec // dispatched, not yet retired (index 0 = oldest)
 
+	// Scoreboard bitmaps over ROB positions.
+	issuedM uint64 // issued (execution started)
+	doneM   uint64 // result available (doneAt <= current cycle)
+	storeM  uint64 // stores
+	memM    uint64 // loads and stores
+	muldivM uint64 // multiply/divide entries (non-pipelined unit)
+
 	// regProducer maps a register to the seq of its newest in-flight
-	// producer (or -1).
+	// producer; seqs are consecutive in the ROB, so seq - rob[0].seq is
+	// the producer's scoreboard position.
 	regProducer map[isa.Reg]int64
 	// inflightDefs counts in-flight defs per register (no-renaming check).
 	inflightDefs map[isa.Reg]int
-	// results maps producer seq → completion cycle, for wakeup of
-	// dependents dispatched while the producer was in flight.
-	results map[int64]int64
 
 	rsUsed    int
 	btb       *btb
@@ -166,7 +184,6 @@ func newPipeline(cfg Config) *pipeline {
 		cfg:            cfg,
 		regProducer:    map[isa.Reg]int64{},
 		inflightDefs:   map[isa.Reg]int{},
-		results:        map[int64]int64{},
 		btb:            newBTB(cfg.BTBSets, cfg.BTBWays),
 		fetchBlockedBy: -1,
 		maxCycles:      mc,
@@ -251,12 +268,14 @@ func (p *pipeline) step() {
 	p.cycle++
 }
 
-// retire removes completed instructions in order, up to RetireWidth.
+// retire removes completed instructions in order, up to RetireWidth,
+// then shifts the scoreboard bitmaps so bit 0 is the new oldest entry.
+// Retired producers thereby drain out of every waiter's deps mask.
 func (p *pipeline) retire() {
 	n := 0
-	for n < p.cfg.RetireWidth && len(p.rob) > 0 {
-		head := &p.rob[0]
-		if !head.done || head.doneAt > p.cycle {
+	for n < p.cfg.RetireWidth && n < len(p.rob) {
+		head := &p.rob[n]
+		if p.doneM>>uint(n)&1 == 0 || head.doneAt > p.cycle {
 			break
 		}
 		if head.dst != isa.R0 {
@@ -265,9 +284,19 @@ func (p *pipeline) retire() {
 				delete(p.regProducer, head.dst)
 			}
 		}
-		delete(p.results, head.seq)
-		p.rob = p.rob[1:]
 		n++
+	}
+	if n == 0 {
+		return
+	}
+	p.rob = p.rob[n:]
+	p.issuedM >>= uint(n)
+	p.doneM >>= uint(n)
+	p.storeM >>= uint(n)
+	p.memM >>= uint(n)
+	p.muldivM >>= uint(n)
+	for i := range p.rob {
+		p.rob[i].deps >>= uint(n)
 	}
 }
 
@@ -279,41 +308,51 @@ type fuState struct {
 	alu, shift, mem, branch int
 }
 
-// issue starts execution of ready reservation-station entries.
+// issue starts execution of ready reservation-station entries: the
+// completion sweep folds finished producers into the done bitmap (one OR
+// wakes every dependent), readiness is one AND per unissued entry, and
+// selection walks the ready bitmap oldest-first via find-first-set.
 func (p *pipeline) issue() {
-	fu := fuState{}
-	var muldivBusy int64 = -1
-	// First pass: find the muldiv busy horizon.
-	for i := range p.rob {
+	// Completion sweep over issued-but-pending entries.
+	for m := p.issuedM &^ p.doneM; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
 		e := &p.rob[i]
-		if e.issued && !isDone(e, p.cycle) && e.class == isa.ClassMulDiv {
-			if e.doneAt > muldivBusy {
-				muldivBusy = e.doneAt
+		if e.doneAt <= p.cycle {
+			p.doneM |= 1 << uint(i)
+			if e.mispred && p.fetchBlockedBy == e.seq {
+				p.fetchBlockedBy = -1 // redirect complete; fetch resumes
 			}
 		}
 	}
-	for i := range p.rob {
+	// Busy horizon of the non-pipelined multiply/divide unit.
+	var muldivBusy int64 = -1
+	for m := p.muldivM & p.issuedM &^ p.doneM; m != 0; m &= m - 1 {
+		if e := &p.rob[bits.TrailingZeros64(m)]; e.doneAt > muldivBusy {
+			muldivBusy = e.doneAt
+		}
+	}
+	// Ready = dispatched, unissued, every producer drained from deps
+	// (retired producers shifted out at retire, finished ones in doneM).
+	var ready uint64
+	for m := p.activeM() &^ p.issuedM; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if p.rob[i].deps&^p.doneM == 0 {
+			ready |= 1 << uint(i)
+		}
+	}
+	fu := fuState{}
+	for m := ready; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
 		e := &p.rob[i]
-		if e.issued {
-			if !e.done && e.doneAt <= p.cycle {
-				e.done = true
-				if e.mispred && p.fetchBlockedBy == e.seq {
-					p.fetchBlockedBy = -1 // redirect complete; fetch resumes
-				}
-			}
-			continue
-		}
-		if !p.operandsReady(e) {
-			continue
-		}
+		older := uint64(1)<<uint(i) - 1
 		// Memory ordering: a load may not issue before every earlier
 		// store has executed (addresses unknown until then); a store may
 		// not issue before earlier memory operations to overlapping
 		// addresses have issued.
-		if e.isLoad && !p.earlierStoresDone(i) {
+		if e.isLoad && !p.earlierStoresDone(older, e) {
 			continue
 		}
-		if e.isStore && !p.earlierMemIssued(i) {
+		if e.isStore && !p.earlierMemIssued(older, e) {
 			continue
 		}
 		// Functional unit availability.
@@ -344,57 +383,36 @@ func (p *pipeline) issue() {
 			}
 			muldivBusy = p.cycle + int64(isa.Latency(e.op))
 		}
-		e.issued = true
+		p.issuedM |= 1 << uint(i)
 		e.doneAt = p.cycle + int64(isa.Latency(e.op))
 		if (e.isLoad || e.isStore) && p.mh != nil {
 			s := p.mh.Access(p.cycle, e.id, e.addr, e.isStore)
 			e.doneAt += s
 			p.memStalls += s
 		}
-		p.results[e.seq] = e.doneAt
 		p.rsUsed--
 	}
 }
 
-func isDone(e *rec, cycle int64) bool { return e.done && e.doneAt <= cycle }
-
-// operandsReady reports whether both source operands are available. A
-// producer absent from the ROB has retired, so its result is in the
-// register file.
-func (p *pipeline) operandsReady(e *rec) bool {
-	minSeq := int64(0)
-	if len(p.rob) > 0 {
-		minSeq = p.rob[0].seq
+// activeM is the occupancy bitmap: one bit per current ROB entry.
+func (p *pipeline) activeM() uint64 {
+	if len(p.rob) >= 64 {
+		return ^uint64(0)
 	}
-	for _, w := range e.waitOn {
-		if w < 0 {
-			continue
-		}
-		if int64(w) < minSeq {
-			continue // producer retired
-		}
-		doneAt, ok := p.results[int64(w)]
-		if !ok || doneAt > p.cycle {
-			return false
-		}
-	}
-	return true
+	return uint64(1)<<uint(len(p.rob)) - 1
 }
 
-// earlierStoresDone reports whether all older stores in the ROB have
-// issued and produced their addresses, and forwards conservatively: the
-// load must also wait for an overlapping older store's completion.
-func (p *pipeline) earlierStoresDone(idx int) bool {
-	e := &p.rob[idx]
-	for i := 0; i < idx; i++ {
-		o := &p.rob[i]
-		if !o.isStore {
-			continue
-		}
-		if !o.issued {
-			return false
-		}
-		if overlaps(o, e) && o.doneAt > p.cycle {
+// earlierStoresDone reports whether all stores in older (a position
+// bitmap) have issued and produced their addresses, and forwards
+// conservatively: the load must also wait for an overlapping older
+// store's completion.
+func (p *pipeline) earlierStoresDone(older uint64, e *rec) bool {
+	if p.storeM&older&^p.issuedM != 0 {
+		return false // an older store has not produced its address
+	}
+	// Issued-but-pending older stores block only on address overlap.
+	for m := p.storeM & older &^ p.doneM; m != 0; m &= m - 1 {
+		if overlaps(&p.rob[bits.TrailingZeros64(m)], e) {
 			return false
 		}
 	}
@@ -403,11 +421,9 @@ func (p *pipeline) earlierStoresDone(idx int) bool {
 
 // earlierMemIssued reports whether all older overlapping memory operations
 // have issued (write-after-read and write-after-write ordering).
-func (p *pipeline) earlierMemIssued(idx int) bool {
-	e := &p.rob[idx]
-	for i := 0; i < idx; i++ {
-		o := &p.rob[i]
-		if (o.isStore || o.isLoad) && overlaps(o, e) && !o.issued {
+func (p *pipeline) earlierMemIssued(older uint64, e *rec) bool {
+	for m := p.memM & older &^ p.issuedM; m != 0; m &= m - 1 {
+		if overlaps(&p.rob[bits.TrailingZeros64(m)], e) {
 			return false
 		}
 	}
@@ -438,14 +454,19 @@ func (p *pipeline) dispatch() {
 		p.nextSeq++
 		p.insts++
 
-		// Source operands: record in-flight producers.
-		e.waitOn = [2]int{-1, -1}
-		for i, s := range e.srcs {
+		// Source operands: a producer still in flight (regProducer only
+		// holds in-ROB seqs, and seqs are consecutive) is one bit in the
+		// entry's producer mask; a producer whose result is already
+		// available contributes nothing.
+		e.deps = 0
+		for _, s := range e.srcs {
 			if s == isa.R0 {
 				continue
 			}
-			if seq, ok := p.regProducer[s]; ok {
-				e.waitOn[i] = int(seq)
+			if q, ok := p.regProducer[s]; ok {
+				if pos := uint(q - p.rob[0].seq); p.doneM>>pos&1 == 0 {
+					e.deps |= 1 << pos
+				}
 			}
 		}
 		if e.dst != isa.R0 {
@@ -473,6 +494,16 @@ func (p *pipeline) dispatch() {
 			}
 		}
 
+		pos := uint(len(p.rob))
+		if e.isStore {
+			p.storeM |= 1 << pos
+		}
+		if e.isLoad || e.isStore {
+			p.memM |= 1 << pos
+		}
+		if e.class == isa.ClassMulDiv {
+			p.muldivM |= 1 << pos
+		}
 		p.rob = append(p.rob, e)
 		p.rsUsed++
 	}

@@ -72,25 +72,27 @@ func memHierModels() []*machine.Model {
 func (s *Suite) MemHierAblation(ctx context.Context) ([]MemHierRow, error) {
 	models := memHierModels()
 
-	// Warm the store in parallel: every (model, nobl, prefetch, workload)
-	// measurement plus the scalar baseline per (prefetch, workload).
+	// Warm the store in parallel. The prefetcher axis only varies the
+	// execution-side memory hierarchy, so each (model, nobl, workload) cell
+	// schedules once and runs all prefetchers as lockstep batch lanes; the
+	// scalar baseline per workload batches the same way.
 	type job struct {
 		model *machine.Model
 		opts  core.Options
-		pref  string
 	}
-	var jobs []job
-	for _, pref := range memHierPrefetchers {
-		jobs = append(jobs, job{machine.Scalar(), core.Options{LocalOnly: true}, pref})
-		for _, m := range models {
-			jobs = append(jobs, job{m, core.Options{}, pref})
-			jobs = append(jobs, job{m, core.Options{NoBoostedLoads: true}, pref})
-		}
+	jobs := []job{{machine.Scalar(), core.Options{LocalOnly: true}}}
+	for _, m := range models {
+		jobs = append(jobs, job{m, core.Options{}})
+		jobs = append(jobs, job{m, core.Options{NoBoostedLoads: true}})
+	}
+	mcfgs := make([]memhier.Config, len(memHierPrefetchers))
+	for i, pref := range memHierPrefetchers {
+		mcfgs[i] = AblationMemConfig(pref)
 	}
 	nw := len(s.Workloads)
 	if err := ForEachLimited(ctx, len(jobs)*nw, s.Runner.workers(), func(ctx context.Context, i int) error {
 		j, w := jobs[i/nw], s.Workloads[i%nw]
-		_, err := s.Store.measureMem(ctx, w, j.model, j.opts, AblationMemConfig(j.pref))
+		_, err := s.Store.measureMemBatch(ctx, w, j.model, j.opts, mcfgs)
 		return err
 	}); err != nil {
 		return nil, err

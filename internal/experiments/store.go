@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"boosting/internal/cache"
@@ -228,6 +229,88 @@ func (st *Store) measureMem(ctx context.Context, w *workloads.Workload, model *m
 	return st.execs.Do(ctx, key, func() (*sim.ExecResult, error) {
 		return st.scheduleAndExec(ctx, w, model, opts, true, &mcfg)
 	})
+}
+
+// measureMemBatch measures one (workload, model, options) schedule under
+// several memory hierarchies in a single lockstep pass: the program is
+// scheduled and predecoded once and every hierarchy runs as one
+// sim.ExecBatch lane. Each lane's verified result enters the memo under
+// the same key measureMem uses, so mixed batch/solo access patterns share
+// one measurement. The returned results are shared — do not mutate.
+func (st *Store) measureMemBatch(ctx context.Context, w *workloads.Workload, model *machine.Model,
+	opts core.Options, mcfgs []memhier.Config) ([]*sim.ExecResult, error) {
+	keys := make([]string, len(mcfgs))
+	for i, mcfg := range mcfgs {
+		keys[i] = fmt.Sprintf("mem|%s|model=%s|%s|alloc=true|mem=%s",
+			wkey(w), model.Name, okey(opts), mcfg.Key())
+	}
+	// The batch body runs at most once, on the first memo miss; lanes whose
+	// keys are already cached are answered from the memo without executing.
+	var (
+		once     sync.Once
+		batch    []*sim.ExecResult
+		batchErr []error
+	)
+	run := func() {
+		batchErr = make([]error, len(mcfgs))
+		ref, err := st.reference(ctx, w, true)
+		if err == nil && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		var sp *machine.SchedProgram
+		if err == nil {
+			var test *prog.Program
+			if test, err = st.checkout(ctx, w, true); err == nil {
+				start := time.Now()
+				var cst *core.Stats
+				sp, cst, err = core.ScheduleWithStats(test, model, opts)
+				if err != nil {
+					err = fmt.Errorf("%s on %s: %w", w.Name, model.Name, err)
+				} else {
+					st.metrics.recordSchedule(time.Since(start), cst)
+				}
+			}
+		}
+		if err != nil {
+			for i := range batchErr {
+				batchErr[i] = err
+			}
+			return
+		}
+		cfgs := make([]sim.ExecConfig, len(mcfgs))
+		for i := range mcfgs {
+			cfgs[i] = sim.ExecConfig{Engine: st.Engine, Mem: &mcfgs[i]}
+		}
+		start := time.Now()
+		results, errs := sim.ExecBatch(sp, cfgs)
+		batch = results
+		for i, res := range results {
+			if errs[i] != nil {
+				batchErr[i] = fmt.Errorf("%s on %s: exec: %w", w.Name, model.Name, errs[i])
+				continue
+			}
+			st.metrics.recordSim(time.Since(start), res.Cycles, res.BoostedExec, res.Squashed)
+			if verr := verify(ref, res.Out, res.MemHash); verr != nil {
+				batchErr[i] = fmt.Errorf("%s on %s: %w", w.Name, model.Name, verr)
+			}
+		}
+	}
+	out := make([]*sim.ExecResult, len(mcfgs))
+	for i := range mcfgs {
+		i := i
+		res, err := st.execs.Do(ctx, keys[i], func() (*sim.ExecResult, error) {
+			once.Do(run)
+			if batchErr[i] != nil {
+				return nil, batchErr[i]
+			}
+			return batch[i], nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
 }
 
 // objectGrowth returns the scheduled-size-over-original ratio for the

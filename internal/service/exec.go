@@ -377,14 +377,21 @@ func (s *Server) grid(ctx context.Context, req GridRequest) (int, any) {
 			cells[i].Opts = append(opts, memOpt)
 		}
 	}
-	if len(cells) > s.cfg.GridCellCap {
+	total := len(cells)
+	if n := len(req.MemSweep); n > 0 {
+		total *= n
+	}
+	if total > s.cfg.GridCellCap {
 		return http.StatusBadRequest, errorResponse{
-			fmt.Sprintf("sweep has %d cells, cap is %d — narrow workloads/models/ablations", len(cells), s.cfg.GridCellCap)}
+			fmt.Sprintf("sweep has %d cells, cap is %d — narrow workloads/models/ablations", total, s.cfg.GridCellCap)}
 	}
 
 	workers := s.cfg.GridParallelism
 	if req.Parallelism > 0 && req.Parallelism < workers {
 		workers = req.Parallelism
+	}
+	if len(req.MemSweep) > 0 {
+		return s.gridMemSweep(ctx, req, cells, workers)
 	}
 	rows := make([]GridRow, len(cells))
 	err := experiments.ForEachLimited(ctx, len(cells), workers, func(ctx context.Context, i int) error {
@@ -413,6 +420,69 @@ func (s *Server) grid(ctx context.Context, req GridRequest) (int, any) {
 		return 0, nil
 	}
 	return http.StatusOK, GridResponse{SchemaVersion: SchemaVersion, Cells: len(cells), Rows: rows}
+}
+
+// gridMemSweep is the mem_sweep form of the grid: each cell schedules its
+// program once and runs every requested memory hierarchy as a lane of one
+// lockstep batched execution (Pipeline.SimulateBatch), producing one row
+// per (cell, hierarchy). The worker pool fans out over cells; the
+// per-cell hierarchy fan-out is the batch itself.
+func (s *Server) gridMemSweep(ctx context.Context, req GridRequest, cells []boosting.GridCell, workers int) (int, any) {
+	n := len(req.MemSweep)
+	memKeys := make([]string, n)
+	lanes := make([][]boosting.Option, n)
+	for k, m := range req.MemSweep {
+		cfg := m.config()
+		memKeys[k] = cfg.Key()
+		lanes[k] = []boosting.Option{boosting.WithMemHier(cfg)}
+	}
+	rows := make([]GridRow, len(cells)*n)
+	err := experiments.ForEachLimited(ctx, len(cells), workers, func(ctx context.Context, i int) error {
+		cell := cells[i]
+		cellRows := rows[i*n : (i+1)*n]
+		for k := range cellRows {
+			cellRows[k] = GridRow{
+				Workload: cell.Workload, Model: cell.Model.Name,
+				Ablation: cell.Label, Mem: memKeys[k],
+			}
+		}
+		// Cell-level failures (compile, schedule, lane validation) land in
+		// every one of the cell's rows; like the plain grid, they must not
+		// abort the rest of the sweep.
+		fail := func(err error) error {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			for k := range cellRows {
+				cellRows[k].Error = err.Error()
+			}
+			return nil
+		}
+		c, err := s.pipe.Compile(ctx, cell.Workload, cell.Opts...)
+		if err != nil {
+			return fail(err)
+		}
+		results, errs, err := s.pipe.SimulateBatch(ctx, c, cell.Model, lanes, cell.Opts...)
+		if err != nil {
+			return fail(err)
+		}
+		for k := range cellRows {
+			switch {
+			case errs[k] == nil:
+				cellRows[k].Cycles = results[k].Cycles
+				cellRows[k].Speedup = results[k].Speedup
+			case ctx.Err() != nil:
+				return ctx.Err()
+			default:
+				cellRows[k].Error = errs[k].Error()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil
+	}
+	return http.StatusOK, GridResponse{SchemaVersion: SchemaVersion, Cells: len(rows), Rows: rows}
 }
 
 // domainStatus classifies a pipeline error: context errors are handed

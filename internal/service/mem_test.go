@@ -170,3 +170,64 @@ func TestGridWithMem(t *testing.T) {
 			hier.Rows[0].Cycles, perfect.Rows[0].Cycles)
 	}
 }
+
+// TestGridMemSweep: mem_sweep fans each cell out over several memory
+// hierarchies as one batched execution, one row per (cell, hierarchy),
+// and each row matches what the equivalent single-mem grid reports.
+func TestGridMemSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid sweep in -short mode")
+	}
+	_, ts := newTestServer(t, Config{})
+	base := `{"workloads": ["grep"], "models": ["MinBoost3"], "ablations": ["baseline"]`
+	small := `{"l1_sets": 64, "l1_ways": 1, "l1_line_bytes": 16}`
+	stride := `{"l1_sets": 64, "l1_ways": 1, "l1_line_bytes": 16, "prefetch": "stride"}`
+
+	resp, b := post(t, ts, "/v1/grid",
+		base+`, "mem_sweep": [`+small+`, `+stride+`]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mem_sweep grid = %d: %s", resp.StatusCode, b)
+	}
+	var sweep GridResponse
+	if err := json.Unmarshal(b, &sweep); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if sweep.Cells != 2 || len(sweep.Rows) != 2 {
+		t.Fatalf("want 2 rows (1 cell × 2 hierarchies), got: %s", b)
+	}
+	for i, row := range sweep.Rows {
+		if row.Error != "" {
+			t.Fatalf("row %d failed: %s", i, row.Error)
+		}
+		if row.Mem == "" {
+			t.Errorf("row %d has no mem label: %s", i, b)
+		}
+	}
+	if sweep.Rows[0].Mem == sweep.Rows[1].Mem {
+		t.Errorf("sweep rows share a mem label: %s", b)
+	}
+
+	// Each lane must report exactly what a solo single-mem grid does.
+	for i, block := range []string{small, stride} {
+		resp, b := post(t, ts, "/v1/grid", base+`, "mem": `+block+`}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solo mem grid = %d: %s", resp.StatusCode, b)
+		}
+		var solo GridResponse
+		if err := json.Unmarshal(b, &solo); err != nil {
+			t.Fatalf("decoding: %v", err)
+		}
+		if solo.Rows[0].Cycles != sweep.Rows[i].Cycles ||
+			solo.Rows[0].Speedup != sweep.Rows[i].Speedup {
+			t.Errorf("lane %d diverges from solo grid: sweep %+v solo %+v",
+				i, sweep.Rows[i], solo.Rows[0])
+		}
+	}
+
+	// mem and mem_sweep together are rejected up front.
+	resp, b = post(t, ts, "/v1/grid",
+		base+`, "mem": `+small+`, "mem_sweep": [`+stride+`]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mem+mem_sweep = %d, want 400: %s", resp.StatusCode, b)
+	}
+}

@@ -439,6 +439,11 @@ type GridRequest struct {
 	// (absent = perfect memory). The scalar baselines behind each cell's
 	// speedup are re-measured under the same hierarchy.
 	Mem *MemRequest `json:"mem,omitempty"`
+	// MemSweep fans every cell out over several memory hierarchies at
+	// once: the cell's program is scheduled once and all hierarchies run
+	// as lockstep lanes of one batched execution, one response row per
+	// (cell, hierarchy). Mutually exclusive with Mem.
+	MemSweep []*MemRequest `json:"mem_sweep,omitempty"`
 }
 
 func (r GridRequest) validate() error {
@@ -460,28 +465,49 @@ func (r GridRequest) validate() error {
 	if r.Parallelism < 0 {
 		return fmt.Errorf("parallelism must be >= 0, got %d", r.Parallelism)
 	}
+	if len(r.MemSweep) > 0 {
+		if r.Mem != nil {
+			return fmt.Errorf("mem and mem_sweep are mutually exclusive")
+		}
+		for i, m := range r.MemSweep {
+			if m == nil {
+				return fmt.Errorf("mem_sweep[%d] is null", i)
+			}
+			if err := m.validate(); err != nil {
+				return fmt.Errorf("mem_sweep[%d]: %w", i, err)
+			}
+		}
+	}
 	return r.Mem.validate()
 }
 
 // cacheKey ignores Parallelism: results are deterministic at any worker
 // count, so the same sweep at a different parallelism is the same sweep.
 func (r GridRequest) cacheKey() string {
+	sweep := make([]string, len(r.MemSweep))
+	for i, m := range r.MemSweep {
+		sweep[i] = m.key()
+	}
 	return requestKey("grid",
 		"workloads="+strings.Join(r.Workloads, ","),
 		"models="+strings.Join(lowerAll(r.Models), ","),
 		"ablations="+strings.Join(r.Ablations, ","),
-		r.Mem.key())
+		r.Mem.key(),
+		"sweep="+strings.Join(sweep, ";"))
 }
 
 // GridRow is one cell of the sweep. Exactly one of (Cycles, Speedup) and
 // Error is meaningful.
 type GridRow struct {
-	Workload string  `json:"workload"`
-	Model    string  `json:"model"`
-	Ablation string  `json:"ablation"`
-	Cycles   int64   `json:"cycles,omitempty"`
-	Speedup  float64 `json:"speedup,omitempty"`
-	Error    string  `json:"error,omitempty"`
+	Workload string `json:"workload"`
+	Model    string `json:"model"`
+	Ablation string `json:"ablation"`
+	// Mem names the memory hierarchy of this row's lane (canonical config
+	// key); present exactly when the request carried a mem_sweep.
+	Mem     string  `json:"mem,omitempty"`
+	Cycles  int64   `json:"cycles,omitempty"`
+	Speedup float64 `json:"speedup,omitempty"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // GridResponse lists every cell in deterministic (workload, model,

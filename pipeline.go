@@ -255,6 +255,109 @@ func (p *Pipeline) Simulate(ctx context.Context, c *Compiled, model *machine.Mod
 	}, nil
 }
 
+// SimulateBatch is Simulate over N execution lanes of one schedule: the
+// compiled artifact is scheduled (or fetched from its variant cache) and
+// predecoded once, then every lane runs in a single lockstep
+// sim.ExecBatch pass and is verified against the reference interpreter.
+// Lane option sets may vary only execution-side knobs — WithEngine,
+// WithMemHier / WithPerfectMemory — because all lanes share the schedule;
+// a lane whose options would change the schedule variant (scheduler
+// ablations, WithLocalOnly, ...) fails the whole batch, since its result
+// could not equal a solo Simulate of those options. results[i]/errs[i]
+// mirror Simulate(ctx, c, model, append(opts, lanes[i]...)...) slot for
+// slot; err reports batch-level failures (scheduling, lane validation).
+func (p *Pipeline) SimulateBatch(ctx context.Context, c *Compiled, model *machine.Model, lanes [][]Option, opts ...Option) (results []*Result, errs []error, err error) {
+	base := p.base.apply(opts)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("boosting: simulate batch %s on %s: %w", c.Workload, model, err)
+	}
+	vkey := artifact.VariantKey(model, base.core)
+	laneCfgs := make([]config, len(lanes))
+	for i, lo := range lanes {
+		lc := base.apply(lo)
+		if lk := artifact.VariantKey(model, lc.core); lk != vkey {
+			return nil, nil, fmt.Errorf(
+				"boosting: simulate batch %s on %s: lane %d changes the schedule variant; lanes may only vary execution options (engine, memory hierarchy)",
+				c.Workload, model, i)
+		}
+		laneCfgs[i] = lc
+	}
+	sp, schedStats := c.variant(vkey)
+	fresh := sp == nil
+	if fresh {
+		test := c.Program()
+		pm := passes.NewManager()
+		pm.VerifyEach = base.verifyEach
+		var serr error
+		sp, serr = pm.Schedule(test, model, base.core)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		p.schedPasses.Add(1)
+		schedStats = pm.Stats()
+	}
+	if schedStats == nil {
+		schedStats = &CompileStats{}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("boosting: simulate batch %s on %s: %w", c.Workload, model, err)
+	}
+	cfgs := make([]sim.ExecConfig, len(lanes))
+	for i := range laneCfgs {
+		cfgs[i] = sim.ExecConfig{Engine: laneCfgs[i].engine, Mem: laneCfgs[i].mem}
+	}
+	execRes, execErrs := sim.ExecBatch(sp, cfgs)
+
+	results = make([]*Result, len(lanes))
+	errs = make([]error, len(lanes))
+	saveNeeded := fresh
+	for i := range lanes {
+		if execErrs[i] != nil {
+			errs[i] = execErrs[i]
+			continue
+		}
+		res := execRes[i]
+		if verr := verifyRun(c.ref, res.Out, res.MemHash); verr != nil {
+			errs[i] = fmt.Errorf("boosting: %s on %s: %w", c.Workload, model, verr)
+			continue
+		}
+		scalar, serr := p.scalarCycles(ctx, c.Workload, c.scalarHint(), laneCfgs[i].mem)
+		if serr != nil {
+			errs[i] = serr
+			continue
+		}
+		// Mirrors Simulate's artifact-hint policy: only the standard
+		// perfect-memory, allocated configuration may record the baseline.
+		if laneCfgs[i].mem == nil && !p.base.infiniteReg && c.setScalarCycles(scalar) {
+			saveNeeded = true
+		}
+		results[i] = &Result{
+			Engine:             laneCfgs[i].engine.String(),
+			Compile:            schedStats,
+			Cycles:             res.Cycles,
+			ScalarCycles:       scalar,
+			Speedup:            float64(scalar) / float64(res.Cycles),
+			Insts:              res.Insts,
+			BoostedExec:        res.BoostedExec,
+			Squashed:           res.Squashed,
+			MemStalls:          res.MemStalls,
+			BoostedMemStalls:   res.BoostedMemStalls,
+			SquashedMemStalls:  res.SquashedMemStalls,
+			Mem:                res.Mem,
+			PredictionAccuracy: c.acc,
+			ObjectGrowth:       sp.ObjectGrowth(),
+			Out:                res.Out,
+		}
+	}
+	if fresh {
+		c.addVariant(vkey, sp, schedStats)
+	}
+	if saveNeeded {
+		p.saveArtifact(ctx, base, c)
+	}
+	return results, errs, nil
+}
+
 // SchedulePasses reports how many times this pipeline has invoked the
 // scheduler (variant misses plus scalar-baseline builds). A fully warm
 // artifact start keeps it at zero.

@@ -102,6 +102,60 @@ func TestPipelineOptions(t *testing.T) {
 	}
 }
 
+// TestPipelineSimulateBatch: every batch lane reports exactly what a
+// solo Simulate of the same options reports, the schedule runs once for
+// the whole batch, and a lane that would change the schedule variant is
+// rejected up front.
+func TestPipelineSimulateBatch(t *testing.T) {
+	ctx := context.Background()
+	m := Models().Boost7
+	p := NewPipeline()
+	c, err := p.Compile(ctx, WorkloadGrep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := DefaultMemConfig()
+	mem.L1 = MemCacheConfig{Sets: 64, Ways: 1, LineBytes: 16}
+	lanes := [][]Option{
+		nil,
+		{WithLegacyEngine()},
+		{WithMemHier(mem)},
+		nil,
+	}
+	results, errs, err := p.SimulateBatch(ctx, c, m, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes := p.SchedulePasses()
+	for i, lane := range lanes {
+		if errs[i] != nil {
+			t.Fatalf("lane %d: %v", i, errs[i])
+		}
+		solo, err := p.Simulate(ctx, c, m, lane...)
+		if err != nil {
+			t.Fatalf("lane %d solo: %v", i, err)
+		}
+		b := results[i]
+		if b.Cycles != solo.Cycles || b.Speedup != solo.Speedup ||
+			b.ScalarCycles != solo.ScalarCycles || b.Insts != solo.Insts ||
+			b.BoostedExec != solo.BoostedExec || b.Squashed != solo.Squashed ||
+			b.MemStalls != solo.MemStalls || b.Engine != solo.Engine {
+			t.Errorf("lane %d diverges from solo Simulate:\nbatch %+v\nsolo  %+v", i, b, solo)
+		}
+	}
+	// The solo reruns above hit the variant cache: the batch left exactly
+	// one schedule (plus the scalar baselines) behind.
+	if got := p.SchedulePasses(); got != passes {
+		t.Errorf("solo reruns re-scheduled: %d passes, want %d", got, passes)
+	}
+
+	// A lane that changes the schedule variant fails the whole batch.
+	if _, _, err := p.SimulateBatch(ctx, c, m, [][]Option{nil, {WithLocalOnly()}}); err == nil ||
+		!strings.Contains(err.Error(), "lane 1 changes the schedule variant") {
+		t.Errorf("variant-changing lane: err = %v", err)
+	}
+}
+
 // TestPipelineGrid: batch results come back in cell order, identical at
 // any parallelism, with per-cell errors isolated to their cell.
 func TestPipelineGrid(t *testing.T) {
